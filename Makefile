@@ -1,0 +1,26 @@
+# Convenience targets for the stateful serverless workbench.
+
+.PHONY: install test bench examples takeaways paper clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; python $$script || exit 1; done
+
+takeaways:
+	python -m repro takeaways
+
+paper:
+	python -m repro paper
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

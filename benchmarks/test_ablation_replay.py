@@ -1,0 +1,59 @@
+"""Ablation — event-sourced replay cost on vs off (DESIGN.md decision 1).
+
+The paper attributes Az-Dorch/Az-Dent GB-s inflation to orchestrator
+replay.  Setting the replay CPU constants to zero isolates that
+mechanism: with replay free, the durable variants' GB-s should collapse
+toward the stateless baseline.
+"""
+
+from conftest import fresh_testbed, once
+
+from repro.core import ExperimentRunner, build_ml_training_deployments, \
+    cost_report
+from repro.core.report import render_table
+
+ITERATIONS = 15
+
+
+def _gb_s(replay_enabled: bool):
+    testbed = fresh_testbed(seed=61)
+    if not replay_enabled:
+        testbed.azure_calibration.episode_base_cpu_s = 0.0
+        testbed.azure_calibration.replay_event_cpu_s = 0.0
+    results = {}
+    runner = ExperimentRunner(think_time_s=30.0, settle_time_s=5.0)
+    for name in ("Az-Func", "Az-Dorch"):
+        deployment = build_ml_training_deployments(testbed, "small")[name]
+        deployment.deploy()
+        if not replay_enabled:
+            # The inline body cost is re-paid on every replay too.
+            for spec in testbed.durable.taskhub.orchestrators.values():
+                spec.inline_cpu_s = 0.0
+        runner.run_campaign(deployment, iterations=ITERATIONS, warmup=1)
+        results[name] = cost_report(deployment).gb_s
+        # Meters are shared per platform: snapshot then reset.
+        testbed.azure.billing.reset()
+        testbed.azure.meter.reset()
+    return results
+
+
+def test_ablation_replay_cost(benchmark):
+    def run_both():
+        return {"replay on": _gb_s(True), "replay off": _gb_s(False)}
+
+    data = once(benchmark, run_both)
+    inflation = {
+        mode: values["Az-Dorch"] / values["Az-Func"] - 1
+        for mode, values in data.items()}
+    print()
+    print(render_table(
+        ["mode", "Az-Func GB-s", "Az-Dorch GB-s", "inflation"],
+        [[mode, values["Az-Func"], values["Az-Dorch"],
+          f"{inflation[mode]:+.0%}"]
+         for mode, values in data.items()],
+        title="Ablation: orchestrator replay CPU on/off (small dataset)"))
+
+    # Replay is the inflation mechanism: disabling it removes most of
+    # the durable GB-s premium.
+    assert inflation["replay on"] > 0.05
+    assert inflation["replay off"] < inflation["replay on"] * 0.6

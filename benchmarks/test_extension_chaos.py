@@ -1,0 +1,118 @@
+"""Extension — the price of unreliability.
+
+Injects container crashes into a five-stage workflow on both platforms
+(AWS Retry clauses, Azure ``call_activity_with_retry``) and sweeps the
+crash probability.  Both platforms absorb the chaos — completion rate
+stays 100 % — but latency and billed compute grow with the crash rate,
+quantifying what flaky infrastructure costs under each retry model.
+"""
+
+import numpy as np
+from conftest import fresh_testbed, once
+
+from repro.azure import OrchestratorSpec, RetryOptions
+from repro.core.report import render_table
+from repro.platforms.base import FunctionSpec
+from repro.platforms.faults import FaultInjector
+
+CRASH_RATES = [0.0, 0.2, 0.4]
+RUNS = 15
+STAGES = 5
+
+
+def _stage(ctx, event):
+    yield from ctx.busy(1.0)
+    return event + 1
+
+
+def _aws_run(crash_rate: float):
+    testbed = fresh_testbed(seed=int(crash_rate * 100) + 11)
+    injector = FaultInjector(crash_probability=crash_rate)
+    testbed.lambdas.register(FunctionSpec(
+        name="stage", handler=injector.wrap(_stage), memory_mb=1536,
+        timeout_s=60.0))
+    states = {}
+    for index in range(STAGES):
+        states[f"S{index}"] = {
+            "Type": "Task", "Resource": "stage",
+            "Retry": [{"ErrorEquals": ["States.ALL"],
+                       "IntervalSeconds": 2, "MaxAttempts": 8,
+                       "BackoffRate": 2.0}],
+            **({"Next": f"S{index + 1}"} if index < STAGES - 1
+               else {"End": True}),
+        }
+    testbed.stepfunctions.create_state_machine(
+        "chaos", {"StartAt": "S0", "States": states})
+    latencies = []
+    for _ in range(RUNS):
+        record = testbed.run(testbed.stepfunctions.start_execution(
+            "chaos", 0))
+        assert record.status == "SUCCEEDED"
+        assert record.output == STAGES
+        latencies.append(record.duration)
+        testbed.advance(30.0)
+    gb_s = testbed.aws.billing.total_gb_s() / RUNS
+    return float(np.median(latencies)), gb_s
+
+
+def _azure_run(crash_rate: float):
+    testbed = fresh_testbed(seed=int(crash_rate * 100) + 11)
+    injector = FaultInjector(crash_probability=crash_rate)
+    testbed.app.register(FunctionSpec(
+        name="stage", handler=injector.wrap(_stage), memory_mb=1536,
+        timeout_s=60.0, measured_memory_mb=512))
+
+    def orchestrator(context):
+        value = context.input
+        for _ in range(STAGES):
+            value = yield context.call_activity_with_retry(
+                "stage", RetryOptions(first_retry_interval_s=2.0,
+                                      max_number_of_attempts=8), value)
+        return value
+
+    testbed.durable.register_orchestrator(OrchestratorSpec(
+        "chaos", orchestrator))
+    latencies = []
+    for _ in range(RUNS):
+        instance = None
+
+        def scenario(env):
+            client = testbed.durable.client
+            instance_id = yield from client.start_new("chaos", 0)
+            output = yield from client.wait_for_completion(instance_id)
+            assert output == STAGES
+            return client.get_status(instance_id)
+
+        instance = testbed.run(scenario(testbed.env))
+        latencies.append(instance.end_to_end_latency)
+        testbed.advance(30.0)
+    gb_s = testbed.azure.billing.total_gb_s() / RUNS
+    return float(np.median(latencies)), gb_s
+
+
+def test_extension_chaos_resilience_cost(benchmark):
+    def run_all():
+        rows = {}
+        for rate in CRASH_RATES:
+            aws_latency, aws_gb_s = _aws_run(rate)
+            azure_latency, azure_gb_s = _azure_run(rate)
+            rows[rate] = (aws_latency, aws_gb_s, azure_latency, azure_gb_s)
+        return rows
+
+    rows = once(benchmark, run_all)
+    print()
+    print(render_table(
+        ["crash rate", "AWS median s", "AWS GB-s/run", "Azure median s",
+         "Azure GB-s/run"],
+        [[f"{rate:.0%}", *values] for rate, values in rows.items()],
+        title=f"Extension: {STAGES}-stage workflow under container "
+              f"crashes, {RUNS} runs each (all completed)"))
+
+    clean = rows[0.0]
+    chaotic = rows[CRASH_RATES[-1]]
+    # Retries keep everything completing, but chaos costs latency...
+    assert chaotic[0] > clean[0] * 1.3
+    assert chaotic[2] > clean[2] * 1.3
+    # ... and billed compute (crashed attempts are billed too).
+    assert chaotic[1] > clean[1] * 1.2
+    assert chaotic[3] > clean[3] * 1.2

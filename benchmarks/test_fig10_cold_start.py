@@ -1,0 +1,50 @@
+"""Fig 10 — ML training cold-start delay (4 days, one request per hour).
+
+Paper: "Azure Durable extensions (Orchestrators and Entities) often lead
+to less than 2 seconds of start time, whereas AWS-Step start time is
+3-5 seconds, and the Az-Queue implementation experiences 10-20 seconds".
+"""
+
+from conftest import fresh_testbed, once
+
+from repro.core import ColdStartCampaign, build_ml_training_deployments
+from repro.core.metrics import percentile
+from repro.core.report import render_bars
+
+VARIANTS = ["Az-Queue", "AWS-Step", "Az-Dorch", "Az-Dent"]
+
+
+def test_fig10_cold_start_four_day_campaign(benchmark):
+    def run_all():
+        results = {}
+        campaign = ColdStartCampaign(interval_s=3600.0, days=4.0)
+        for name in VARIANTS:
+            testbed = fresh_testbed(seed=17)
+            deployment = build_ml_training_deployments(
+                testbed, "small")[name]
+            results[name] = campaign.run(deployment).cold_start_delays
+        return results
+
+    delays = once(benchmark, run_all)
+    medians = {name: percentile(values, 50)
+               for name, values in delays.items()}
+    print()
+    print(render_bars(medians,
+                      title="Fig 10: ML training cold start delay, "
+                            "median of 96 hourly requests", unit="s"))
+    for name, values in delays.items():
+        print(f"  {name}: min={min(values):.2f}s max={max(values):.2f}s "
+              f"n={len(values)}")
+
+    # Every hourly request went cold (96 samples per variant).
+    assert all(len(values) == 96 for values in delays.values())
+
+    # Paper's ranking, highest to lowest: Az-Queue ≫ AWS-Step > durable.
+    assert medians["Az-Queue"] > medians["AWS-Step"] > medians["Az-Dorch"]
+    assert medians["AWS-Step"] > medians["Az-Dent"]
+
+    # Paper's magnitudes.
+    assert medians["Az-Dorch"] < 2.5
+    assert medians["Az-Dent"] < 2.5
+    assert 2.5 <= medians["AWS-Step"] <= 6.0
+    assert 10.0 <= medians["Az-Queue"] <= 21.0

@@ -1,0 +1,82 @@
+"""Fig 11 — cost comparison for the ML training workflow.
+
+Paper claims:
+
+* (11a) Azure durable variants inflate GB-s over the stateless function:
+  Az-Dorch +44 %, Az-Dent +88 % on the large dataset (orchestrator/entity
+  replays); Az-Queue matches Az-Func.
+* (11b) AWS-Step shows the same GB-s as AWS-Lambda (same computation).
+* (11c/11d) the stateful (transaction) share is ~20 % for AWS on the
+  small dataset, ~2 % on the large; Azure's transaction share is in the
+  few-to-15 % range; and Azure's GB-s is lower than AWS's computation.
+"""
+
+from conftest import ML_VARIANTS, ml_training_campaign, once
+
+import pytest
+
+from repro.core import cost_report
+from repro.core.report import render_grouped_bars, render_table
+
+
+@pytest.mark.parametrize("scale", ["small", "large"])
+def test_fig11_ml_training_cost(benchmark, scale):
+    def run_all():
+        reports = {}
+        for name in ML_VARIANTS:
+            campaign, deployment = ml_training_campaign(name, scale)
+            reports[name] = cost_report(
+                deployment, per_runs=len(campaign.runs) + 1)
+        return reports
+
+    reports = once(benchmark, run_all)
+
+    gb_s = {name: report.gb_s for name, report in reports.items()}
+    shares = {name: report.transaction_share * 100
+              for name, report in reports.items()}
+    print()
+    print(render_grouped_bars(
+        {"GB-s per run (11a/11b)": gb_s,
+         "transaction share %% of total (11c/11d)": shares},
+        title=f"Fig 11 ({scale} dataset): ML training cost"))
+    print(render_table(
+        ["variant", "GB-s", "compute $", "transaction $", "tx count",
+         "replay GB-s"],
+        [[name, report.gb_s, report.compute_cost, report.transaction_cost,
+          report.transaction_count, report.replay_gb_s]
+         for name, report in reports.items()]))
+
+    # 11b: AWS-Step computes exactly what AWS-Lambda computes.
+    assert gb_s["AWS-Step"] == pytest.approx(gb_s["AWS-Lambda"], rel=0.10)
+
+    # 11a: durable replay inflates Azure GB-s; the queue chain does not.
+    assert gb_s["Az-Dorch"] > gb_s["Az-Func"] * 1.05
+    assert gb_s["Az-Dent"] > gb_s["Az-Dorch"]
+    assert gb_s["Az-Queue"] == pytest.approx(gb_s["Az-Func"], rel=0.15)
+    dorch_inflation = gb_s["Az-Dorch"] / gb_s["Az-Func"] - 1
+    dent_inflation = gb_s["Az-Dent"] / gb_s["Az-Func"] - 1
+    print(f"GB-s inflation vs Az-Func: Dorch +{dorch_inflation:.0%} "
+          f"(paper +44%), Dent +{dent_inflation:.0%} (paper +88%)")
+    # Az-Dent inflates roughly twice as much as Az-Dorch (paper's ratio).
+    assert dent_inflation > dorch_inflation * 1.25
+
+    # Azure bills measured memory: its GB-s sits below AWS's.
+    assert gb_s["Az-Func"] < gb_s["AWS-Lambda"]
+    assert gb_s["Az-Dorch"] < gb_s["AWS-Step"] * 1.2
+
+    # 11c/11d: the AWS transaction share shrinks with scale ("AWS step
+    # functions have to be used only for long running functions").
+    if scale == "small":
+        assert 0.10 < reports["AWS-Step"].transaction_share < 0.30
+    else:
+        assert reports["AWS-Step"].transaction_share < 0.05
+    # Stateless variants carry no stateful cost at all on AWS.
+    assert reports["AWS-Lambda"].transaction_cost == 0.0
+    # Azure durable variants do pay a visible transaction share (the
+    # paper reports up to 10-15 %; our pump model is less chatty than the
+    # real framework, so the measured share is lower — see EXPERIMENTS.md).
+    assert reports["Az-Dorch"].transaction_share > 0.002
+    assert reports["Az-Dent"].transaction_share > 0.002
+    # Azure's transaction share stays in the paper's ≤15 % band.
+    assert reports["Az-Dorch"].transaction_share < 0.15
+    assert reports["Az-Dent"].transaction_share < 0.15

@@ -1,0 +1,55 @@
+"""Fig 14 — scheduling delay of Azure face-detection workers.
+
+Paper: "Figure 14 shows the scheduling delay collected from more than
+50,000 workers.  It is evident that almost half of the workers experience
+40 seconds of scheduling delay, and 5 % experience 270 s (4.5 minutes) to
+start the function."
+
+We collect worker scheduling spans from repeated 80-worker fan-outs until
+a large sample accumulates, then check both anchor points of the CDF.
+"""
+
+import numpy as np
+from conftest import fresh_testbed, once
+
+from repro.core import build_video_deployments
+from repro.core.metrics import cdf_points, fraction_above
+from repro.core.report import render_cdf
+
+WORKERS = 80
+RUNS = 40   # 40 × 80 = 3200 worker samples
+
+
+def test_fig14_worker_scheduling_delay_distribution(benchmark):
+    def run_all():
+        delays = []
+        for index in range(RUNS):
+            testbed = fresh_testbed(seed=500 + index)
+            deployment = build_video_deployments(
+                testbed, n_workers=WORKERS)["Az-Dorch"]
+            deployment.deploy()
+            testbed.run(deployment.invoke(n_workers=WORKERS))
+            for span in testbed.azure.telemetry.spans:
+                if (span.kind == "scheduling" and span.closed
+                        and span.name == "az-video-detect"):
+                    delays.append(span.duration)
+        return np.asarray(delays)
+
+    delays = once(benchmark, run_all)
+    print()
+    print(render_cdf({"Az-Dorch workers": cdf_points(delays.tolist())},
+                     title=f"Fig 14: scheduling delay of {len(delays)} "
+                           "face-detection workers (s)"))
+    at_40 = fraction_above(delays, 40.0)
+    at_270 = fraction_above(delays, 270.0)
+    print(f"fraction waiting >=40s: {at_40:.2f} (paper: ~0.5); "
+          f">=270s: {at_270:.3f} (paper: ~0.05)")
+
+    # The paper's two anchor points, within generous bands.
+    assert 0.35 <= at_40 <= 0.85
+    assert 0.02 <= at_270 <= 0.12
+
+    # The distribution is long-tailed: p99 is many times the median.
+    median = float(np.percentile(delays, 50))
+    p99 = float(np.percentile(delays, 99))
+    assert p99 > 3 * median

@@ -1,0 +1,87 @@
+"""Fig 15 — estimated monthly cost of the video workflow, 20 workers.
+
+Paper claims:
+
+* Az-Dorch's computation cost is comparable to Az-Func's, but "the
+  constant queue and event polling adds 70 % transition cost";
+* AWS-Step and AWS-Lambda show *higher computation cost* (they need a
+  2 GB memory configuration to deliver the same latency);
+* AWS's transition cost is ~5 % of its total — "83 % less than Azure".
+"""
+
+from conftest import fresh_testbed, once
+
+from repro.core import build_video_deployments, cost_report
+from repro.core.costs import monthly_projection
+from repro.core.report import render_table
+
+RUNS_PER_MONTH = 30   # one video-processing run per day
+WORKERS = 20
+MEASURED_RUNS = 5
+
+
+def _idle_polling_transactions(seed: int) -> int:
+    """Measure one idle hour of durable polling, scale to a month."""
+    testbed = fresh_testbed(seed=seed)
+    deployment = build_video_deployments(testbed, n_workers=WORKERS)[
+        "Az-Dorch"]
+    deployment.deploy()
+    testbed.run(deployment.invoke())       # wake the pumps
+    before = len(testbed.azure.meter)
+    testbed.advance(3600.0)
+    per_hour = len(testbed.azure.meter) - before
+    return per_hour * 24 * 30
+
+
+def test_fig15_video_monthly_cost(benchmark):
+    def run_all():
+        reports = {}
+        for name in ("AWS-Lambda", "AWS-Step", "Az-Func", "Az-Dorch"):
+            testbed = fresh_testbed(seed=71)
+            deployment = build_video_deployments(
+                testbed, n_workers=WORKERS)[name]
+            deployment.deploy()
+            for _ in range(MEASURED_RUNS):
+                testbed.run(deployment.invoke())
+                testbed.advance(30.0)
+            per_run = cost_report(deployment, per_runs=MEASURED_RUNS)
+            idle = (_idle_polling_transactions(seed=72)
+                    if name == "Az-Dorch" else 0)
+            reports[name] = monthly_projection(
+                per_run, RUNS_PER_MONTH,
+                idle_transactions_per_month=idle)
+        return reports
+
+    reports = once(benchmark, run_all)
+    print()
+    print(render_table(
+        ["variant", "compute $/mo", "transaction $/mo", "total $/mo",
+         "tx share"],
+        [[name, report.compute_cost, report.transaction_cost, report.total,
+          f"{report.transaction_share:.0%}"]
+         for name, report in reports.items()],
+        title=f"Fig 15: monthly cost, video processing, {WORKERS} workers, "
+              f"{RUNS_PER_MONTH} runs/month"))
+
+    # Azure durable compute ≈ Azure stateless compute.
+    ratio = (reports["Az-Dorch"].compute_cost
+             / reports["Az-Func"].compute_cost)
+    assert 0.8 < ratio < 1.4
+
+    # AWS computation cost exceeds Azure's (2 GB memory configuration).
+    assert (reports["AWS-Lambda"].compute_cost
+            > reports["Az-Func"].compute_cost)
+    assert (reports["AWS-Step"].compute_cost
+            > reports["Az-Dorch"].compute_cost)
+
+    # Azure durable pays a large transaction share; AWS pays a small one.
+    azure_share = reports["Az-Dorch"].transaction_share
+    aws_share = reports["AWS-Step"].transaction_share
+    print(f"transaction share: Az-Dorch={azure_share:.0%} (paper: ~70% "
+          f"of cost added), AWS-Step={aws_share:.0%} (paper: ~5%)")
+    assert azure_share > 0.10
+    assert aws_share < 0.10
+    # AWS transition cost is far below Azure's transaction cost
+    # (paper: "83 % less than the Azure").
+    assert (reports["AWS-Step"].transaction_cost
+            < 0.5 * reports["Az-Dorch"].transaction_cost)

@@ -1,0 +1,69 @@
+"""Sensitivity analysis — are the reproduced shapes robust to calibration?
+
+Sweeps the calibration constants the Azure fan-out conclusions hinge on
+and checks that the paper's *qualitative* claim (Azure durable fan-outs
+stall behind the scale controller; AWS does not) holds across the whole
+plausible range — i.e. the reproduction is not an artifact of one lucky
+constant.
+"""
+
+from conftest import fresh_testbed, once
+
+from repro.core import build_video_deployments
+from repro.core.report import render_table
+from repro.core.sweep import CalibrationSweep, tabulate
+
+WORKERS = 40
+
+
+def _fanout_latency(testbed) -> float:
+    deployment = build_video_deployments(testbed, n_workers=WORKERS)[
+        "Az-Dorch"]
+    deployment.deploy()
+    return round(testbed.run(deployment.invoke(n_workers=WORKERS)).latency,
+                 1)
+
+
+def _aws_latency(testbed) -> float:
+    deployment = build_video_deployments(testbed, n_workers=WORKERS)[
+        "AWS-Step"]
+    deployment.deploy()
+    return round(testbed.run(deployment.invoke(n_workers=WORKERS)).latency,
+                 1)
+
+
+def test_sensitivity_of_azure_fanout_conclusion(benchmark):
+    def run_all():
+        results = {}
+        for parameter, values in [
+                ("scale_interval_s", [5.0, 10.0, 20.0]),
+                ("instances_per_decision", [1, 2, 4]),
+                ("instance_concurrency", [1, 2, 4])]:
+            sweep = CalibrationSweep("azure", parameter, values, seed=6)
+            results[parameter] = sweep.run(_fanout_latency)
+        aws = _aws_latency(fresh_testbed(seed=6))
+        return results, aws
+
+    results, aws_latency = once(benchmark, run_all)
+    print()
+    for parameter, points in results.items():
+        print(render_table(
+            [parameter, f"Az-Dorch latency @ {WORKERS} workers (s)"],
+            tabulate(points),
+            title=f"Sensitivity: {parameter}"))
+        print()
+    print(f"AWS-Step reference @ {WORKERS} workers: {aws_latency}s")
+
+    # The qualitative conclusion must hold at EVERY grid point: Azure's
+    # fan-out stays well behind AWS's.
+    for parameter, points in results.items():
+        for point in points:
+            assert point.value > 1.5 * aws_latency, (
+                f"Azure beat 1.5x AWS at {parameter}="
+                f"{point.overrides[parameter]}")
+
+    # And the knobs act in the expected direction (monotone trends).
+    interval = [point.value for point in results["scale_interval_s"]]
+    assert interval[0] < interval[-1]   # slower controller → slower fan-out
+    births = [point.value for point in results["instances_per_decision"]]
+    assert births[0] > births[-1]       # more births → faster fan-out

@@ -1,0 +1,45 @@
+"""Table I — serverless platform configuration.
+
+Paper values: AWS (Py 3.7, West US 2, 1.5 GB, 15 min, 256 KB) and Azure
+(Py 3.7, US East, 1.5 GB, 30 min, 64 KB).
+"""
+
+from conftest import once
+
+from repro.core.report import render_table
+from repro.platforms.calibration import (
+    default_aws_calibration,
+    default_azure_calibration,
+)
+from repro.storage.payload import KB
+
+
+def test_table1_platform_configuration(benchmark):
+    def build():
+        return default_aws_calibration(), default_azure_calibration()
+
+    aws, azure = once(benchmark, build)
+
+    rows = [
+        ["AWS", aws.runtime, aws.region, f"{aws.default_memory_mb / 1024:.1f}GB",
+         f"{aws.time_limit_s / 60:.0f}min", f"{aws.payload_limit_bytes // KB}KB"],
+        ["Azure", azure.runtime, azure.region,
+         f"{azure.max_memory_mb / 1024:.1f}GB",
+         f"{azure.time_limit_s / 60:.0f}min",
+         f"{azure.durable_payload_limit_bytes // KB}KB"],
+    ]
+    print()
+    print(render_table(
+        ["Platform", "Run Time", "Region", "Memory", "Time Limit",
+         "Payload Size"],
+        rows, title="Table I: Serverless platform configuration"))
+
+    # Paper Table I, verbatim.
+    assert aws.runtime == "Python 3.7"
+    assert aws.default_memory_mb == 1536
+    assert aws.time_limit_s == 15 * 60
+    assert aws.payload_limit_bytes == 256 * KB
+    assert azure.runtime == "Python 3.7"
+    assert azure.max_memory_mb == 1536
+    assert azure.time_limit_s == 30 * 60
+    assert azure.durable_payload_limit_bytes == 64 * KB

@@ -1,0 +1,112 @@
+"""Human-in-the-loop workflow: external events, timers and retries.
+
+Expense reports above a threshold wait for a manager's approval — but
+only for so long: a durable timer races the approval event, and unclaimed
+reports escalate.  Flaky downstream bookings are retried with exponential
+backoff.  All of it is the real Durable Functions programming model:
+``wait_for_external_event``, ``create_timer``, ``task_any`` and
+``call_activity_with_retry``.
+
+Run:  python examples/approval_workflow.py
+"""
+
+from repro.azure import OrchestratorSpec, RetryOptions
+from repro.azure.durable.tasks import ExternalEventTask
+from repro.core import Testbed
+from repro.core.report import render_table
+from repro.platforms.base import FunctionSpec
+
+APPROVAL_DEADLINE_S = 3600.0   # managers get an hour
+
+
+def validate(ctx, report):
+    yield from ctx.busy(0.3)
+    if report["amount"] <= 0:
+        raise ValueError("amounts must be positive")
+    return dict(report, needs_approval=report["amount"] > 500)
+
+
+_booking_attempts = {"count": 0}
+
+
+def book(ctx, report):
+    """A flaky downstream ledger: fails the first time, then recovers."""
+    yield from ctx.busy(0.5)
+    _booking_attempts["count"] += 1
+    if _booking_attempts["count"] % 2 == 1:
+        raise RuntimeError("ledger temporarily unavailable")
+    return {"booked": report["id"], "amount": report["amount"]}
+
+
+def expense_orchestrator(context):
+    report = yield context.call_activity("validate", context.input)
+    decision = "auto-approved"
+    if report["needs_approval"]:
+        approval = context.wait_for_external_event("ManagerDecision")
+        deadline = context.create_timer(APPROVAL_DEADLINE_S)
+        winner, value = yield context.task_any([approval, deadline])
+        if isinstance(winner, ExternalEventTask):
+            decision = value
+            if value == "rejected":
+                return {"id": report["id"], "status": "rejected"}
+        else:
+            return {"id": report["id"], "status": "escalated"}
+    booking = yield context.call_activity_with_retry(
+        "book", RetryOptions(first_retry_interval_s=10.0,
+                             max_number_of_attempts=4), report)
+    return {"id": report["id"], "status": "booked",
+            "decision": decision, "booking": booking}
+
+
+def main():
+    testbed = Testbed(seed=31)
+    for name, handler in [("validate", validate), ("book", book)]:
+        testbed.app.register(FunctionSpec(
+            name=name, handler=handler, memory_mb=1536, timeout_s=120.0,
+            measured_memory_mb=256))
+    testbed.durable.register_orchestrator(
+        OrchestratorSpec("expense", expense_orchestrator))
+    client = testbed.durable.client
+
+    def scenario(env):
+        outcomes = []
+
+        # 1. Small expense: sails through (with one booking retry).
+        result = yield from client.run(
+            "expense", {"id": "E-1", "amount": 120})
+        outcomes.append(result)
+
+        # 2. Large expense, approved after 20 simulated minutes.
+        instance_id = yield from client.start_new(
+            "expense", {"id": "E-2", "amount": 2500})
+        yield env.timeout(1200.0)
+        yield from client.raise_event(instance_id, "ManagerDecision",
+                                      "approved")
+        outcomes.append((yield from client.wait_for_completion(instance_id)))
+
+        # 3. Large expense, rejected.
+        instance_id = yield from client.start_new(
+            "expense", {"id": "E-3", "amount": 9000})
+        yield env.timeout(60.0)
+        yield from client.raise_event(instance_id, "ManagerDecision",
+                                      "rejected")
+        outcomes.append((yield from client.wait_for_completion(instance_id)))
+
+        # 4. Large expense nobody looks at: the timer escalates it.
+        result = yield from client.run(
+            "expense", {"id": "E-4", "amount": 700})
+        outcomes.append(result)
+        return outcomes
+
+    outcomes = testbed.run(scenario(testbed.env))
+    print(render_table(
+        ["report", "status", "decision"],
+        [[outcome["id"], outcome["status"],
+          outcome.get("decision", "-")] for outcome in outcomes],
+        title="Expense approvals: events, timers, retries"))
+    print(f"\nsimulated time: {testbed.now / 3600:.2f} hours; "
+          f"booking attempts (incl. retries): {_booking_attempts['count']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The paper's ML-training case study, end to end.
+
+Deploys the machine-learning training workflow (feature engineering →
+PCA → model selection over RandomForest/KNN/Lasso) in all six Table II
+variants, runs a short measurement campaign on each, and prints the
+latency and cost comparison — a miniature of the paper's Figures 6 and 11.
+
+Run:  python examples/ml_training_pipeline.py [small|large]
+"""
+
+import sys
+
+from repro.core import (
+    ExperimentRunner,
+    Testbed,
+    build_ml_training_deployments,
+    cost_report,
+)
+from repro.core.deployments.ml import ml_workload
+from repro.core.report import render_table
+
+ITERATIONS = 8
+
+
+def main(scale: str = "small"):
+    workload = ml_workload(scale, seed=0)
+    trained = workload.trained
+    print(f"dataset: {workload.train_dataset.n_rows} training rows, "
+          f"26 features (12 categorical)")
+    print("real model-selection results:")
+    for result in trained.results:
+        marker = " <- best fit" if result is trained.best else ""
+        print(f"  {result.candidate.name:10s} validation MSE "
+              f"{result.error:14,.0f}  model {result.payload_size:>9,} B"
+              f"{marker}")
+    print()
+
+    runner = ExperimentRunner(think_time_s=30.0, settle_time_s=5.0)
+    rows = []
+    for name in ["AWS-Lambda", "AWS-Step", "Az-Func", "Az-Queue",
+                 "Az-Dorch", "Az-Dent"]:
+        testbed = Testbed(seed=13)
+        deployment = build_ml_training_deployments(testbed, scale)[name]
+        campaign = runner.run_campaign(deployment, iterations=ITERATIONS,
+                                       warmup=1)
+        stats = campaign.stats()
+        report = cost_report(deployment, per_runs=ITERATIONS + 1)
+        rows.append([name, "yes" if deployment.stateful else "no",
+                     stats.median, stats.p99, report.gb_s,
+                     f"{report.transaction_share:.1%}",
+                     f"${report.total:.6f}"])
+
+    print(render_table(
+        ["variant", "stateful", "median s", "p99 s", "GB-s/run",
+         "tx share", "cost/run"],
+        rows,
+        title=f"ML training workflow, {scale} dataset, "
+              f"{ITERATIONS} iterations per variant"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

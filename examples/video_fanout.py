@@ -1,0 +1,50 @@
+"""The paper's video-processing case study: fan-out scaling on both clouds.
+
+Splits a ~100 MB synthetic video into chunks, runs face detection with an
+army of parallel workers, and sweeps the worker count — reproducing the
+paper's central scaling contrast (Fig 12): AWS's per-request containers
+scale nearly linearly, while Azure's shared instance pool plateaus behind
+the scale controller.
+
+Run:  python examples/video_fanout.py
+"""
+
+from repro.core import Testbed, build_video_deployments
+from repro.core.report import render_table
+
+WORKER_COUNTS = [1, 5, 10, 20, 40, 80]
+
+
+def measure(name: str, n_workers: int) -> float:
+    testbed = Testbed(seed=23)
+    deployment = build_video_deployments(testbed, n_workers=n_workers)[name]
+    deployment.deploy()
+    run = testbed.run(deployment.invoke(n_workers=n_workers))
+    return run.latency
+
+
+def main():
+    rows = []
+    for workers in WORKER_COUNTS:
+        aws = measure("AWS-Step", workers)
+        azure = measure("Az-Dorch", workers)
+        rows.append([workers, aws, azure, f"{aws / azure:.2f}x"])
+
+    baseline_aws = measure("AWS-Lambda", 1)
+    baseline_azure = measure("Az-Func", 1)
+
+    print(render_table(
+        ["workers", "AWS-Step (s)", "Az-Dorch (s)", "AWS/Azure"],
+        rows, title="Video processing latency vs parallel workers"))
+    print(f"\nsingle-function baselines: AWS-Lambda={baseline_aws:.0f}s, "
+          f"Az-Func={baseline_azure:.0f}s")
+    best_aws = min(row[1] for row in rows)
+    best_azure = min(row[2] for row in rows)
+    print(f"best AWS-Step: {best_aws:.0f}s "
+          f"({1 - best_aws / baseline_aws:.0%} below the Lambda baseline)")
+    print(f"best Az-Dorch: {best_azure:.0f}s "
+          f"(gains stall once the scale controller becomes the bottleneck)")
+
+
+if __name__ == "__main__":
+    main()

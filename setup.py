@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on machines without the ``wheel``
+package (pip's editable path needs wheel; setuptools' develop does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Stateful serverless workbench.
+
+A simulation-based reproduction of *Cross-Platform Performance Evaluation
+of Stateful Serverless Workflows* (Shahidi, Gunasekaran, Kandemir —
+IISWC 2021), packaged as a library for studying the cost/performance
+behaviour of stateful serverless platforms.
+
+Top-level layout:
+
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.storage` — blob/queue/table substrates with metering
+* :mod:`repro.aws` — Lambda + Step Functions (ASL interpreter)
+* :mod:`repro.azure` — Functions + Durable orchestrators/entities
+* :mod:`repro.workloads` — the ML and video case studies
+* :mod:`repro.core` — deployments, campaigns, costs, reports, workflow IR
+* :mod:`repro.cli` — ``python -m repro`` experiment runner
+
+Start with :class:`repro.core.Testbed` or ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,39 @@
+"""AWS platform simulation: Lambda + Step Functions.
+
+The model captures the mechanisms the paper attributes AWS behaviour to:
+
+* per-request container provisioning (cold starts parallelise, so large
+  fan-outs scale — Fig 12),
+* user-configurable memory billed on *configuration* with 100 ms rounding
+  (§IV-A "Price Calculation"),
+* a client scheduler with small, tight per-transition dispatch latency
+  (the near-vertical AWS CDF in Fig 7),
+* per-state-transition pricing with no idle-time charges (§II-C).
+
+The Step Functions implementation is a working interpreter for a useful
+subset of the Amazon States Language (Task, Parallel, Map, Choice, Pass,
+Wait, Succeed, Fail, with InputPath/ResultPath/OutputPath/Parameters and
+Retry/Catch), enforcing the 256 KB payload limit.
+"""
+
+from repro.aws.lambda_service import LambdaContainer, LambdaService
+from repro.aws.asl import AslValidationError, parse_state_machine
+from repro.aws.stepfunctions import (
+    ExecutionFailed,
+    ExecutionRecord,
+    StatesDataLimitExceeded,
+    StepFunctionsService,
+)
+from repro.aws.pricing import AWSPriceModel
+
+__all__ = [
+    "AWSPriceModel",
+    "AslValidationError",
+    "ExecutionFailed",
+    "ExecutionRecord",
+    "LambdaContainer",
+    "LambdaService",
+    "StatesDataLimitExceeded",
+    "StepFunctionsService",
+    "parse_state_machine",
+]

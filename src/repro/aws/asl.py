@@ -1,0 +1,257 @@
+"""Parser and static validator for the Amazon States Language subset.
+
+``parse_state_machine`` turns an ASL definition (a dict, as loaded from
+JSON) into a validated :class:`StateMachineDefinition` of typed state
+objects from :mod:`repro.aws.states`.  Validation errors mirror the ones
+the real service raises at ``CreateStateMachine`` time: unknown ``StartAt``,
+dangling ``Next`` targets, unreachable states, missing terminal states,
+states with neither ``Next`` nor ``End``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from repro.aws.states import (
+    ChoiceRule,
+    ChoiceState,
+    FailState,
+    MapState,
+    ParallelState,
+    PassState,
+    State,
+    SucceedState,
+    TaskState,
+    WaitState,
+)
+
+
+class AslValidationError(ValueError):
+    """The state machine definition is structurally invalid."""
+
+
+@dataclass
+class StateMachineDefinition:
+    """A validated state machine: ordered states plus the entry point."""
+
+    start_at: str
+    states: Dict[str, State]
+    comment: str = ""
+
+    def state(self, name: str) -> State:
+        return self.states[name]
+
+    def state_count(self, recursive: bool = True) -> int:
+        """Number of states, optionally including nested branches."""
+        count = len(self.states)
+        if recursive:
+            for state in self.states.values():
+                if isinstance(state, ParallelState):
+                    count += sum(branch.state_count() for branch in state.branches)
+                elif isinstance(state, MapState):
+                    count += state.iterator.state_count()
+        return count
+
+
+_TERMINAL_TYPES = (SucceedState, FailState)
+
+
+def parse_state_machine(definition: Dict[str, Any]) -> StateMachineDefinition:
+    """Parse and validate an ASL document."""
+    if not isinstance(definition, dict):
+        raise AslValidationError("state machine definition must be a mapping")
+    if "StartAt" not in definition:
+        raise AslValidationError("missing required field 'StartAt'")
+    if "States" not in definition or not isinstance(definition["States"], dict):
+        raise AslValidationError("missing required field 'States'")
+    if not definition["States"]:
+        raise AslValidationError("'States' must not be empty")
+
+    states: Dict[str, State] = {}
+    for name, body in definition["States"].items():
+        states[name] = _parse_state(name, body)
+
+    machine = StateMachineDefinition(
+        start_at=definition["StartAt"], states=states,
+        comment=definition.get("Comment", ""))
+    _validate(machine)
+    return machine
+
+
+def _parse_state(name: str, body: Dict[str, Any]) -> State:
+    if not isinstance(body, dict):
+        raise AslValidationError(f"state {name!r} must be a mapping")
+    state_type = body.get("Type")
+    common = dict(
+        name=name,
+        next_state=body.get("Next"),
+        end=body.get("End", False),
+        input_path=body.get("InputPath", "$"),
+        output_path=body.get("OutputPath", "$"),
+        comment=body.get("Comment", ""),
+    )
+
+    if state_type == "Task":
+        if "Resource" not in body:
+            raise AslValidationError(f"Task state {name!r} missing 'Resource'")
+        return TaskState(
+            resource=body["Resource"],
+            parameters=body.get("Parameters"),
+            result_selector=body.get("ResultSelector"),
+            result_path=body.get("ResultPath", "$"),
+            timeout_seconds=body.get("TimeoutSeconds"),
+            retry=_parse_retriers(name, body.get("Retry", [])),
+            catch=_parse_catchers(name, body.get("Catch", [])),
+            **common)
+    if state_type == "Parallel":
+        branches = body.get("Branches")
+        if not branches:
+            raise AslValidationError(
+                f"Parallel state {name!r} needs at least one branch")
+        return ParallelState(
+            branches=[parse_state_machine(branch) for branch in branches],
+            result_path=body.get("ResultPath", "$"),
+            retry=_parse_retriers(name, body.get("Retry", [])),
+            catch=_parse_catchers(name, body.get("Catch", [])),
+            **common)
+    if state_type == "Map":
+        if "Iterator" not in body:
+            raise AslValidationError(f"Map state {name!r} missing 'Iterator'")
+        return MapState(
+            iterator=parse_state_machine(body["Iterator"]),
+            items_path=body.get("ItemsPath", "$"),
+            max_concurrency=body.get("MaxConcurrency", 0),
+            parameters=body.get("Parameters"),
+            result_path=body.get("ResultPath", "$"),
+            retry=_parse_retriers(name, body.get("Retry", [])),
+            catch=_parse_catchers(name, body.get("Catch", [])),
+            **common)
+    if state_type == "Choice":
+        choices = body.get("Choices")
+        if not choices:
+            raise AslValidationError(
+                f"Choice state {name!r} needs at least one choice rule")
+        return ChoiceState(
+            choices=[_parse_choice_rule(name, rule) for rule in choices],
+            default=body.get("Default"),
+            **common)
+    if state_type == "Pass":
+        return PassState(
+            result=body.get("Result"),
+            parameters=body.get("Parameters"),
+            result_path=body.get("ResultPath", "$"),
+            **common)
+    if state_type == "Wait":
+        if "Seconds" not in body and "SecondsPath" not in body:
+            raise AslValidationError(
+                f"Wait state {name!r} needs 'Seconds' or 'SecondsPath'")
+        return WaitState(
+            seconds=body.get("Seconds"),
+            seconds_path=body.get("SecondsPath"),
+            **common)
+    if state_type == "Succeed":
+        return SucceedState(**common)
+    if state_type == "Fail":
+        return FailState(
+            error=body.get("Error", "States.Failed"),
+            cause=body.get("Cause", ""),
+            **common)
+    raise AslValidationError(f"state {name!r} has unknown Type: {state_type!r}")
+
+
+def _parse_retriers(name: str, retriers: List[Dict[str, Any]]) -> List[dict]:
+    parsed = []
+    for retrier in retriers:
+        if "ErrorEquals" not in retrier:
+            raise AslValidationError(
+                f"Retry entry in state {name!r} missing 'ErrorEquals'")
+        parsed.append({
+            "errors": list(retrier["ErrorEquals"]),
+            "interval": retrier.get("IntervalSeconds", 1.0),
+            "max_attempts": retrier.get("MaxAttempts", 3),
+            "backoff": retrier.get("BackoffRate", 2.0),
+        })
+    return parsed
+
+
+def _parse_catchers(name: str, catchers: List[Dict[str, Any]]) -> List[dict]:
+    parsed = []
+    for catcher in catchers:
+        if "ErrorEquals" not in catcher or "Next" not in catcher:
+            raise AslValidationError(
+                f"Catch entry in state {name!r} needs 'ErrorEquals' and 'Next'")
+        parsed.append({
+            "errors": list(catcher["ErrorEquals"]),
+            "next": catcher["Next"],
+            "result_path": catcher.get("ResultPath", "$"),
+        })
+    return parsed
+
+
+_COMPARATORS = {
+    "StringEquals": lambda actual, expected: actual == expected,
+    "NumericEquals": lambda actual, expected: actual == expected,
+    "NumericGreaterThan": lambda actual, expected: actual > expected,
+    "NumericGreaterThanEquals": lambda actual, expected: actual >= expected,
+    "NumericLessThan": lambda actual, expected: actual < expected,
+    "NumericLessThanEquals": lambda actual, expected: actual <= expected,
+    "BooleanEquals": lambda actual, expected: actual is expected,
+    "IsPresent": lambda actual, expected: True,  # resolution implies presence
+}
+
+
+def _parse_choice_rule(name: str, rule: Dict[str, Any]) -> ChoiceRule:
+    if "Next" not in rule:
+        raise AslValidationError(
+            f"choice rule in state {name!r} missing 'Next'")
+    if "Variable" not in rule:
+        raise AslValidationError(
+            f"choice rule in state {name!r} missing 'Variable' "
+            "(boolean combinators are not supported by this subset)")
+    for comparator, test in _COMPARATORS.items():
+        if comparator in rule:
+            return ChoiceRule(
+                variable=rule["Variable"], comparator=comparator,
+                expected=rule[comparator], next_state=rule["Next"], test=test)
+    raise AslValidationError(
+        f"choice rule in state {name!r} has no supported comparator "
+        f"(supported: {sorted(_COMPARATORS)})")
+
+
+def _validate(machine: StateMachineDefinition) -> None:
+    states = machine.states
+    if machine.start_at not in states:
+        raise AslValidationError(
+            f"StartAt {machine.start_at!r} is not a defined state")
+
+    for name, state in states.items():
+        targets = state.transition_targets()
+        for target in targets:
+            if target not in states:
+                raise AslValidationError(
+                    f"state {name!r} transitions to unknown state {target!r}")
+        if (not targets and not state.end
+                and not isinstance(state, _TERMINAL_TYPES)
+                and not isinstance(state, ChoiceState)):
+            raise AslValidationError(
+                f"state {name!r} has neither 'Next' nor 'End': true")
+
+    # Reachability from StartAt.
+    reachable: Set[str] = set()
+    frontier = [machine.start_at]
+    while frontier:
+        current = frontier.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        frontier.extend(states[current].transition_targets())
+    unreachable = set(states) - reachable
+    if unreachable:
+        raise AslValidationError(
+            f"unreachable states: {sorted(unreachable)}")
+
+    # At least one path must terminate.
+    if not any(state.end or isinstance(state, _TERMINAL_TYPES)
+               for state in states.values()):
+        raise AslValidationError("state machine has no terminal state")

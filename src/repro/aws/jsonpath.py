@@ -1,0 +1,105 @@
+"""Reference-path (JSONPath subset) support for the ASL interpreter.
+
+Amazon States Language uses *reference paths* — JSONPath limited to dotted
+field access and numeric indexing — for ``InputPath``, ``OutputPath``,
+``ResultPath``, ``ItemsPath`` and ``Parameters`` substitution.  This module
+implements exactly that subset: ``$``, ``$.field.sub``, ``$.items[3]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Union
+
+_TOKEN = re.compile(r"\.([A-Za-z_][A-Za-z0-9_\-]*)|\[(\d+)\]")
+
+
+class PathError(ValueError):
+    """A malformed path or one that does not resolve against the data."""
+
+
+def parse_path(path: str) -> List[Union[str, int]]:
+    """Parse ``$.a.b[2]`` into ``['a', 'b', 2]``; ``$`` parses to ``[]``."""
+    if not isinstance(path, str) or not path.startswith("$"):
+        raise PathError(f"reference path must start with '$': {path!r}")
+    rest = path[1:]
+    if not rest:
+        return []
+    tokens: List[Union[str, int]] = []
+    position = 0
+    while position < len(rest):
+        match = _TOKEN.match(rest, position)
+        if match is None:
+            raise PathError(f"malformed reference path: {path!r}")
+        field, index = match.groups()
+        tokens.append(field if field is not None else int(index))
+        position = match.end()
+    return tokens
+
+
+def get_path(data: Any, path: str) -> Any:
+    """Resolve ``path`` against ``data``; raises :class:`PathError` if absent."""
+    current = data
+    for token in parse_path(path):
+        if isinstance(token, int):
+            if not isinstance(current, list) or token >= len(current):
+                raise PathError(f"index {token} not found resolving {path!r}")
+            current = current[token]
+        else:
+            if not isinstance(current, dict) or token not in current:
+                raise PathError(f"field {token!r} not found resolving {path!r}")
+            current = current[token]
+    return current
+
+
+def set_path(data: Any, path: str, value: Any) -> Any:
+    """Return ``data`` with ``value`` placed at ``path``.
+
+    Follows ASL ``ResultPath`` semantics: ``$`` replaces the whole
+    document; intermediate objects are created as needed; the original
+    document is not mutated (containers along the path are copied).
+    """
+    tokens = parse_path(path)
+    if not tokens:
+        return value
+    if not isinstance(data, dict):
+        # ResultPath into a non-object input replaces it with an object.
+        root: Any = {}
+    else:
+        root = dict(data)
+    current = root
+    for position, token in enumerate(tokens[:-1]):
+        if not isinstance(token, str):
+            raise PathError(
+                f"ResultPath may not index into arrays: {path!r}")
+        child = current.get(token)
+        child = dict(child) if isinstance(child, dict) else {}
+        current[token] = child
+        current = child
+    last = tokens[-1]
+    if not isinstance(last, str):
+        raise PathError(f"ResultPath may not index into arrays: {path!r}")
+    current[last] = value
+    return root
+
+
+def apply_parameters(template: Any, data: Any) -> Any:
+    """Instantiate an ASL ``Parameters`` template against ``data``.
+
+    Keys ending in ``.$`` take their value from the reference path given;
+    everything else is passed through literally (recursively).
+    """
+    if isinstance(template, dict):
+        result = {}
+        for key, value in template.items():
+            if key.endswith(".$"):
+                if not isinstance(value, str):
+                    raise PathError(
+                        f"parameter {key!r} must map to a path string")
+                result[key[:-2]] = get_path(data, value)
+            else:
+                result[key] = apply_parameters(value, data)
+        return result
+    if isinstance(template, list):
+        return [apply_parameters(item, data) for item in template]
+    return template

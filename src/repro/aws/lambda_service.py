@@ -1,0 +1,236 @@
+"""AWS Lambda runtime simulation.
+
+Lambda provisions execution environments *per concurrent request*: if no
+warm container is idle, a new one is started for this request alone —
+there is no shared dispatch queue.  That is why AWS fan-outs in the paper
+scale almost linearly (Fig 12) while Azure's shared-pool model does not.
+
+Billing follows the paper's description (§IV-A): the *configured* memory
+times the execution duration rounded up to 100 ms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.platforms.base import (
+    FunctionContext,
+    FunctionSpec,
+    FunctionTimeout,
+    InvocationResult,
+    round_up,
+)
+from repro.platforms.billing import BillingMeter
+from repro.platforms.calibration import AWSCalibration
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+from repro.telemetry import SpanKind, Telemetry
+
+
+@dataclass
+class LambdaContainer:
+    """One warm execution environment for a specific function."""
+
+    container_id: int
+    function_name: str
+    created_at: float
+    expires_at: float
+    busy: bool = False
+    invocations: int = 0
+
+
+class LambdaService:
+    """The Lambda control plane: function registry plus container pools."""
+
+    _container_ids = itertools.count(1)
+
+    def __init__(self, env: Environment, telemetry: Telemetry,
+                 billing: BillingMeter, streams: RandomStreams,
+                 calibration: Optional[AWSCalibration] = None,
+                 services: Optional[Dict[str, Any]] = None):
+        self.env = env
+        self.telemetry = telemetry
+        self.billing = billing
+        self.streams = streams
+        self.calibration = calibration or AWSCalibration()
+        self.services = dict(services or {})
+        self._functions: Dict[str, FunctionSpec] = {}
+        self._warm: Dict[str, List[LambdaContainer]] = {}
+        self._provisioned: Dict[str, int] = {}
+        self._in_flight = 0
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, spec: FunctionSpec) -> FunctionSpec:
+        """Deploy a function; its name becomes invokable."""
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name!r} already registered")
+        if spec.memory_mb % 128 != 0:
+            raise ValueError(
+                f"Lambda memory must be a multiple of 128 MB, "
+                f"got {spec.memory_mb}")
+        if spec.timeout_s > self.calibration.time_limit_s:
+            raise ValueError(
+                f"timeout {spec.timeout_s}s exceeds the Lambda limit of "
+                f"{self.calibration.time_limit_s}s")
+        self._functions[spec.name] = spec
+        self._warm.setdefault(spec.name, [])
+        return spec
+
+    def get_function(self, name: str) -> FunctionSpec:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"no such Lambda function: {name!r}") from None
+
+    def set_provisioned_concurrency(self, name: str, count: int) -> None:
+        """Keep ``count`` execution environments permanently warm.
+
+        The AWS answer to cold starts (and the symmetric of Azure's
+        premium plan): provisioned environments never expire and never
+        pay the cold-start delay — instead the capacity is billed by the
+        hour whether or not it runs.
+        """
+        self.get_function(name)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._provisioned[name] = count
+        current = self._warm.setdefault(name, [])
+        warm = sum(1 for container in current if not container.busy)
+        for _ in range(max(0, count - warm)):
+            current.append(LambdaContainer(
+                container_id=next(self._container_ids),
+                function_name=name, created_at=self.env.now,
+                expires_at=float("inf")))
+
+    def provisioned_concurrency(self, name: str) -> int:
+        return self._provisioned.get(name, 0)
+
+    def provisioned_monthly_cost(self, hours: float = 730.0) -> float:
+        """Fixed monthly bill for all provisioned capacity."""
+        total = 0.0
+        for name, count in self._provisioned.items():
+            spec = self.get_function(name)
+            total += (count * spec.memory_gb
+                      * self.calibration.provisioned_gb_hour_price * hours)
+        return total
+
+    @property
+    def function_names(self) -> List[str]:
+        return sorted(self._functions)
+
+    def warm_container_count(self, name: str) -> int:
+        """Idle warm containers available for ``name`` right now."""
+        self._prune(name)
+        return sum(1 for container in self._warm.get(name, [])
+                   if not container.busy)
+
+    # -- invocation ---------------------------------------------------------------
+
+    def invoke(self, name: str, event: Any,
+               parent_span=None) -> Generator:
+        """Invoke a function; drive with ``yield from``.
+
+        Returns an :class:`InvocationResult`.  Raises whatever the handler
+        raises, or :class:`FunctionTimeout` past the configured limit.
+        """
+        spec = self.get_function(name)
+        rng = self.streams.get(f"aws.lambda.{name}")
+        calibration = self.calibration
+        self.billing.charge_request(name)
+
+        if self._in_flight >= calibration.concurrency_limit:
+            raise RuntimeError(
+                f"concurrent execution limit "
+                f"({calibration.concurrency_limit}) exceeded")
+        self._in_flight += 1
+        try:
+            invoked_at = self.env.now
+            container, cold = self._claim_container(name)
+            cold_duration = 0.0
+            if cold:
+                cold_duration = calibration.cold_start.sample(rng)
+                span = self.telemetry.start_span(
+                    name, SpanKind.COLD_START, parent=parent_span,
+                    platform="aws")
+                yield self.env.timeout(cold_duration)
+                self.telemetry.end_span(span)
+            else:
+                yield self.env.timeout(calibration.warm_start.sample(rng))
+
+            started_at = self.env.now
+            span = self.telemetry.start_span(
+                name, SpanKind.EXECUTION, parent=parent_span,
+                platform="aws", cold=cold, memory_mb=spec.memory_mb)
+            ctx = FunctionContext(
+                self.env, spec, rng, services=self.services,
+                telemetry=self.telemetry, span=span,
+                jitter=calibration.execution_jitter,
+                cpu_factor=calibration.cpu_factor(spec.memory_mb))
+            try:
+                value = yield from self._run_with_timeout(ctx, spec, event)
+            finally:
+                finished_at = self.env.now
+                self.telemetry.end_span(span, duration=finished_at - started_at)
+                self._release_container(container)
+                raw = finished_at - started_at
+                billed = round_up(max(raw, 1e-9),
+                                  calibration.billing_granularity_s)
+                self.billing.charge_compute(
+                    name, raw_duration=raw, billed_duration=billed,
+                    memory_mb=spec.memory_mb)
+
+            return InvocationResult(
+                value=value, started_at=started_at, finished_at=finished_at,
+                cold_start=cold, cold_start_duration=cold_duration,
+                queue_wait=started_at - invoked_at - cold_duration,
+                billed_gb_s=billed * spec.memory_gb, function_name=name)
+        finally:
+            self._in_flight -= 1
+
+    # -- internals -----------------------------------------------------------------
+
+    def _run_with_timeout(self, ctx: FunctionContext, spec: FunctionSpec,
+                          event: Any) -> Generator:
+        handler_process = self.env.process(spec.handler(ctx, event))
+        deadline = self.env.timeout(spec.timeout_s)
+        result = yield handler_process | deadline
+        if handler_process in result:
+            return handler_process.value
+        handler_process.interrupt(cause="timeout")
+        # The interrupt will surface as the process's failure value; mark
+        # it handled so the unwound process cannot crash the simulation.
+        handler_process.defuse()
+        yield self.env.timeout(0)
+        raise FunctionTimeout(
+            f"function {spec.name!r} exceeded its {spec.timeout_s}s limit")
+
+    def _claim_container(self, name: str) -> tuple:
+        """Return ``(container, cold)`` — reuse warm or provision new."""
+        self._prune(name)
+        for container in self._warm[name]:
+            if not container.busy:
+                container.busy = True
+                container.invocations += 1
+                return container, False
+        container = LambdaContainer(
+            container_id=next(self._container_ids), function_name=name,
+            created_at=self.env.now,
+            expires_at=self.env.now + self.calibration.keep_alive_s,
+            busy=True, invocations=1)
+        self._warm[name].append(container)
+        return container, True
+
+    def _release_container(self, container: LambdaContainer) -> None:
+        container.busy = False
+        if container.expires_at != float("inf"):
+            container.expires_at = (self.env.now
+                                    + self.calibration.keep_alive_s)
+
+    def _prune(self, name: str) -> None:
+        now = self.env.now
+        self._warm[name] = [
+            container for container in self._warm.get(name, [])
+            if container.busy or container.expires_at > now]

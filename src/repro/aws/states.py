@@ -1,0 +1,149 @@
+"""Typed state classes for the ASL subset.
+
+These are pure data holders; execution lives in
+:mod:`repro.aws.stepfunctions`.  Each class knows its possible transition
+targets so the validator can check the graph statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class State:
+    """Fields shared by all ASL states."""
+
+    name: str
+    next_state: Optional[str] = None
+    end: bool = False
+    input_path: str = "$"
+    output_path: str = "$"
+    comment: str = ""
+
+    def transition_targets(self) -> List[str]:
+        """Names of states this state can transition to."""
+        return [self.next_state] if self.next_state else []
+
+    @property
+    def state_type(self) -> str:
+        return type(self).__name__.replace("State", "")
+
+
+@dataclass
+class TaskState(State):
+    """Invokes a Lambda function (``Resource`` is the function name)."""
+
+    resource: str = ""
+    parameters: Optional[Dict[str, Any]] = None
+    result_selector: Optional[Dict[str, Any]] = None
+    result_path: str = "$"
+    timeout_seconds: Optional[float] = None
+    retry: List[dict] = field(default_factory=list)
+    catch: List[dict] = field(default_factory=list)
+
+    def transition_targets(self) -> List[str]:
+        targets = super().transition_targets()
+        targets.extend(catcher["next"] for catcher in self.catch)
+        return targets
+
+
+@dataclass
+class ParallelState(State):
+    """Runs fixed branches concurrently; result is the list of outputs."""
+
+    branches: List[Any] = field(default_factory=list)  # StateMachineDefinition
+    result_path: str = "$"
+    retry: List[dict] = field(default_factory=list)
+    catch: List[dict] = field(default_factory=list)
+
+    def transition_targets(self) -> List[str]:
+        targets = super().transition_targets()
+        targets.extend(catcher["next"] for catcher in self.catch)
+        return targets
+
+
+@dataclass
+class MapState(State):
+    """Dynamic fan-out: runs the iterator once per item of ``ItemsPath``.
+
+    ``max_concurrency`` of 0 means unlimited — the configuration the
+    paper's video workflow uses for its worker army (Fig 5).
+    """
+
+    iterator: Any = None  # StateMachineDefinition
+    items_path: str = "$"
+    max_concurrency: int = 0
+    parameters: Optional[Dict[str, Any]] = None
+    result_path: str = "$"
+    retry: List[dict] = field(default_factory=list)
+    catch: List[dict] = field(default_factory=list)
+
+    def transition_targets(self) -> List[str]:
+        targets = super().transition_targets()
+        targets.extend(catcher["next"] for catcher in self.catch)
+        return targets
+
+
+@dataclass
+class ChoiceRule:
+    """One comparison within a Choice state."""
+
+    variable: str
+    comparator: str
+    expected: Any
+    next_state: str
+    test: Callable[[Any, Any], bool] = field(repr=False, default=None)
+
+    def matches(self, data: Any) -> bool:
+        from repro.aws.jsonpath import PathError, get_path
+        try:
+            actual = get_path(data, self.variable)
+        except PathError:
+            return False
+        return bool(self.test(actual, self.expected))
+
+
+@dataclass
+class ChoiceState(State):
+    """Branches on the first matching rule, else ``Default``."""
+
+    choices: List[ChoiceRule] = field(default_factory=list)
+    default: Optional[str] = None
+
+    def transition_targets(self) -> List[str]:
+        targets = [rule.next_state for rule in self.choices]
+        if self.default:
+            targets.append(self.default)
+        return targets
+
+
+@dataclass
+class PassState(State):
+    """Passes input to output, optionally injecting ``Result``."""
+
+    result: Any = None
+    parameters: Optional[Dict[str, Any]] = None
+    result_path: str = "$"
+
+
+@dataclass
+class WaitState(State):
+    """Delays for a fixed or data-driven number of seconds."""
+
+    seconds: Optional[float] = None
+    seconds_path: Optional[str] = None
+
+
+@dataclass
+class SucceedState(State):
+    """Terminal success."""
+
+
+@dataclass
+class FailState(State):
+    """Terminal failure with an error name and cause."""
+
+    error: str = "States.Failed"
+    cause: str = ""

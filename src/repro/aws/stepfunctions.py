@@ -1,0 +1,518 @@
+"""AWS Step Functions execution engine.
+
+Executes validated :class:`~repro.aws.asl.StateMachineDefinition` objects
+against the simulated :class:`~repro.aws.lambda_service.LambdaService`.
+
+Behavioural notes (all from the paper):
+
+* Every state entry is a billable *state transition* (§II-C price model);
+  transitions are metered into the shared :class:`TransactionMeter` under
+  ``service='stepfunctions'`` so the cost layer sees AWS's stateful cost
+  component exactly where Azure's queue/table transactions appear.
+* Data crossing any state boundary is checked against the 256 KB payload
+  limit (§IV-A, Table I).
+* The client scheduler adds a small per-transition dispatch latency —
+  tight and predictable, giving the near-vertical CDF of Fig 7.
+* After an idle period the first dispatch pays an extra cold overhead;
+  combined with the Lambda cold start this yields the 3-5 s AWS-Step cold
+  start of Fig 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.aws.asl import StateMachineDefinition, parse_state_machine
+from repro.aws.jsonpath import apply_parameters, get_path, set_path
+from repro.aws.lambda_service import LambdaService
+from repro.aws.states import (
+    ChoiceState,
+    FailState,
+    MapState,
+    ParallelState,
+    PassState,
+    State,
+    SucceedState,
+    TaskState,
+    WaitState,
+)
+from repro.platforms.base import FunctionTimeout, enforce_payload_limit
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+from repro.storage.meter import TransactionMeter
+from repro.telemetry import SpanKind, Telemetry
+
+STATES_ALL = "States.ALL"
+STATES_TASK_FAILED = "States.TaskFailed"
+STATES_TIMEOUT = "States.Timeout"
+STATES_DATA_LIMIT = "States.DataLimitExceeded"
+
+
+class StatesDataLimitExceeded(ValueError):
+    """A state's input or output exceeded the 256 KB payload limit."""
+
+
+class ExecutionFailed(RuntimeError):
+    """The execution reached a Fail state or an unhandled error."""
+
+    def __init__(self, error: str, cause: str = ""):
+        super().__init__(f"{error}: {cause}" if cause else error)
+        self.error = error
+        self.cause = cause
+
+
+class _StateError(Exception):
+    """Internal: an error name + cause travelling through Retry/Catch."""
+
+    def __init__(self, error: str, cause: str = ""):
+        super().__init__(error)
+        self.error = error
+        self.cause = cause
+
+    def matches(self, names: List[str]) -> bool:
+        return STATES_ALL in names or self.error in names
+
+
+#: Workflow types: Standard bills per state transition; Express bills per
+#: request plus duration (GB-s at a 64 MB floor) and caps executions at
+#: five minutes.
+STANDARD = "standard"
+EXPRESS = "express"
+
+#: Express workflow execution-duration limit (seconds).
+EXPRESS_DURATION_LIMIT_S = 300.0
+#: Memory floor Express duration billing is metered against.
+EXPRESS_BILLING_MEMORY_MB = 64
+
+
+@dataclass
+class ExecutionRecord:
+    """Everything observable about one state-machine execution."""
+
+    execution_id: int
+    machine_name: str
+    started_at: float
+    finished_at: Optional[float] = None
+    status: str = "RUNNING"       # RUNNING / SUCCEEDED / FAILED
+    output: Any = None
+    error: Optional[str] = None
+    transitions: int = 0
+    states_entered: List[str] = field(default_factory=list)
+    workflow_type: str = STANDARD
+
+    @property
+    def duration(self) -> float:
+        if self.finished_at is None:
+            raise ValueError("execution still running")
+        return self.finished_at - self.started_at
+
+
+class StepFunctionsService:
+    """Registry and executor for state machines."""
+
+    _execution_ids = itertools.count(1)
+
+    def __init__(self, env: Environment, lambdas: LambdaService,
+                 telemetry: Telemetry, meter: TransactionMeter):
+        self.env = env
+        self.lambdas = lambdas
+        self.telemetry = telemetry
+        self.meter = meter
+        self.calibration = lambdas.calibration
+        self._machines: Dict[str, StateMachineDefinition] = {}
+        self._machine_types: Dict[str, str] = {}
+        self._last_dispatch: Dict[str, float] = {}
+        self.executions: List[ExecutionRecord] = []
+
+    # -- registry -----------------------------------------------------------------
+
+    def create_state_machine(self, name: str, definition: Dict[str, Any],
+                             workflow_type: str = STANDARD
+                             ) -> StateMachineDefinition:
+        """Validate and register an ASL definition under ``name``.
+
+        ``workflow_type`` selects Standard (per-transition pricing, long
+        executions) or Express (per-request + duration pricing, 5-minute
+        cap) semantics.
+        """
+        if name in self._machines:
+            raise ValueError(f"state machine {name!r} already exists")
+        if workflow_type not in (STANDARD, EXPRESS):
+            raise ValueError(
+                f"workflow_type must be {STANDARD!r} or {EXPRESS!r}, "
+                f"got {workflow_type!r}")
+        machine = parse_state_machine(definition)
+        for state in _walk_states(machine):
+            if isinstance(state, TaskState):
+                # Fail at creation time if a Task resource is undeployed.
+                self.lambdas.get_function(state.resource)
+        self._machines[name] = machine
+        self._machine_types[name] = workflow_type
+        return machine
+
+    def workflow_type_of(self, name: str) -> str:
+        self.get_state_machine(name)
+        return self._machine_types[name]
+
+    def get_state_machine(self, name: str) -> StateMachineDefinition:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise KeyError(f"no such state machine: {name!r}") from None
+
+    def list_executions(self, name: Optional[str] = None,
+                        status: Optional[str] = None
+                        ) -> List[ExecutionRecord]:
+        """Executions, newest first, optionally filtered (the console view)."""
+        records = [record for record in self.executions
+                   if (name is None or record.machine_name == name)
+                   and (status is None or record.status == status)]
+        return sorted(records, key=lambda record: -record.execution_id)
+
+    def describe_execution(self, execution_id: int) -> ExecutionRecord:
+        """One execution by id."""
+        for record in self.executions:
+            if record.execution_id == execution_id:
+                return record
+        raise KeyError(f"no such execution: {execution_id}")
+
+    # -- execution -----------------------------------------------------------------
+
+    def start_execution(self, name: str, input_data: Any) -> Generator:
+        """Run one execution to completion; drive with ``yield from``.
+
+        Returns the :class:`ExecutionRecord`.  A failed execution returns
+        a record with ``status='FAILED'`` rather than raising, matching
+        the service API.
+        """
+        machine = self.get_state_machine(name)
+        workflow_type = self._machine_types[name]
+        record = ExecutionRecord(
+            execution_id=next(self._execution_ids), machine_name=name,
+            started_at=self.env.now, workflow_type=workflow_type)
+        self.executions.append(record)
+        span = self.telemetry.start_span(
+            name, SpanKind.WORKFLOW, platform="aws",
+            execution_id=record.execution_id)
+
+        # Cold overhead for the first dispatch after an idle period.
+        idle_since = self._last_dispatch.get(name)
+        rng = self.lambdas.streams.get(f"aws.step.{name}")
+        keep_alive = self.calibration.keep_alive_s
+        if idle_since is None or self.env.now - idle_since > keep_alive:
+            overhead = self.calibration.step_cold_overhead.sample(rng)
+            cold_span = self.telemetry.start_span(
+                name, SpanKind.COLD_START, parent=span, platform="aws",
+                component="stepfunctions")
+            yield self.env.timeout(overhead)
+            self.telemetry.end_span(cold_span)
+        self._last_dispatch[name] = self.env.now
+
+        try:
+            output = yield from self._run_machine(
+                machine, input_data, record, span, machine_name=name)
+        except _StateError as error:
+            record.status = "FAILED"
+            record.error = error.error
+            record.finished_at = self.env.now
+            self._charge_express(record)
+            self.telemetry.end_span(span, status="FAILED", error=error.error)
+            return record
+
+        record.status = "SUCCEEDED"
+        record.output = output
+        record.finished_at = self.env.now
+        if (workflow_type == EXPRESS
+                and record.duration > EXPRESS_DURATION_LIMIT_S):
+            record.status = "FAILED"
+            record.error = "States.Timeout"
+            record.output = None
+            self._charge_express(record)
+            self.telemetry.end_span(span, status="FAILED",
+                                    error="States.Timeout")
+            return record
+        self._last_dispatch[name] = self.env.now
+        self._charge_express(record)
+        self.telemetry.end_span(span, status="SUCCEEDED")
+        return record
+
+    def _charge_express(self, record: ExecutionRecord) -> None:
+        """Meter an Express execution: one request + duration GB-s."""
+        if record.workflow_type != EXPRESS:
+            return
+        self.meter.record("stepfunctions-express", record.machine_name,
+                          "request")
+        duration = record.finished_at - record.started_at
+        gb_s = duration * EXPRESS_BILLING_MEMORY_MB / 1024.0
+        # Duration cost is metered in micro-GB-s so the integer size
+        # field keeps enough resolution for pricing.
+        self.meter.record("stepfunctions-express", record.machine_name,
+                          "duration", size=int(gb_s * 1e6))
+
+    # -- machine interpreter ----------------------------------------------------------
+
+    def _run_machine(self, machine: StateMachineDefinition, input_data: Any,
+                     record: ExecutionRecord, parent_span,
+                     machine_name: str) -> Generator:
+        data = input_data
+        current: Optional[str] = machine.start_at
+        while current is not None:
+            state = machine.state(current)
+            data, current = yield from self._run_state(
+                state, data, record, parent_span, machine_name)
+        return data
+
+    def _transition(self, record: ExecutionRecord, state: State,
+                    machine_name: str) -> Generator:
+        record.transitions += 1
+        record.states_entered.append(state.name)
+        if record.workflow_type == STANDARD:
+            # Express workflows do not bill (or durably record) per-state
+            # transitions — that is their pricing model's whole point.
+            self.meter.record("stepfunctions", machine_name, "transition")
+        rng = self.lambdas.streams.get(f"aws.step.{machine_name}")
+        latency = self.calibration.transition_latency.sample(rng)
+        span = self.telemetry.start_span(
+            state.name, SpanKind.TRANSITION, platform="aws",
+            state_type=state.state_type)
+        yield self.env.timeout(latency)
+        self.telemetry.end_span(span)
+        return None
+
+    def _check_payload(self, value: Any, where: str) -> None:
+        limit = self.calibration.payload_limit_bytes
+        try:
+            enforce_payload_limit(value, limit, where)
+        except Exception as error:
+            raise _StateError(STATES_DATA_LIMIT, str(error)) from error
+
+    def _run_state(self, state: State, data: Any, record: ExecutionRecord,
+                   parent_span, machine_name: str) -> Generator:
+        """Execute one state; returns ``(output_data, next_state_name)``."""
+        yield from self._transition(record, state, machine_name)
+        self._check_payload(data, f"input of state {state.name!r}")
+        effective = get_path(data, state.input_path)
+
+        if isinstance(state, SucceedState):
+            return get_path(effective, state.output_path), None
+        if isinstance(state, FailState):
+            raise _StateError(state.error, state.cause)
+        if isinstance(state, PassState):
+            result = effective
+            if state.parameters is not None:
+                result = apply_parameters(state.parameters, effective)
+            if state.result is not None:
+                result = state.result
+            data = set_path(data, state.result_path, result)
+            output = get_path(data, state.output_path)
+            return output, self._next(state)
+        if isinstance(state, WaitState):
+            seconds = state.seconds
+            if state.seconds_path is not None:
+                seconds = float(get_path(effective, state.seconds_path))
+            yield self.env.timeout(max(0.0, float(seconds)))
+            return get_path(data, state.output_path), self._next(state)
+        if isinstance(state, ChoiceState):
+            for rule in state.choices:
+                if rule.matches(effective):
+                    return get_path(data, state.output_path), rule.next_state
+            if state.default is None:
+                raise _StateError(
+                    "States.NoChoiceMatched",
+                    f"no rule matched in state {state.name!r}")
+            return get_path(data, state.output_path), state.default
+        if isinstance(state, TaskState):
+            result = yield from self._with_retry_catch(
+                state, effective, record, parent_span, machine_name,
+                lambda payload: self._invoke_task(state, payload, parent_span))
+            if isinstance(result, _CaughtError):
+                return result.data, result.next_state
+            data = set_path(data, state.result_path, result)
+            output = get_path(data, state.output_path)
+            self._check_payload(output, f"output of state {state.name!r}")
+            return output, self._next(state)
+        if isinstance(state, ParallelState):
+            result = yield from self._with_retry_catch(
+                state, effective, record, parent_span, machine_name,
+                lambda payload: self._run_branches(
+                    state, payload, record, parent_span, machine_name))
+            if isinstance(result, _CaughtError):
+                return result.data, result.next_state
+            data = set_path(data, state.result_path, result)
+            output = get_path(data, state.output_path)
+            self._check_payload(output, f"output of state {state.name!r}")
+            return output, self._next(state)
+        if isinstance(state, MapState):
+            result = yield from self._with_retry_catch(
+                state, effective, record, parent_span, machine_name,
+                lambda payload: self._run_map(
+                    state, payload, record, parent_span, machine_name))
+            if isinstance(result, _CaughtError):
+                return result.data, result.next_state
+            data = set_path(data, state.result_path, result)
+            output = get_path(data, state.output_path)
+            self._check_payload(output, f"output of state {state.name!r}")
+            return output, self._next(state)
+        raise _StateError("States.Runtime",
+                          f"unhandled state type {type(state).__name__}")
+
+    @staticmethod
+    def _next(state: State) -> Optional[str]:
+        return None if state.end else state.next_state
+
+    # -- task / parallel / map bodies -----------------------------------------------
+
+    def _invoke_task(self, state: TaskState, payload: Any,
+                     parent_span) -> Generator:
+        if state.parameters is not None:
+            payload = apply_parameters(state.parameters, payload)
+        self._check_payload(payload, f"Task input of {state.name!r}")
+        try:
+            if state.timeout_seconds is not None:
+                # The state-level timeout races the invocation (it can be
+                # tighter than the Lambda's own configured limit).
+                invoke = self.env.process(self._invoke_process(
+                    state.resource, payload, parent_span))
+                deadline = self.env.timeout(state.timeout_seconds)
+                raced = yield invoke | deadline
+                if invoke not in raced:
+                    invoke.defuse()
+                    raise _StateError(
+                        STATES_TIMEOUT,
+                        f"state {state.name!r} exceeded its "
+                        f"TimeoutSeconds of {state.timeout_seconds}")
+                result = invoke.value
+            else:
+                result = yield from self.lambdas.invoke(
+                    state.resource, payload, parent_span=parent_span)
+        except FunctionTimeout as error:
+            raise _StateError(STATES_TIMEOUT, str(error)) from error
+        except _StateError:
+            raise
+        except Exception as error:
+            raise _StateError(STATES_TASK_FAILED, str(error)) from error
+        value = result.value
+        if state.result_selector is not None:
+            value = apply_parameters(state.result_selector, value)
+        return value
+
+    def _invoke_process(self, resource: str, payload: Any,
+                        parent_span) -> Generator:
+        result = yield from self.lambdas.invoke(
+            resource, payload, parent_span=parent_span)
+        return result
+
+    def _run_branches(self, state: ParallelState, payload: Any,
+                      record: ExecutionRecord, parent_span,
+                      machine_name: str) -> Generator:
+        processes = [
+            self.env.process(self._branch_runner(
+                branch, payload, record, parent_span, machine_name))
+            for branch in state.branches]
+        yield self.env.all_of(processes)
+        return [process.value for process in processes]
+
+    def _branch_runner(self, branch: StateMachineDefinition, payload: Any,
+                       record: ExecutionRecord, parent_span,
+                       machine_name: str) -> Generator:
+        result = yield from self._run_machine(
+            branch, payload, record, parent_span, machine_name)
+        return result
+
+    def _run_map(self, state: MapState, payload: Any,
+                 record: ExecutionRecord, parent_span,
+                 machine_name: str) -> Generator:
+        items = get_path(payload, state.items_path)
+        if not isinstance(items, list):
+            raise _StateError(
+                "States.Runtime",
+                f"ItemsPath of {state.name!r} did not resolve to a list")
+        gate = None
+        if state.max_concurrency > 0:
+            gate = Resource(self.env, capacity=state.max_concurrency)
+        processes = []
+        for item in items:
+            item_input = item
+            if state.parameters is not None:
+                item_input = apply_parameters(state.parameters, item)
+            processes.append(self.env.process(self._map_iteration(
+                state, item_input, gate, record, parent_span, machine_name)))
+        yield self.env.all_of(processes)
+        return [process.value for process in processes]
+
+    def _map_iteration(self, state: MapState, item: Any, gate,
+                       record: ExecutionRecord, parent_span,
+                       machine_name: str) -> Generator:
+        if gate is None:
+            result = yield from self._run_machine(
+                state.iterator, item, record, parent_span, machine_name)
+            return result
+        with gate.request() as slot:
+            yield slot
+            result = yield from self._run_machine(
+                state.iterator, item, record, parent_span, machine_name)
+            return result
+
+    # -- retry / catch -----------------------------------------------------------------
+
+    def _with_retry_catch(self, state, payload: Any, record: ExecutionRecord,
+                          parent_span, machine_name: str,
+                          body) -> Generator:
+        retriers = getattr(state, "retry", [])
+        catchers = getattr(state, "catch", [])
+        attempts: Dict[int, int] = {}
+        while True:
+            try:
+                result = yield from body(payload)
+                return result
+            except _StateError as error:
+                retrier_index = _find_retrier(retriers, error)
+                if retrier_index is not None:
+                    retrier = retriers[retrier_index]
+                    used = attempts.get(retrier_index, 0)
+                    if used < retrier["max_attempts"]:
+                        attempts[retrier_index] = used + 1
+                        delay = (retrier["interval"]
+                                 * retrier["backoff"] ** used)
+                        # A retry re-enters the state: another transition.
+                        yield self.env.timeout(delay)
+                        yield from self._transition(
+                            record, state, machine_name)
+                        continue
+                for catcher in catchers:
+                    if error.matches(catcher["errors"]):
+                        error_info = {"Error": error.error,
+                                      "Cause": error.cause}
+                        data = set_path(
+                            payload, catcher["result_path"], error_info)
+                        return _CaughtError(data=data,
+                                            next_state=catcher["next"])
+                raise
+
+
+@dataclass
+class _CaughtError:
+    """Internal marker: a Catch clause redirected the flow."""
+
+    data: Any
+    next_state: str
+
+
+def _find_retrier(retriers: List[dict], error: _StateError) -> Optional[int]:
+    for index, retrier in enumerate(retriers):
+        if error.matches(retrier["errors"]):
+            return index
+    return None
+
+
+def _walk_states(machine: StateMachineDefinition):
+    """Yield every state in a machine, recursing into branches/iterators."""
+    for state in machine.states.values():
+        yield state
+        if isinstance(state, ParallelState):
+            for branch in state.branches:
+                yield from _walk_states(branch)
+        elif isinstance(state, MapState):
+            yield from _walk_states(state.iterator)

@@ -1,0 +1,48 @@
+"""Azure platform simulation: Functions (Consumption plan) + Durable extension.
+
+The model captures the mechanisms the paper attributes Azure behaviour to:
+
+* a **scale controller** that grows a shared instance pool gradually, so
+  large fan-outs queue behind instance births (Fig 12, Fig 14, Table III),
+* **event-sourced orchestrators** that are replayed against a history
+  table on every resume, inflating GB-s (Fig 11a: Az-Dorch +44 %,
+  Az-Dent +88 %) and history-table transactions,
+* **durable entities** whose operations are serialized and bracketed by
+  state reads/writes, making them slower than the same logic in a
+  stateless activity (§V-A key takeaway),
+* **constant queue polling** billed to the tenant even while idle
+  (Fig 15: +70 % transaction cost for Az-Dorch),
+* fixed 1.5 GB memory billed on *measured* consumption (§IV-A),
+* the 64 KB durable payload limit (Table I).
+"""
+
+from repro.azure.app import AppInstance, FunctionAppService, ScaleController
+from repro.azure.durable import (
+    DurableClient,
+    RetryOptions,
+    DurableFunctionsRuntime,
+    EntityId,
+    EntitySpec,
+    OrchestrationContext,
+    OrchestrationStatus,
+    OrchestratorSpec,
+)
+from repro.azure.queues import QueueChain
+from repro.azure.pricing import AzureCostBreakdown, AzurePriceModel
+
+__all__ = [
+    "AppInstance",
+    "AzureCostBreakdown",
+    "AzurePriceModel",
+    "DurableClient",
+    "DurableFunctionsRuntime",
+    "EntityId",
+    "EntitySpec",
+    "FunctionAppService",
+    "OrchestrationContext",
+    "OrchestrationStatus",
+    "OrchestratorSpec",
+    "QueueChain",
+    "RetryOptions",
+    "ScaleController",
+]

@@ -1,0 +1,376 @@
+"""Azure Functions consumption-plan runtime: instances + scale controller.
+
+Unlike Lambda's per-request environments, an Azure function app runs on a
+*shared pool of instances* grown and shrunk by a scale controller.  Work
+that arrives when all instance slots are busy waits in a dispatch queue;
+new instances are added a few at a time on a periodic evaluation cycle
+and take seconds to provision.  This is the mechanism behind the paper's
+central Azure finding: fan-outs do not speed up past a modest width
+(Fig 12), and at 50 000 workers half the fleet waits ~40 s to be scheduled
+while the slowest 5 % wait minutes (Fig 14).
+
+When the app is scaled to zero, the first piece of work provisions an
+instance on demand with a *trigger-specific* cold-start distribution —
+durable dispatch wakes in under ~2 s, queue-trigger chains take 10-20 s
+(Fig 10) — while subsequent scale-out uses the controller's slower
+provisioning path (Fig 13's ~10 s orchestrator starts under load).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.platforms.base import (
+    FunctionContext,
+    FunctionSpec,
+    FunctionTimeout,
+    InvocationResult,
+    round_up,
+)
+from repro.platforms.billing import BillingMeter
+from repro.platforms.calibration import AzureCalibration
+from repro.sim.distributions import Distribution
+from repro.sim.kernel import Environment, Event
+from repro.sim.rng import RandomStreams
+from repro.telemetry import SpanKind, Telemetry
+
+#: Trigger kinds, each with its own scaled-to-zero cold-start behaviour.
+TRIGGER_HTTP = "http"
+TRIGGER_QUEUE = "queue"
+TRIGGER_DURABLE = "durable"
+
+
+@dataclass
+class AppInstance:
+    """One VM-like worker hosting function executions."""
+
+    instance_id: int
+    started_at: float
+    capacity: int
+    in_use: int = 0
+    last_active: float = 0.0
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.in_use
+
+
+@dataclass
+class _WorkItem:
+    """A queued execution waiting for an instance slot."""
+
+    spec: FunctionSpec
+    submitted_at: float
+    granted: Event = None
+    instance: Optional[AppInstance] = None
+
+
+class FunctionAppService:
+    """One function app: registry, instance pool, dispatch queue."""
+
+    _instance_ids = itertools.count(1)
+
+    #: hosting plans
+    CONSUMPTION = "consumption"
+    PREMIUM = "premium"
+
+    def __init__(self, env: Environment, telemetry: Telemetry,
+                 billing: BillingMeter, streams: RandomStreams,
+                 calibration: Optional[AzureCalibration] = None,
+                 services: Optional[Dict[str, Any]] = None,
+                 app_name: str = "app", plan: str = CONSUMPTION):
+        if plan not in (self.CONSUMPTION, self.PREMIUM):
+            raise ValueError(f"unknown hosting plan: {plan!r}")
+        self.env = env
+        self.telemetry = telemetry
+        self.billing = billing
+        self.streams = streams
+        self.calibration = calibration or AzureCalibration()
+        self.services = dict(services or {})
+        self.app_name = app_name
+        self.plan = plan
+        self._functions: Dict[str, FunctionSpec] = {}
+        self.instances: List[AppInstance] = []
+        self._provisioning = 0
+        self._pending: List[_WorkItem] = []
+        self.controller = ScaleController(self)
+        self._controller_started = False
+        if plan == self.PREMIUM:
+            # Pre-warmed always-ready instances: the premium plan's whole
+            # point is that cold starts disappear (billed hourly instead).
+            for _ in range(self.calibration.premium_min_instances):
+                self.instances.append(AppInstance(
+                    instance_id=next(self._instance_ids),
+                    started_at=self.env.now,
+                    capacity=self.calibration.instance_concurrency,
+                    last_active=self.env.now))
+
+    # -- registry -----------------------------------------------------------------
+
+    def register(self, spec: FunctionSpec) -> FunctionSpec:
+        """Deploy a function into this app."""
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name!r} already registered")
+        if spec.memory_mb > self.calibration.max_memory_mb:
+            raise ValueError(
+                f"consumption plan caps memory at "
+                f"{self.calibration.max_memory_mb} MB, got {spec.memory_mb}")
+        if spec.timeout_s > self.calibration.time_limit_s:
+            raise ValueError(
+                f"timeout {spec.timeout_s}s exceeds the plan limit of "
+                f"{self.calibration.time_limit_s}s")
+        self._functions[spec.name] = spec
+        return spec
+
+    def get_function(self, name: str) -> FunctionSpec:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"no such Azure function: {name!r}") from None
+
+    @property
+    def function_names(self) -> List[str]:
+        return sorted(self._functions)
+
+    # -- pool observability -----------------------------------------------------------
+
+    @property
+    def live_instance_count(self) -> int:
+        return len(self.instances)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def free_slot_count(self) -> int:
+        return sum(instance.free_slots for instance in self.instances)
+
+    # -- invocation ----------------------------------------------------------------------
+
+    def invoke(self, name: str, event: Any, trigger: str = TRIGGER_HTTP,
+               parent_span=None) -> Generator:
+        """Execute a function; drive with ``yield from``.
+
+        Queues for an instance slot, provisioning on demand when scaled to
+        zero.  Returns an :class:`InvocationResult`.
+        """
+        self._ensure_controller()
+        spec = self.get_function(name)
+        rng = self.streams.get(f"azure.fn.{name}")
+        calibration = self.calibration
+        self.billing.charge_request(name)
+        submitted_at = self.env.now
+
+        scheduling_span = self.telemetry.start_span(
+            name, SpanKind.SCHEDULING, parent=parent_span,
+            platform="azure", trigger=trigger)
+
+        demanded_cold = False
+        if (self.plan == self.CONSUMPTION
+                and self.free_slot_count == 0
+                and self.live_instance_count == 0
+                and self._provisioning == 0):
+            # Scaled to zero: wake one instance with the trigger's own
+            # cold-start profile.
+            demanded_cold = True
+            cold_model = self._cold_start_model(trigger)
+            self.start_provision(cold_model, rng)
+
+        item = _WorkItem(spec=spec, submitted_at=submitted_at,
+                         granted=self.env.event())
+        self._pending.append(item)
+        self._dispatch()
+        yield item.granted
+        instance = item.instance
+
+        # Warm dispatch hop (queue/poll latency inside the platform).
+        yield self.env.timeout(calibration.durable_dispatch.sample(rng))
+        queue_wait = self.env.now - submitted_at
+        self.telemetry.end_span(scheduling_span, cold=demanded_cold,
+                                queue_wait=queue_wait)
+
+        started_at = self.env.now
+        span = self.telemetry.start_span(
+            name, SpanKind.EXECUTION, parent=parent_span, platform="azure",
+            cold=demanded_cold, instance=instance.instance_id,
+            memory_mb=spec.billing_memory_mb)
+        ctx = FunctionContext(
+            self.env, spec, rng, services=self.services,
+            telemetry=self.telemetry, span=span,
+            jitter=calibration.execution_jitter,
+            cpu_factor=calibration.cpu_slowdown)
+        try:
+            value = yield from self._run_with_timeout(ctx, spec, event)
+        finally:
+            finished_at = self.env.now
+            self.telemetry.end_span(span, duration=finished_at - started_at)
+            self._release(instance)
+            raw = finished_at - started_at
+            billed = max(round_up(max(raw, 1e-9),
+                                  calibration.billing_granularity_s),
+                         calibration.min_billed_execution_s)
+            # Azure bills measured memory, rounded up to 128 MB.
+            measured = round_up(spec.billing_memory_mb, 128)
+            self.billing.charge_compute(
+                name, raw_duration=raw, billed_duration=billed,
+                memory_mb=int(measured))
+
+        return InvocationResult(
+            value=value, started_at=started_at, finished_at=finished_at,
+            cold_start=demanded_cold,
+            cold_start_duration=queue_wait if demanded_cold else 0.0,
+            queue_wait=queue_wait, billed_gb_s=billed * measured / 1024.0,
+            function_name=name)
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _cold_start_model(self, trigger: str) -> Distribution:
+        calibration = self.calibration
+        if trigger == TRIGGER_DURABLE:
+            return calibration.durable_cold_start
+        if trigger == TRIGGER_QUEUE:
+            return calibration.queue_trigger_cold_start
+        return calibration.http_cold_start
+
+    def _ensure_controller(self) -> None:
+        if not self._controller_started:
+            self._controller_started = True
+            self.env.process(self.controller.run())
+
+    def _run_with_timeout(self, ctx: FunctionContext, spec: FunctionSpec,
+                          event: Any) -> Generator:
+        handler_process = self.env.process(spec.handler(ctx, event))
+        deadline = self.env.timeout(spec.timeout_s)
+        result = yield handler_process | deadline
+        if handler_process in result:
+            return handler_process.value
+        handler_process.interrupt(cause="timeout")
+        # The interrupt will surface as the process's failure value; mark
+        # it handled so the unwound process cannot crash the simulation.
+        handler_process.defuse()
+        yield self.env.timeout(0)
+        raise FunctionTimeout(
+            f"function {spec.name!r} exceeded its {spec.timeout_s}s limit")
+
+    def _dispatch(self) -> None:
+        """Grant pending work to free slots, FIFO."""
+        while self._pending:
+            instance = self._find_free_instance()
+            if instance is None:
+                return
+            item = self._pending.pop(0)
+            instance.in_use += 1
+            instance.last_active = self.env.now
+            item.instance = instance
+            item.granted.succeed()
+
+    def _find_free_instance(self) -> Optional[AppInstance]:
+        best = None
+        for instance in self.instances:
+            if instance.free_slots > 0:
+                if best is None or instance.free_slots > best.free_slots:
+                    best = instance
+        return best
+
+    def _release(self, instance: AppInstance) -> None:
+        instance.in_use -= 1
+        instance.last_active = self.env.now
+        self._dispatch()
+
+    def start_provision(self, provision_time: Distribution, rng) -> None:
+        """Kick off provisioning of one instance (counted immediately).
+
+        The count must move synchronously: several arrivals in the same
+        instant must not each conclude the app is scaled to zero.
+        """
+        self._provisioning += 1
+        self.env.process(self._provision_instance(provision_time, rng))
+
+    def _provision_instance(self, provision_time: Distribution,
+                            rng) -> Generator:
+        """Instance birth: joins the pool after its provision delay."""
+        span = self.telemetry.start_span(
+            self.app_name, SpanKind.COLD_START, platform="azure",
+            component="instance")
+        try:
+            yield self.env.timeout(max(0.0, provision_time.sample(rng)))
+        finally:
+            self._provisioning -= 1
+            self.telemetry.end_span(span)
+        instance = AppInstance(
+            instance_id=next(self._instance_ids), started_at=self.env.now,
+            capacity=self.calibration.instance_concurrency,
+            last_active=self.env.now)
+        self.instances.append(instance)
+        self._dispatch()
+        return instance
+
+
+class ScaleController:
+    """Periodic evaluator that grows/shrinks the instance pool.
+
+    Every ``scale_interval_s`` it looks at queued work: if executions are
+    waiting, it starts ``instances_per_decision`` new instances (bounded
+    by ``max_instances``); if instances have been idle past the timeout,
+    it reclaims them.  The bounded birth rate is what starves large
+    fan-outs (Fig 12/14).
+    """
+
+    def __init__(self, app: FunctionAppService):
+        self.app = app
+        self.decisions = 0
+        self.scale_out_events = 0
+        self.stalls = 0
+        self._stalled_until = 0.0
+
+    def run(self) -> Generator:
+        """The controller loop; runs for the lifetime of the simulation."""
+        app = self.app
+        calibration = app.calibration
+        rng = app.streams.get("azure.scale_controller")
+        while True:
+            yield app.env.timeout(calibration.scale_interval_s)
+            self.decisions += 1
+            # Allocation throttling: occasionally scale-out stalls for a
+            # while, starving queued work (Fig 14's minutes-long tail).
+            if app.env.now < self._stalled_until:
+                self._reclaim_idle()
+                continue
+            if rng.random() < calibration.scale_stall_probability:
+                self.stalls += 1
+                self._stalled_until = (
+                    app.env.now
+                    + calibration.scale_stall_duration.sample(rng))
+                self._reclaim_idle()
+                continue
+            backlog = app.pending_count
+            capacity_incoming = (
+                self._provisioning_slots() + app.free_slot_count)
+            if backlog > capacity_incoming:
+                room = calibration.max_instances - (
+                    app.live_instance_count + app._provisioning)
+                births = min(calibration.instances_per_decision, max(0, room))
+                for _ in range(births):
+                    self.scale_out_events += 1
+                    app.start_provision(calibration.instance_provision, rng)
+            self._reclaim_idle()
+
+    def _provisioning_slots(self) -> int:
+        return self.app._provisioning * self.app.calibration.instance_concurrency
+
+    def _reclaim_idle(self) -> None:
+        app = self.app
+        now = app.env.now
+        timeout = app.calibration.instance_idle_timeout_s
+        keep = []
+        floor = (app.calibration.premium_min_instances
+                 if app.plan == app.PREMIUM else 0)
+        for instance in app.instances:
+            if (instance.in_use > 0
+                    or now - instance.last_active < timeout
+                    or len(keep) < floor):
+                keep.append(instance)
+        app.instances = keep

@@ -1,0 +1,47 @@
+"""Azure Durable Functions: orchestrators, entities, task hub.
+
+A faithful implementation of the Durable Task Framework's execution model
+(§II-B of the paper):
+
+* Orchestrator functions are deterministic generators.  Each time a
+  message arrives for an orchestration, the framework *replays* the
+  generator from the top against the instance's event history, feeding
+  completed results instantly and suspending ("unloading") at the first
+  unfinished task.  Replay consumes billable execution time.
+* Every scheduling decision and completion is persisted to a history
+  table; orchestrator/entity messages travel over storage queues; all of
+  it is metered as billable storage transactions — including the
+  constant queue polling that continues while the application is idle.
+* Durable entities are addressable, persistent, class-like state holders
+  whose operations are serialized per entity key.
+"""
+
+from repro.azure.durable.entities import EntityId, EntitySpec
+from repro.azure.durable.context import (
+    ActivityFailedError,
+    OrchestrationContext,
+    OrchestratorSpec,
+    RetryOptions,
+)
+from repro.azure.durable.taskhub import (
+    DurableClient,
+    DurableFunctionsRuntime,
+    OrchestrationFailedError,
+    OrchestrationInstance,
+    OrchestrationStatus,
+    TaskHub,
+)
+
+__all__ = [
+    "ActivityFailedError",
+    "DurableClient",
+    "DurableFunctionsRuntime",
+    "EntityId",
+    "EntitySpec",
+    "OrchestrationContext",
+    "OrchestrationFailedError",
+    "OrchestrationInstance",
+    "OrchestrationStatus",
+    "OrchestratorSpec",
+    "TaskHub",
+]

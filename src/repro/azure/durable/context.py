@@ -1,0 +1,366 @@
+"""The orchestration context and the replay resolution engine.
+
+``OrchestrationContext`` is the API surface orchestrator generators see —
+the simulation counterpart of ``DurableOrchestrationContext`` in the
+paper's Figure 4 (``call_activity``, ``call_entity``, ``task_all``...).
+
+It also implements the deterministic-replay bookkeeping: every task
+created gets a sequence number from a counter that advances identically
+on every replay (hence the determinism requirement on orchestrator code,
+§II-B), and resolution against the history decides whether a yielded task
+is already complete, still in flight, or not yet scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.azure.durable import history as h
+from repro.azure.durable.entities import EntityId
+from repro.azure.durable.tasks import (
+    ACTIVITY,
+    ENTITY,
+    SUB_ORCHESTRATION,
+    TIMER,
+    AtomicTask,
+    DurableTask,
+    ExternalEventTask,
+    WhenAll,
+    WhenAny,
+)
+from repro.platforms.base import enforce_payload_limit
+
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+
+
+class ActivityFailedError(RuntimeError):
+    """Raised inside an orchestrator when an awaited task failed."""
+
+
+class NonDeterminismError(RuntimeError):
+    """Replay diverged from history — the orchestrator is not deterministic."""
+
+
+@dataclass
+class OrchestratorSpec:
+    """A registered orchestrator function."""
+
+    name: str
+    fn: Callable[["OrchestrationContext"], Generator]
+    #: memory billed for each episode execution (measured, Azure-style)
+    measured_memory_mb: int = 256
+    #: extra CPU seconds of *original* (non-replay) work per episode, for
+    #: orchestrators that do inline computation (Figure 4 reads a CSV).
+    inline_cpu_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetryOptions:
+    """Retry policy for ``call_activity_with_retry`` (Azure SDK shape)."""
+
+    first_retry_interval_s: float = 5.0
+    max_number_of_attempts: int = 3
+    backoff_coefficient: float = 2.0
+
+    def __post_init__(self):
+        if self.first_retry_interval_s <= 0:
+            raise ValueError("first_retry_interval_s must be positive")
+        if self.max_number_of_attempts < 1:
+            raise ValueError("max_number_of_attempts must be at least 1")
+        if self.backoff_coefficient < 1.0:
+            raise ValueError("backoff_coefficient must be >= 1")
+
+    def delay_before_attempt(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (1-based)."""
+        return (self.first_retry_interval_s
+                * self.backoff_coefficient ** (attempt - 1))
+
+
+@dataclass
+class Action:
+    """A side effect the framework must perform after an episode."""
+
+    kind: str                 # one of the task kinds
+    seq: int
+    target: str = ""
+    operation: str = ""
+    input: Any = None
+    fire_at: float = 0.0
+    signal: bool = False
+    child_id: str = ""
+    retry: Optional[RetryOptions] = None
+
+
+class OrchestrationContext:
+    """Per-episode view of one orchestration instance."""
+
+    def __init__(self, instance_id: str, input_value: Any,
+                 events: Sequence[h.HistoryEvent],
+                 payload_limit: int, now: float):
+        self.instance_id = instance_id
+        self._input = input_value
+        self._payload_limit = payload_limit
+        self._now = now
+        self._seq = 0
+        self.actions: List[Action] = []
+        self.is_replaying = True
+        self._continued_with: Optional[Any] = None
+        self._continue_requested = False
+        self.custom_status: Optional[Any] = None
+        self._external_waits: Dict[str, int] = {}
+        self._external_events: Dict[str, List[Any]] = {}
+
+        # Index the history for O(1) resolution.
+        self._scheduled: Dict[int, h.HistoryEvent] = {}
+        self._completions: Dict[int, Tuple[str, Any]] = {}
+        self._completion_order: List[int] = []
+        for event in events:
+            if isinstance(event, h.ExternalEventReceived):
+                bucket = self._external_events.setdefault(event.name, [])
+                self._completion_order.append(
+                    ("ext", event.name, len(bucket)))
+                bucket.append(event.value)
+                continue
+            if isinstance(event, h.SCHEDULING_EVENTS):
+                self._scheduled[event.seq] = event
+            elif isinstance(event, h.SUCCESS_EVENTS):
+                result = getattr(event, "result", None)
+                self._completions[event.seq] = (DONE, result)
+                self._completion_order.append(("seq", event.seq))
+            elif isinstance(event, h.FAILURE_EVENTS):
+                self._completions[event.seq] = (FAILED, event.error)
+                self._completion_order.append(("seq", event.seq))
+        self._unconsumed = set(self._completions)
+
+    # -- public API (mirrors DurableOrchestrationContext) ------------------------
+
+    @property
+    def input(self) -> Any:
+        """The orchestration input (``get_input()`` in the Azure SDK)."""
+        return self._input
+
+    def get_input(self) -> Any:
+        return self._input
+
+    @property
+    def current_time(self) -> float:
+        """Deterministic 'now': the episode's start time."""
+        return self._now
+
+    def call_activity(self, name: str, input_value: Any = None) -> AtomicTask:
+        """Schedule a stateless activity function."""
+        enforce_payload_limit(input_value, self._payload_limit,
+                              f"call_activity({name!r}) input")
+        return self._create(ACTIVITY, target=name, input_value=input_value)
+
+    def call_sub_orchestrator(self, name: str,
+                              input_value: Any = None) -> AtomicTask:
+        """Schedule a child orchestration."""
+        enforce_payload_limit(input_value, self._payload_limit,
+                              f"call_sub_orchestrator({name!r}) input")
+        return self._create(SUB_ORCHESTRATION, target=name,
+                            input_value=input_value)
+
+    def call_entity(self, entity: EntityId, operation: str,
+                    input_value: Any = None) -> AtomicTask:
+        """Invoke an entity operation and await its result."""
+        enforce_payload_limit(input_value, self._payload_limit,
+                              f"call_entity({entity}) input")
+        return self._create(ENTITY, target=str(entity), operation=operation,
+                            input_value=input_value)
+
+    def signal_entity(self, entity: EntityId, operation: str,
+                      input_value: Any = None) -> AtomicTask:
+        """Fire-and-forget entity operation (completes immediately)."""
+        enforce_payload_limit(input_value, self._payload_limit,
+                              f"signal_entity({entity}) input")
+        return self._create(ENTITY, target=str(entity), operation=operation,
+                            input_value=input_value, signal=True)
+
+    def call_activity_with_retry(self, name: str, retry: RetryOptions,
+                                 input_value: Any = None) -> AtomicTask:
+        """Schedule an activity with a framework-managed retry policy."""
+        enforce_payload_limit(input_value, self._payload_limit,
+                              f"call_activity_with_retry({name!r}) input")
+        return self._create(ACTIVITY, target=name, input_value=input_value,
+                            retry=retry)
+
+    def wait_for_external_event(self, name: str) -> ExternalEventTask:
+        """Await an event raised by a client (``raise_event``).
+
+        The k-th wait on a name completes with the k-th event raised
+        under that name — deterministic across replays.
+        """
+        ordinal = self._external_waits.get(name, 0)
+        self._external_waits[name] = ordinal + 1
+        return ExternalEventTask(name=name, ordinal=ordinal)
+
+    def set_custom_status(self, status: Any) -> None:
+        """Publish a small progress payload visible via ``get_status``."""
+        enforce_payload_limit(status, self._payload_limit,
+                              "set_custom_status value")
+        self.custom_status = status
+
+    def continue_as_new(self, new_input: Any) -> None:
+        """Restart this orchestration with ``new_input`` and fresh history.
+
+        The orchestrator should ``return`` right after calling this —
+        the eternal-orchestration pattern.
+        """
+        enforce_payload_limit(new_input, self._payload_limit,
+                              "continue_as_new input")
+        self._continue_requested = True
+        self._continued_with = new_input
+
+    @property
+    def continued_as_new(self) -> bool:
+        return self._continue_requested
+
+    @property
+    def continue_input(self) -> Any:
+        return self._continued_with
+
+    def create_timer(self, delay: float) -> AtomicTask:
+        """A durable timer that fires ``delay`` seconds from 'now'."""
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay}")
+        return self._create(TIMER, fire_at=self._now + delay)
+
+    def task_all(self, tasks: Sequence[DurableTask]) -> WhenAll:
+        """Fan-in: completes when every task has (``context.task_all``)."""
+        return WhenAll(tasks)
+
+    def task_any(self, tasks: Sequence[DurableTask]) -> WhenAny:
+        """Completes at the first finished task."""
+        return WhenAny(tasks)
+
+    # -- replay machinery ---------------------------------------------------------
+
+    def _create(self, kind: str, target: str = "", operation: str = "",
+                input_value: Any = None, fire_at: float = 0.0,
+                signal: bool = False,
+                retry: Optional[RetryOptions] = None) -> AtomicTask:
+        seq = self._seq
+        self._seq += 1
+        task = AtomicTask(seq=seq, kind=kind, target=target,
+                          operation=operation, input=input_value,
+                          fire_at=fire_at)
+        if seq in self._scheduled:
+            # Replaying a decision history already knows: check determinism.
+            past = self._scheduled[seq]
+            expected_kind = _event_kind(past)
+            if expected_kind != kind:
+                raise NonDeterminismError(
+                    f"replay diverged at seq {seq}: history has "
+                    f"{expected_kind}, code produced {kind}")
+        else:
+            self._scheduled[seq] = None  # locally scheduled this episode
+            self.actions.append(Action(
+                kind=kind, seq=seq, target=target, operation=operation,
+                input=input_value, fire_at=fire_at, signal=signal,
+                retry=retry))
+        if signal:
+            # Signals complete instantly from the caller's point of view.
+            self._completions.setdefault(seq, (DONE, None))
+        return task
+
+    def resolve(self, task: DurableTask) -> Tuple[str, Any]:
+        """Resolve a yielded task against the indexed history.
+
+        Returns ``(status, value)`` where status is pending/done/failed.
+        Resolving a composite schedules all its unscheduled children —
+        that is what makes ``yield context.task_all([...])`` dispatch the
+        whole fan-out in one episode.
+        """
+        if isinstance(task, AtomicTask):
+            if task.seq in self._completions:
+                status, value = self._completions[task.seq]
+                if self._unconsumed:
+                    self._unconsumed.discard(task.seq)
+                    if not self._unconsumed:
+                        self.is_replaying = False
+                return status, value
+            return PENDING, None
+        if isinstance(task, ExternalEventTask):
+            received = self._external_events.get(task.name, [])
+            if task.ordinal < len(received):
+                return DONE, received[task.ordinal]
+            return PENDING, None
+        if isinstance(task, WhenAll):
+            statuses = [self.resolve(child) for child in task.children]
+            for status, value in statuses:
+                if status == FAILED:
+                    return FAILED, value
+            if all(status == DONE for status, _ in statuses):
+                return DONE, [value for _, value in statuses]
+            return PENDING, None
+        if isinstance(task, WhenAny):
+            resolved = {}
+            for child in task.children:
+                resolved[self._leaf_key(child)] = (child,
+                                                   self.resolve(child))
+            for key in self._completion_order:
+                if key in resolved:
+                    child, (status, value) = resolved[key]
+                    if status == FAILED:
+                        return FAILED, value
+                    return DONE, (child, value)
+            return PENDING, None
+        raise TypeError(f"orchestrator yielded a non-durable task: {task!r}")
+
+    @staticmethod
+    def _leaf_key(task: DurableTask):
+        if isinstance(task, AtomicTask):
+            return ("seq", task.seq)
+        if isinstance(task, ExternalEventTask):
+            return ("ext", task.name, task.ordinal)
+        raise TypeError("task_any over composite tasks is not supported")
+
+
+def _event_kind(event: Optional[h.HistoryEvent]) -> str:
+    if isinstance(event, h.TaskScheduled):
+        return ACTIVITY
+    if isinstance(event, h.SubOrchestrationScheduled):
+        return SUB_ORCHESTRATION
+    if isinstance(event, h.EntityCalled):
+        return ENTITY
+    if isinstance(event, h.TimerCreated):
+        return TIMER
+    return "unknown"
+
+
+def run_orchestrator_turn(spec: OrchestratorSpec,
+                          ctx: OrchestrationContext) -> Tuple[str, Any]:
+    """Replay the orchestrator generator against ``ctx``.
+
+    Returns ``('awaiting', None)``, ``('completed', output)`` or
+    ``('failed', error_message)``.  Scheduling side effects accumulate in
+    ``ctx.actions``.
+    """
+    generator = spec.fn(ctx)
+    try:
+        yielded = next(generator)
+        while True:
+            if not isinstance(yielded, DurableTask):
+                raise TypeError(
+                    f"orchestrator {spec.name!r} yielded {yielded!r}; "
+                    "orchestrators may only yield durable tasks")
+            status, value = ctx.resolve(yielded)
+            if status == PENDING:
+                generator.close()
+                return "awaiting", None
+            if status == DONE:
+                yielded = generator.send(value)
+            else:
+                yielded = generator.throw(ActivityFailedError(value))
+    except StopIteration as stop:
+        if ctx.continued_as_new:
+            return "continue_as_new", ctx.continue_input
+        return "completed", stop.value
+    except ActivityFailedError as error:
+        return "failed", str(error)
+    except Exception as error:  # noqa: BLE001 - user code failure path
+        return "failed", f"{type(error).__name__}: {error}"

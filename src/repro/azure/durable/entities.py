@@ -1,0 +1,103 @@
+"""Durable entities: addressable, persistent, serialized state holders.
+
+An entity is identified by an :class:`EntityId` (name + key) — the
+``df.EntityId("Encoding", "OneHot")`` of the paper's Figure 4.  Its
+behaviour is an :class:`EntitySpec`: a set of named operations over a
+persisted state.  Operations are generator functions so they can consume
+simulated compute time::
+
+    def train(ctx, state, data):
+        model = fit(data)                      # real compute
+        yield from ctx.busy(2.0)               # simulated service time
+        return model, model.score              # (new_state, result)
+
+The framework guarantees the paper's §II-B semantics: operations on one
+entity key are **serialized** (processed one at a time), and every
+operation brackets the user code with a state read and a state write
+against the task hub's entity table — which is why the paper finds
+"running an operation with Azure Entities is slower than running the same
+operation in the stateless Azure activities" (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+
+@dataclass(frozen=True)
+class EntityId:
+    """Addressable identity of one entity instance."""
+
+    name: str
+    key: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}@{self.key}"
+
+    @classmethod
+    def parse(cls, text: str) -> "EntityId":
+        """Inverse of ``str(entity_id)``."""
+        if not text.startswith("@"):
+            raise ValueError(f"not an entity id: {text!r}")
+        name, _, key = text[1:].partition("@")
+        if not name or not key:
+            raise ValueError(f"not an entity id: {text!r}")
+        return cls(name=name, key=key)
+
+
+#: Operation signature: (ctx, state, input) -> generator returning
+#: (new_state, result).
+EntityOperation = Callable[..., Generator]
+
+
+@dataclass
+class EntitySpec:
+    """A registered entity type."""
+
+    name: str
+    operations: Dict[str, EntityOperation]
+    #: produces the state for a key on first access
+    initial_state: Callable[[], Any] = lambda: None
+    #: memory billed for each operation execution (measured, Azure-style)
+    measured_memory_mb: int = 256
+    timeout_s: float = 1800.0
+
+    def operation(self, name: str) -> EntityOperation:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise KeyError(
+                f"entity {self.name!r} has no operation {name!r}; "
+                f"available: {sorted(self.operations)}") from None
+
+
+def get_operation(spec: EntitySpec, name: str) -> EntityOperation:
+    """Module-level convenience mirroring :meth:`EntitySpec.operation`."""
+    return spec.operation(name)
+
+
+def builtin_get(ctx, state, _input) -> Generator:
+    """The universal ``get`` operation: return the state unchanged.
+
+    Registered automatically for every entity, matching the paper's
+    pattern of fetching state out of an entity and running heavy
+    read-only work in a scalable stateless activity (§IV-A Workloads).
+    """
+    yield from ctx.busy(0.0)
+    return state, state
+
+
+def builtin_set(ctx, _state, new_value) -> Generator:
+    """The universal ``set`` operation: replace the state."""
+    yield from ctx.busy(0.0)
+    return new_value, None
+
+
+def with_builtin_operations(spec: EntitySpec) -> EntitySpec:
+    """Return ``spec`` with ``get``/``set`` added when not user-defined."""
+    operations = dict(spec.operations)
+    operations.setdefault("get", builtin_get)
+    operations.setdefault("set", builtin_set)
+    spec.operations = operations
+    return spec

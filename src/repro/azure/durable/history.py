@@ -1,0 +1,144 @@
+"""History events — the event-sourcing vocabulary of the Durable framework.
+
+An orchestration instance's state *is* its history: an append-only log of
+the events below, persisted to the task hub's history table.  Replay
+rebuilds orchestrator progress purely from this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """Base class; ``time`` is when the event was appended."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class ExecutionStarted(HistoryEvent):
+    """The orchestration was created with this input."""
+
+    input: Any = None
+
+
+@dataclass(frozen=True)
+class TaskScheduled(HistoryEvent):
+    """An activity call was dispatched to the work-item queue."""
+
+    seq: int = 0
+    name: str = ""
+    input: Any = None
+
+
+@dataclass(frozen=True)
+class TaskCompleted(HistoryEvent):
+    """An activity finished successfully."""
+
+    seq: int = 0
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class TaskFailed(HistoryEvent):
+    """An activity raised."""
+
+    seq: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class SubOrchestrationScheduled(HistoryEvent):
+    """A child orchestration was started."""
+
+    seq: int = 0
+    name: str = ""
+    input: Any = None
+    child_id: str = ""
+
+
+@dataclass(frozen=True)
+class SubOrchestrationCompleted(HistoryEvent):
+    seq: int = 0
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class SubOrchestrationFailed(HistoryEvent):
+    seq: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class EntityCalled(HistoryEvent):
+    """An entity operation was dispatched (two-way unless ``signal``)."""
+
+    seq: int = 0
+    entity: str = ""
+    operation: str = ""
+    input: Any = None
+    signal: bool = False
+
+
+@dataclass(frozen=True)
+class EntityResponded(HistoryEvent):
+    seq: int = 0
+    result: Any = None
+
+
+@dataclass(frozen=True)
+class EntityFailed(HistoryEvent):
+    seq: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class ExternalEventReceived(HistoryEvent):
+    """A client raised a named event against this instance."""
+
+    name: str = ""
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class TimerCreated(HistoryEvent):
+    seq: int = 0
+    fire_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class TimerFired(HistoryEvent):
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class ExecutionCompleted(HistoryEvent):
+    output: Any = None
+
+
+@dataclass(frozen=True)
+class ExecutionFailedEvent(HistoryEvent):
+    error: str = ""
+
+
+#: Events that mark a task as scheduled, keyed by their class.
+SCHEDULING_EVENTS = (TaskScheduled, SubOrchestrationScheduled, EntityCalled,
+                     TimerCreated)
+
+#: Events that complete a task successfully.
+SUCCESS_EVENTS = (TaskCompleted, SubOrchestrationCompleted, EntityResponded,
+                  TimerFired)
+
+#: Events that complete a task with a failure.
+FAILURE_EVENTS = (TaskFailed, SubOrchestrationFailed, EntityFailed)
+
+
+def event_payload_size(event: HistoryEvent) -> int:
+    """Approximate serialized size of a history event row."""
+    from repro.storage.payload import estimate_size
+    return 64 + estimate_size(getattr(event, "input", None)) + \
+        estimate_size(getattr(event, "result", None)) + \
+        estimate_size(getattr(event, "output", None))

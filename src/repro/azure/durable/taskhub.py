@@ -1,0 +1,899 @@
+"""The Task Hub: queues, history table, message pumps and episode engine.
+
+The paper (§II-B): *"Entities are implemented on top of logical containers
+called Task Hubs, which allow the entities and orchestrators to communicate
+freely with each other.  Task hub enables this messaging via control queues
+and history tables."*
+
+Concretely, this module implements:
+
+* ``partition_count`` **control queues** carrying orchestrator lifecycle
+  messages and entity operations, plus one **work-item queue** carrying
+  activity invocations — all real :class:`~repro.storage.queue.CloudQueue`
+  instances whose polls are billable transactions, including while idle;
+* a **history table** where every scheduling/completion event of every
+  orchestration is persisted (event sourcing), read back in full before
+  each replay episode;
+* the **episode engine**: when messages arrive for an instance, they are
+  appended to its history and the orchestrator function is *re-executed
+  from the top* on an app instance (billable, replay time proportional to
+  history length), producing the next batch of scheduling actions;
+* the **entity executor**: per-key serialized operation processing with a
+  state read/write bracket per operation;
+* per-partition **lease renewals** (the blob heartbeats of the real
+  framework), another component of the tenant's idle transaction bill.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.azure.app import TRIGGER_DURABLE, FunctionAppService
+from repro.azure.durable import history as h
+from repro.azure.durable.context import (
+    Action,
+    OrchestrationContext,
+    OrchestratorSpec,
+    run_orchestrator_turn,
+)
+from repro.azure.durable.entities import (
+    EntityId,
+    EntitySpec,
+    with_builtin_operations,
+)
+from repro.azure.durable.tasks import ACTIVITY, ENTITY, SUB_ORCHESTRATION, TIMER
+from repro.platforms.base import FunctionSpec, enforce_payload_limit
+from repro.sim.kernel import Environment, Event
+from repro.storage.meter import TransactionMeter
+from repro.storage.queue import CloudQueue
+from repro.storage.table import EntityNotFound, TableStore
+from repro.telemetry import SpanKind, Telemetry
+
+
+class OrchestrationStatus:
+    """Lifecycle states, matching the portal's status strings."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    COMPLETED = "Completed"
+    FAILED = "Failed"
+
+
+class OrchestrationFailedError(RuntimeError):
+    """Awaited orchestration ended in the Failed state."""
+
+
+# -- queue message types ---------------------------------------------------------
+
+@dataclass
+class StartMsg:
+    instance_id: str
+
+
+@dataclass
+class CompletionMsg:
+    """An awaited task finished (activity / timer / entity / sub-orch)."""
+
+    instance_id: str
+    seq: int
+    kind: str          # ACTIVITY / TIMER / ENTITY / SUB_ORCHESTRATION
+    ok: bool = True
+    value: Any = None
+
+
+@dataclass
+class RaiseEventMsg:
+    """A client raised a named external event against an instance."""
+
+    instance_id: str
+    name: str
+    value: Any = None
+
+
+@dataclass
+class EntityOpMsg:
+    entity_key: str    # str(EntityId)
+    operation: str
+    input: Any = None
+    reply_to: Optional[Tuple[str, int]] = None   # (instance_id, seq)
+
+
+@dataclass
+class ActivityWorkMsg:
+    instance_id: str
+    seq: int
+    activity: str
+    input: Any = None
+    retry: Any = None   # Optional[RetryOptions]
+
+
+# -- orchestration instance -------------------------------------------------------
+
+@dataclass
+class OrchestrationInstance:
+    """Runtime record of one orchestration."""
+
+    instance_id: str
+    orchestrator: str
+    input: Any
+    created_at: float
+    completion_event: Event
+    status: str = OrchestrationStatus.PENDING
+    running_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    output: Any = None
+    error: Optional[str] = None
+    history: List[h.HistoryEvent] = field(default_factory=list)
+    inbox: List[Any] = field(default_factory=list)
+    episode_active: bool = False
+    episode_count: int = 0
+    parent: Optional[Tuple[str, int]] = None
+    custom_status: Any = None
+
+    @property
+    def cold_start_delay(self) -> float:
+        """Pending→Running delay — the paper's cold-start metric (§IV-A)."""
+        if self.running_at is None:
+            raise ValueError(f"instance {self.instance_id} never ran")
+        return self.running_at - self.created_at
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Running→Completed — the paper's end-to-end latency metric."""
+        if self.completed_at is None or self.running_at is None:
+            raise ValueError(f"instance {self.instance_id} not finished")
+        return self.completed_at - self.running_at
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status in (OrchestrationStatus.COMPLETED,
+                               OrchestrationStatus.FAILED)
+
+
+def _partition_of(instance_id: str, partition_count: int) -> int:
+    return zlib.crc32(instance_id.encode("utf-8")) % partition_count
+
+
+class TaskHub:
+    """Wires queues, tables, pumps, orchestrators and entities together."""
+
+    def __init__(self, env: Environment, app: FunctionAppService,
+                 telemetry: Telemetry, meter: TransactionMeter,
+                 account: str = "taskhub"):
+        self.env = env
+        self.app = app
+        self.telemetry = telemetry
+        self.meter = meter
+        self.account = account
+        self.calibration = app.calibration
+        streams = app.streams
+        rng = streams.get(f"azure.taskhub.{account}")
+        partition_count = getattr(self.calibration, "partition_count", 4)
+        self.partition_count = partition_count
+        queue_kwargs = dict(
+            env=env, meter=meter, rng=rng, account=account,
+            min_poll_interval=self.calibration.min_poll_interval_s,
+            max_poll_interval=self.calibration.max_poll_interval_s,
+            visibility_timeout=600.0)
+        self.control_queues = [
+            CloudQueue(name=f"{account}-control-{index:02d}", **queue_kwargs)
+            for index in range(partition_count)]
+        self.work_item_queue = CloudQueue(
+            name=f"{account}-workitems", **queue_kwargs)
+        self.history_table = TableStore(
+            env, meter, rng, name=f"{account}History", account=account)
+        self.entity_table = TableStore(
+            env, meter, rng, name=f"{account}Entities", account=account)
+
+        self.orchestrators: Dict[str, OrchestratorSpec] = {}
+        self.entities: Dict[str, EntitySpec] = {}
+        self.instances: Dict[str, OrchestrationInstance] = {}
+        self._entity_inboxes: Dict[str, List[EntityOpMsg]] = {}
+        self._entity_busy: Set[str] = set()
+        self._started = False
+        # Per-hub counter: instance ids (and hence control-queue partition
+        # assignment) must not depend on other hubs in the process.
+        self._instance_counter = itertools.count(1)
+
+    # -- registration ---------------------------------------------------------------
+
+    def register_orchestrator(self, spec: OrchestratorSpec) -> OrchestratorSpec:
+        """Register an orchestrator function and its episode executor."""
+        if spec.name in self.orchestrators:
+            raise ValueError(f"orchestrator {spec.name!r} already registered")
+        self.orchestrators[spec.name] = spec
+        self.app.register(FunctionSpec(
+            name=self._orchestrator_fn(spec.name),
+            handler=self._make_episode_handler(spec),
+            memory_mb=self.calibration.max_memory_mb,
+            measured_memory_mb=spec.measured_memory_mb,
+            timeout_s=self.calibration.time_limit_s))
+        return spec
+
+    def register_entity(self, spec: EntitySpec) -> EntitySpec:
+        """Register an entity type (``get``/``set`` added automatically)."""
+        if spec.name in self.entities:
+            raise ValueError(f"entity {spec.name!r} already registered")
+        spec = with_builtin_operations(spec)
+        self.entities[spec.name] = spec
+        self.app.register(FunctionSpec(
+            name=self._entity_fn(spec.name),
+            handler=self._make_entity_handler(spec),
+            memory_mb=self.calibration.max_memory_mb,
+            measured_memory_mb=spec.measured_memory_mb,
+            timeout_s=spec.timeout_s))
+        return spec
+
+    @staticmethod
+    def _orchestrator_fn(name: str) -> str:
+        return f"orchestrator::{name}"
+
+    @staticmethod
+    def _entity_fn(name: str) -> str:
+        return f"entity::{name}"
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the message pumps and lease renewals (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for queue in self.control_queues:
+            self.env.process(self._control_pump(queue))
+        self.env.process(self._work_item_pump())
+        self.env.process(self._lease_renewal_loop())
+        self.env.process(self._controller_poll_loop())
+
+    # -- client-facing operations ---------------------------------------------------------
+
+    def create_instance(self, orchestrator: str, input_value: Any,
+                        instance_id: Optional[str] = None,
+                        parent: Optional[Tuple[str, int]] = None
+                        ) -> OrchestrationInstance:
+        """Create the bookkeeping record for a new orchestration."""
+        if orchestrator not in self.orchestrators:
+            raise KeyError(f"no such orchestrator: {orchestrator!r}")
+        if instance_id is None:
+            instance_id = f"{orchestrator}-{next(self._instance_counter):06d}"
+        if instance_id in self.instances:
+            raise ValueError(f"instance {instance_id!r} already exists")
+        instance = OrchestrationInstance(
+            instance_id=instance_id, orchestrator=orchestrator,
+            input=input_value, created_at=self.env.now,
+            completion_event=self.env.event())
+        self.instances[instance_id] = instance
+        return instance
+
+    def control_queue_for(self, instance_id: str) -> CloudQueue:
+        return self.control_queues[
+            _partition_of(instance_id, self.partition_count)]
+
+    def get_instance(self, instance_id: str) -> OrchestrationInstance:
+        try:
+            return self.instances[instance_id]
+        except KeyError:
+            raise KeyError(f"no such instance: {instance_id!r}") from None
+
+    # -- message pumps -------------------------------------------------------------------
+
+    def _control_pump(self, queue: CloudQueue) -> Generator:
+        """Poll one control queue forever, routing messages as they arrive."""
+        while True:
+            message = yield from queue.receive()
+            yield from queue.delete(message)
+            self._route_control(message.value)
+
+    def _work_item_pump(self) -> Generator:
+        """Poll the work-item queue forever, launching activities."""
+        while True:
+            message = yield from self.work_item_queue.receive()
+            yield from self.work_item_queue.delete(message)
+            self.env.process(self._run_activity(message.value))
+
+    def _lease_renewal_loop(self) -> Generator:
+        """Per-partition blob lease heartbeats — idle cost, like polling.
+
+        Metered in one-minute batches (behaviourally inert, purely cost)
+        so multi-day campaigns stay cheap to simulate.
+        """
+        interval = self.calibration.lease_renewal_interval_s
+        batch_window = max(60.0, interval)
+        per_batch = max(1, int(batch_window / interval)) * self.partition_count
+        while True:
+            yield self.env.timeout(batch_window)
+            self.meter.record("blob", self.account, "lease_renew",
+                              count=per_batch)
+
+    def _controller_poll_loop(self) -> Generator:
+        """The platform scale controller's own queue polling.
+
+        Azure's scale controller watches every task-hub queue on the
+        tenant's storage account around the clock; these reads are billed
+        to the tenant even while the app is scaled to zero.  Metered in
+        one-minute batches.
+        """
+        interval = self.calibration.controller_poll_interval_s
+        batch_window = max(60.0, interval)
+        queues = self.partition_count + 1   # control queues + work items
+        per_batch = max(1, int(batch_window / interval)) * queues
+        while True:
+            yield self.env.timeout(batch_window)
+            self.meter.record("queue", self.account, "controller_poll",
+                              count=per_batch)
+
+    def _route_control(self, message: Any) -> None:
+        if isinstance(message, EntityOpMsg):
+            self._submit_entity_op(message)
+            return
+        if isinstance(message, (StartMsg, CompletionMsg, RaiseEventMsg)):
+            instance = self.get_instance(message.instance_id)
+            instance.inbox.append(message)
+            if not instance.episode_active and not instance.is_finished:
+                instance.episode_active = True
+                self.env.process(self._episode_loop(instance))
+            return
+        raise TypeError(f"unroutable control message: {message!r}")
+
+    # -- episode engine ----------------------------------------------------------------------
+
+    def _episode_loop(self, instance: OrchestrationInstance) -> Generator:
+        """Process inbox batches until drained or the instance finishes."""
+        spec = self.orchestrators[instance.orchestrator]
+        while True:
+            while instance.inbox and not instance.is_finished:
+                batch = instance.inbox[:]
+                instance.inbox.clear()
+                yield from self._apply_messages(instance, batch)
+                yield from self._run_episode(instance, spec)
+            instance.episode_active = False
+            if instance.inbox and not instance.is_finished:
+                instance.episode_active = True
+                continue
+            return
+
+    def _apply_messages(self, instance: OrchestrationInstance,
+                        batch: List[Any]) -> Generator:
+        for message in batch:
+            if isinstance(message, StartMsg):
+                event = h.ExecutionStarted(time=self.env.now,
+                                           input=instance.input)
+            elif isinstance(message, RaiseEventMsg):
+                event = h.ExternalEventReceived(
+                    time=self.env.now, name=message.name,
+                    value=message.value)
+            elif isinstance(message, CompletionMsg):
+                event = _completion_event(message, self.env.now)
+            else:
+                raise TypeError(f"unexpected inbox message: {message!r}")
+            yield from self._append_event(instance, event)
+
+    def _append_event(self, instance: OrchestrationInstance,
+                      event: h.HistoryEvent) -> Generator:
+        row_key = f"{len(instance.history):06d}"
+        instance.history.append(event)
+        if self.calibration.netherite_mode:
+            # Netherite: events land in an in-memory partition state and
+            # are committed in batches (see _run_episode), not row by row.
+            return None
+        yield from self.history_table.insert(
+            instance.instance_id, row_key, event,
+            size=h.event_payload_size(event))
+
+    def _run_episode(self, instance: OrchestrationInstance,
+                     spec: OrchestratorSpec) -> Generator:
+        """One replay episode: read history, re-execute, dispatch actions."""
+        instance.episode_count += 1
+        if self.calibration.netherite_mode:
+            # Netherite: the partition state is cached in memory; one
+            # batched commit per episode replaces per-event writes and the
+            # full-history read.
+            events = list(instance.history)
+            yield from self.history_table.insert(
+                instance.instance_id, f"commit-{instance.episode_count:06d}",
+                {"batched_events": len(events)})
+        else:
+            # The framework reads the full history back before replaying.
+            events = yield from self.history_table.read_partition(
+                instance.instance_id)
+        result = yield from self.app.invoke(
+            self._orchestrator_fn(spec.name),
+            {"instance": instance, "events": events},
+            trigger=TRIGGER_DURABLE)
+        if instance.running_at is None:
+            instance.running_at = result.started_at
+            instance.status = OrchestrationStatus.RUNNING
+        state = result.value["state"]
+        value = result.value["value"]
+        actions = result.value["actions"]
+        if result.value.get("custom_status") is not None:
+            instance.custom_status = result.value["custom_status"]
+
+        for action in actions:
+            yield from self._dispatch_action(instance, action)
+
+        if state == "completed":
+            yield from self._finish(instance, OrchestrationStatus.COMPLETED,
+                                    output=value)
+        elif state == "failed":
+            yield from self._finish(instance, OrchestrationStatus.FAILED,
+                                    error=value)
+        elif state == "continue_as_new":
+            yield from self._continue_as_new(instance, value)
+
+    def _make_episode_handler(self, spec: OrchestratorSpec):
+        """Billable function body executing one replay episode."""
+        calibration = self.calibration
+        taskhub = self
+
+        def handler(ctx, event) -> Generator:
+            instance: OrchestrationInstance = event["instance"]
+            events: List[h.HistoryEvent] = event["events"]
+            completed = sum(
+                1 for entry in events
+                if isinstance(entry, h.SUCCESS_EVENTS + h.FAILURE_EVENTS))
+            if calibration.netherite_mode:
+                # Cached instances resume where they left off: no replay
+                # of past events, no re-run of the orchestrator body.
+                replay_cpu = calibration.episode_base_cpu_s
+            else:
+                replay_cpu = (calibration.episode_base_cpu_s
+                              + calibration.replay_event_cpu_s * completed
+                              + spec.inline_cpu_s)
+            span = ctx.telemetry.start_span(
+                spec.name, SpanKind.REPLAY, parent=ctx.span,
+                platform="azure", instance_id=instance.instance_id,
+                episode=instance.episode_count, history_events=len(events))
+            yield from ctx.busy(replay_cpu)
+            orchestration_ctx = OrchestrationContext(
+                instance.instance_id, instance.input, events,
+                payload_limit=calibration.durable_payload_limit_bytes,
+                now=ctx.now)
+            state, value = run_orchestrator_turn(spec, orchestration_ctx)
+            ctx.telemetry.end_span(span, state=state)
+            return {"state": state, "value": value,
+                    "actions": orchestration_ctx.actions,
+                    "custom_status": orchestration_ctx.custom_status}
+
+        handler.__name__ = f"episode_{spec.name}"
+        return handler
+
+    def _dispatch_action(self, instance: OrchestrationInstance,
+                         action: Action) -> Generator:
+        """Persist a scheduling event and send the matching message."""
+        now = self.env.now
+        if action.kind == ACTIVITY:
+            event = h.TaskScheduled(time=now, seq=action.seq,
+                                    name=action.target, input=action.input)
+            yield from self._append_event(instance, event)
+            yield from self.work_item_queue.enqueue(ActivityWorkMsg(
+                instance_id=instance.instance_id, seq=action.seq,
+                activity=action.target, input=action.input,
+                retry=action.retry))
+        elif action.kind == ENTITY:
+            event = h.EntityCalled(time=now, seq=action.seq,
+                                   entity=action.target,
+                                   operation=action.operation,
+                                   input=action.input, signal=action.signal)
+            yield from self._append_event(instance, event)
+            reply_to = None if action.signal else (instance.instance_id,
+                                                   action.seq)
+            queue = self.control_queue_for(action.target)
+            yield from queue.enqueue(EntityOpMsg(
+                entity_key=action.target, operation=action.operation,
+                input=action.input, reply_to=reply_to))
+        elif action.kind == TIMER:
+            event = h.TimerCreated(time=now, seq=action.seq,
+                                   fire_at=action.fire_at)
+            yield from self._append_event(instance, event)
+            self.env.process(self._timer(instance.instance_id, action.seq,
+                                         action.fire_at))
+        elif action.kind == SUB_ORCHESTRATION:
+            child_id = f"{instance.instance_id}:{action.seq}"
+            event = h.SubOrchestrationScheduled(
+                time=now, seq=action.seq, name=action.target,
+                input=action.input, child_id=child_id)
+            yield from self._append_event(instance, event)
+            child = self.create_instance(
+                action.target, action.input, instance_id=child_id,
+                parent=(instance.instance_id, action.seq))
+            child.parent = (instance.instance_id, action.seq)
+            queue = self.control_queue_for(child_id)
+            yield from queue.enqueue(StartMsg(instance_id=child_id))
+        else:
+            raise ValueError(f"unknown action kind: {action.kind!r}")
+
+    def _continue_as_new(self, instance: OrchestrationInstance,
+                         new_input: Any) -> Generator:
+        """Restart the instance with fresh history and a new input.
+
+        The eternal-orchestration pattern: history is truncated (so replay
+        cost does not grow without bound) and the orchestrator re-enters
+        from the top.
+        """
+        yield from self.history_table.delete_partition(instance.instance_id)
+        instance.history.clear()
+        instance.input = new_input
+        queue = self.control_queue_for(instance.instance_id)
+        yield from queue.enqueue(StartMsg(instance_id=instance.instance_id))
+
+    def _timer(self, instance_id: str, seq: int, fire_at: float) -> Generator:
+        delay = max(0.0, fire_at - self.env.now)
+        yield self.env.timeout(delay)
+        queue = self.control_queue_for(instance_id)
+        yield from queue.enqueue(CompletionMsg(
+            instance_id=instance_id, seq=seq, kind=TIMER, ok=True))
+
+    def _finish(self, instance: OrchestrationInstance, status: str,
+                output: Any = None, error: Optional[str] = None) -> Generator:
+        if status == OrchestrationStatus.COMPLETED:
+            event: h.HistoryEvent = h.ExecutionCompleted(
+                time=self.env.now, output=output)
+        else:
+            event = h.ExecutionFailedEvent(time=self.env.now, error=error or "")
+        yield from self._append_event(instance, event)
+        instance.status = status
+        instance.output = output
+        instance.error = error
+        instance.completed_at = self.env.now
+        instance.completion_event.succeed(instance)
+        if instance.parent is not None:
+            parent_id, seq = instance.parent
+            queue = self.control_queue_for(parent_id)
+            ok = status == OrchestrationStatus.COMPLETED
+            yield from queue.enqueue(CompletionMsg(
+                instance_id=parent_id, seq=seq, kind=SUB_ORCHESTRATION,
+                ok=ok, value=output if ok else error))
+
+    # -- activities --------------------------------------------------------------------------
+
+    def _run_activity(self, message: ActivityWorkMsg) -> Generator:
+        """Execute one activity (with optional framework-managed retries)
+        and report completion to the control queue."""
+        limit = self.calibration.durable_payload_limit_bytes
+        max_attempts = (message.retry.max_number_of_attempts
+                        if message.retry is not None else 1)
+        ok = True
+        value: Any = None
+        for attempt in range(1, max_attempts + 1):
+            ok = True
+            try:
+                result = yield from self.app.invoke(
+                    message.activity, message.input, trigger=TRIGGER_DURABLE)
+                value = result.value
+                enforce_payload_limit(
+                    value, limit,
+                    f"result of activity {message.activity!r}")
+            except Exception as error:  # noqa: BLE001 - reported upstream
+                ok = False
+                value = f"{type(error).__name__}: {error}"
+            if ok or attempt == max_attempts:
+                break
+            yield self.env.timeout(
+                message.retry.delay_before_attempt(attempt))
+        queue = self.control_queue_for(message.instance_id)
+        yield from queue.enqueue(CompletionMsg(
+            instance_id=message.instance_id, seq=message.seq, kind=ACTIVITY,
+            ok=ok, value=value))
+
+    # -- entities -----------------------------------------------------------------------------
+
+    def _submit_entity_op(self, message: EntityOpMsg) -> None:
+        inbox = self._entity_inboxes.setdefault(message.entity_key, [])
+        inbox.append(message)
+        if message.entity_key not in self._entity_busy:
+            self._entity_busy.add(message.entity_key)
+            self.env.process(self._drain_entity(message.entity_key))
+
+    def _drain_entity(self, entity_key: str) -> Generator:
+        """Serialized processing of one entity key's operation queue."""
+        inbox = self._entity_inboxes[entity_key]
+        try:
+            while inbox:
+                message = inbox.pop(0)
+                yield from self._execute_entity_op(message)
+        finally:
+            self._entity_busy.discard(entity_key)
+
+    def _execute_entity_op(self, message: EntityOpMsg) -> Generator:
+        entity_id = EntityId.parse(message.entity_key)
+        spec = self.entities.get(entity_id.name)
+        ok = True
+        value: Any = None
+        if spec is None:
+            ok = False
+            value = f"KeyError: no such entity type {entity_id.name!r}"
+        else:
+            try:
+                result = yield from self.app.invoke(
+                    self._entity_fn(entity_id.name),
+                    {"entity": message.entity_key,
+                     "operation": message.operation,
+                     "input": message.input},
+                    trigger=TRIGGER_DURABLE)
+                value = result.value
+                enforce_payload_limit(
+                    value, self.calibration.durable_payload_limit_bytes,
+                    f"result of entity op {message.operation!r}")
+            except Exception as error:  # noqa: BLE001
+                ok = False
+                value = f"{type(error).__name__}: {error}"
+        if message.reply_to is not None:
+            instance_id, seq = message.reply_to
+            queue = self.control_queue_for(instance_id)
+            yield from queue.enqueue(CompletionMsg(
+                instance_id=instance_id, seq=seq, kind=ENTITY,
+                ok=ok, value=value))
+
+    def _make_entity_handler(self, spec: EntitySpec):
+        """Billable function body executing one entity operation."""
+        taskhub = self
+        calibration = self.calibration
+
+        def handler(ctx, event) -> Generator:
+            entity_id = EntityId.parse(event["entity"])
+            operation = spec.operation(event["operation"])
+            # Entities may invoke operations on other entities (§II-B:
+            # "one entity can invoke an operation on another entity") —
+            # as one-way signals, which is how the real framework keeps
+            # entity-to-entity calls deadlock-free.
+            ctx.services["signal_entity"] = taskhub._signal_from_entity
+            span = ctx.telemetry.start_span(
+                f"{spec.name}.{event['operation']}", SpanKind.ENTITY_OP,
+                parent=ctx.span, platform="azure", entity=event["entity"])
+            yield from ctx.busy(
+                calibration.entity_op_overhead.sample(ctx.rng))
+            # User logic runs slower inside an entity than in a stateless
+            # activity (serialized, state-bracketed execution).
+            ctx.cpu_factor *= calibration.entity_execution_slowdown
+            partition = f"entity:{entity_id.name}"
+            try:
+                state = yield from taskhub.entity_table.read(
+                    partition, entity_id.key)
+            except EntityNotFound:
+                state = spec.initial_state()
+            new_state, result = yield from operation(
+                ctx, state, event["input"])
+            yield from taskhub.entity_table.insert(
+                partition, entity_id.key, new_state)
+            ctx.telemetry.end_span(span)
+            return result
+
+        handler.__name__ = f"entity_{spec.name}"
+        return handler
+
+    def recover_instance(self, instance_id: str) -> Generator:
+        """Rebuild an instance's in-memory state from the history table.
+
+        This is event sourcing's recovery path: a host crash loses every
+        in-memory structure, but the persisted history is the
+        authoritative record — replaying it reconstructs exactly where
+        the orchestration stood.
+        """
+        instance = self.get_instance(instance_id)
+        events = yield from self.history_table.read_partition(instance_id)
+        instance.history = list(events)
+        instance.episode_active = False
+        # Reconstruct terminal status from the log.
+        for event in events:
+            if isinstance(event, h.ExecutionCompleted):
+                instance.status = OrchestrationStatus.COMPLETED
+                instance.output = event.output
+            elif isinstance(event, h.ExecutionFailedEvent):
+                instance.status = OrchestrationStatus.FAILED
+                instance.error = event.error
+        return instance
+
+    def simulate_host_crash(self) -> None:
+        """Drop every in-memory orchestration structure (not the storage).
+
+        Queues and tables survive a host crash; the hub's caches do not.
+        Follow with :meth:`recover_instance` per live instance, after
+        which pending completion messages resume the orchestrations.
+        """
+        for instance in self.instances.values():
+            instance.history = []
+            instance.inbox.clear()
+            instance.episode_active = False
+        self._entity_inboxes.clear()
+        self._entity_busy.clear()
+
+    def _signal_from_entity(self, entity_id: EntityId, operation: str,
+                            input_value: Any = None) -> Generator:
+        """One-way entity-to-entity signal (used inside entity ops)."""
+        enforce_payload_limit(
+            input_value, self.calibration.durable_payload_limit_bytes,
+            f"entity signal to {entity_id}")
+        queue = self.control_queue_for(str(entity_id))
+        yield from queue.enqueue(EntityOpMsg(
+            entity_key=str(entity_id), operation=operation,
+            input=input_value, reply_to=None))
+        return None
+
+    def read_entity_state(self, entity_id: EntityId) -> Generator:
+        """Read an entity's persisted state directly (client-side)."""
+        partition = f"entity:{entity_id.name}"
+        try:
+            state = yield from self.entity_table.read(partition, entity_id.key)
+        except EntityNotFound:
+            spec = self.entities.get(entity_id.name)
+            state = spec.initial_state() if spec else None
+        return state
+
+
+def _completion_event(message: CompletionMsg, now: float) -> h.HistoryEvent:
+    if message.kind == ACTIVITY:
+        if message.ok:
+            return h.TaskCompleted(time=now, seq=message.seq,
+                                   result=message.value)
+        return h.TaskFailed(time=now, seq=message.seq, error=message.value)
+    if message.kind == TIMER:
+        return h.TimerFired(time=now, seq=message.seq)
+    if message.kind == ENTITY:
+        if message.ok:
+            return h.EntityResponded(time=now, seq=message.seq,
+                                     result=message.value)
+        return h.EntityFailed(time=now, seq=message.seq, error=message.value)
+    if message.kind == SUB_ORCHESTRATION:
+        if message.ok:
+            return h.SubOrchestrationCompleted(time=now, seq=message.seq,
+                                               result=message.value)
+        return h.SubOrchestrationFailed(time=now, seq=message.seq,
+                                        error=message.value)
+    raise ValueError(f"unknown completion kind: {message.kind!r}")
+
+
+class DurableClient:
+    """The HTTP-client-facing API used to trigger and await orchestrations."""
+
+    def __init__(self, taskhub: TaskHub):
+        self.taskhub = taskhub
+
+    def start_new(self, orchestrator: str, input_value: Any = None,
+                  instance_id: Optional[str] = None) -> Generator:
+        """Start an orchestration; returns its instance id."""
+        self.taskhub.start()
+        instance = self.taskhub.create_instance(
+            orchestrator, input_value, instance_id=instance_id)
+        queue = self.taskhub.control_queue_for(instance.instance_id)
+        yield from queue.enqueue(StartMsg(instance_id=instance.instance_id))
+        return instance.instance_id
+
+    def get_status(self, instance_id: str) -> OrchestrationInstance:
+        """Current status record (no simulated time consumed)."""
+        return self.taskhub.get_instance(instance_id)
+
+    def wait_for_completion(self, instance_id: str) -> Generator:
+        """Await the orchestration; returns its output or raises."""
+        instance = self.taskhub.get_instance(instance_id)
+        if not instance.is_finished:
+            yield instance.completion_event
+        if instance.status == OrchestrationStatus.FAILED:
+            raise OrchestrationFailedError(
+                f"orchestration {instance_id} failed: {instance.error}")
+        return instance.output
+
+    def list_instances(self, status: Optional[str] = None
+                       ) -> List[OrchestrationInstance]:
+        """All known instances, optionally filtered by status."""
+        instances = list(self.taskhub.instances.values())
+        if status is not None:
+            instances = [instance for instance in instances
+                         if instance.status == status]
+        return instances
+
+    def purge_instance_history(self, instance_id: str) -> Generator:
+        """Delete a finished instance's history (storage hygiene).
+
+        Mirrors the management API; refuses to purge live instances.
+        """
+        instance = self.taskhub.get_instance(instance_id)
+        if not instance.is_finished:
+            raise OrchestrationFailedError(
+                f"cannot purge running instance {instance_id}")
+        removed = yield from self.taskhub.history_table.delete_partition(
+            instance_id)
+        del self.taskhub.instances[instance_id]
+        return removed
+
+    def run(self, orchestrator: str, input_value: Any = None) -> Generator:
+        """Convenience: start and await in one call."""
+        instance_id = yield from self.start_new(orchestrator, input_value)
+        output = yield from self.wait_for_completion(instance_id)
+        return output
+
+    def raise_event(self, instance_id: str, name: str,
+                    value: Any = None) -> Generator:
+        """Deliver a named external event to a running orchestration."""
+        enforce_payload_limit(
+            value, self.taskhub.calibration.durable_payload_limit_bytes,
+            f"raise_event({name!r}) value")
+        instance = self.taskhub.get_instance(instance_id)
+        if instance.is_finished:
+            raise OrchestrationFailedError(
+                f"cannot raise event on finished instance {instance_id}")
+        queue = self.taskhub.control_queue_for(instance_id)
+        yield from queue.enqueue(RaiseEventMsg(
+            instance_id=instance_id, name=name, value=value))
+        return None
+
+    def signal_entity(self, entity_id: EntityId, operation: str,
+                      input_value: Any = None) -> Generator:
+        """One-way entity signal from client code."""
+        self.taskhub.start()
+        queue = self.taskhub.control_queue_for(str(entity_id))
+        yield from queue.enqueue(EntityOpMsg(
+            entity_key=str(entity_id), operation=operation,
+            input=input_value, reply_to=None))
+        return None
+
+    def recover_instance(self, instance_id: str) -> Generator:
+        """Rebuild an instance's in-memory state from the history table.
+
+        This is event sourcing's recovery path: a host crash loses every
+        in-memory structure, but the persisted history is the
+        authoritative record — replaying it reconstructs exactly where
+        the orchestration stood.
+        """
+        instance = self.get_instance(instance_id)
+        events = yield from self.history_table.read_partition(instance_id)
+        instance.history = list(events)
+        instance.episode_active = False
+        # Reconstruct terminal status from the log.
+        for event in events:
+            if isinstance(event, h.ExecutionCompleted):
+                instance.status = OrchestrationStatus.COMPLETED
+                instance.output = event.output
+            elif isinstance(event, h.ExecutionFailedEvent):
+                instance.status = OrchestrationStatus.FAILED
+                instance.error = event.error
+        return instance
+
+    def simulate_host_crash(self) -> None:
+        """Drop every in-memory orchestration structure (not the storage).
+
+        Queues and tables survive a host crash; the hub's caches do not.
+        Follow with :meth:`recover_instance` per live instance, after
+        which pending completion messages resume the orchestrations.
+        """
+        for instance in self.instances.values():
+            instance.history = []
+            instance.inbox.clear()
+            instance.episode_active = False
+        self._entity_inboxes.clear()
+        self._entity_busy.clear()
+
+    def read_entity_state(self, entity_id: EntityId) -> Generator:
+        """Read entity state directly from the entity table."""
+        state = yield from self.taskhub.read_entity_state(entity_id)
+        return state
+
+
+class DurableFunctionsRuntime:
+    """Facade wiring a function app and a task hub into one deployment."""
+
+    def __init__(self, env: Environment, telemetry: Telemetry,
+                 billing, meter: TransactionMeter, streams,
+                 calibration=None, services: Optional[Dict[str, Any]] = None,
+                 app_name: str = "durable-app",
+                 plan: str = FunctionAppService.CONSUMPTION):
+        self.env = env
+        self.app = FunctionAppService(
+            env, telemetry, billing, streams, calibration=calibration,
+            services=services, app_name=app_name, plan=plan)
+        self.taskhub = TaskHub(env, self.app, telemetry, meter,
+                               account=f"{app_name}-hub")
+        self.client = DurableClient(self.taskhub)
+
+    def register_activity(self, spec: FunctionSpec) -> FunctionSpec:
+        """Register a stateless activity function."""
+        return self.app.register(spec)
+
+    def register_orchestrator(self, spec: OrchestratorSpec) -> OrchestratorSpec:
+        return self.taskhub.register_orchestrator(spec)
+
+    def register_entity(self, spec: EntitySpec) -> EntitySpec:
+        return self.taskhub.register_entity(spec)

@@ -1,0 +1,88 @@
+"""Durable task objects yielded by orchestrator generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+#: Atomic task kinds.
+ACTIVITY = "activity"
+SUB_ORCHESTRATION = "sub_orchestration"
+ENTITY = "entity"
+TIMER = "timer"
+EXTERNAL = "external_event"
+
+
+class DurableTask:
+    """Base class for everything an orchestrator can ``yield``."""
+
+
+@dataclass
+class AtomicTask(DurableTask):
+    """One schedulable unit identified by its deterministic sequence number."""
+
+    seq: int
+    kind: str
+    target: str = ""          # activity/orchestrator name or entity key
+    operation: str = ""       # entity operation name
+    input: Any = None
+    fire_at: float = 0.0      # timers only
+
+    def __repr__(self) -> str:
+        return f"AtomicTask(seq={self.seq}, kind={self.kind}, target={self.target!r})"
+
+
+@dataclass
+class ExternalEventTask(DurableTask):
+    """Awaits a named event raised by a client (``wait_for_external_event``).
+
+    Matching is by name and arrival order: the k-th wait on a name
+    completes with the k-th event raised under that name.
+    """
+
+    name: str = ""
+    ordinal: int = 0
+
+
+@dataclass
+class WhenAll(DurableTask):
+    """Completes when every child task has completed (``task_all``)."""
+
+    children: List[DurableTask] = field(default_factory=list)
+
+    def __init__(self, children: Sequence[DurableTask]):
+        self.children = list(children)
+        for child in self.children:
+            if not isinstance(child, DurableTask):
+                raise TypeError(
+                    f"task_all expects durable tasks, got {child!r}")
+
+
+@dataclass
+class WhenAny(DurableTask):
+    """Completes when the first child task completes (``task_any``)."""
+
+    children: List[DurableTask] = field(default_factory=list)
+
+    def __init__(self, children: Sequence[DurableTask]):
+        if not children:
+            raise ValueError("task_any needs at least one task")
+        self.children = list(children)
+        for child in self.children:
+            if not isinstance(child, DurableTask):
+                raise TypeError(
+                    f"task_any expects durable tasks, got {child!r}")
+
+
+def atomic_tasks(task: DurableTask) -> List[AtomicTask]:
+    """Flatten a task tree into its atomic leaves."""
+    if isinstance(task, AtomicTask):
+        return [task]
+    if isinstance(task, ExternalEventTask):
+        return []
+    if isinstance(task, (WhenAll, WhenAny)):
+        leaves: List[AtomicTask] = []
+        for child in task.children:
+            leaves.extend(atomic_tasks(child))
+        return leaves
+    raise TypeError(f"not a durable task: {task!r}")

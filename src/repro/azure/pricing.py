@@ -1,0 +1,89 @@
+"""Azure price model: consumption-plan GB-s + storage transactions.
+
+The paper's framing (§II-B, §V-A): Azure charges GB-s on *measured*
+memory, and the stateful component is the number of queue and table
+transactions performed by the Durable Task Framework — "the queue polling
+continues even when the function is not active.  This adds to the user
+cost when the workflow is idle."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.billing import BillingMeter
+from repro.platforms.calibration import AzureCalibration
+from repro.storage.meter import TransactionMeter
+
+#: Storage services whose operations Azure bills as transactions.
+BILLABLE_SERVICES = ("queue", "table", "blob")
+
+
+@dataclass
+class AzureCostBreakdown:
+    """Dollar cost split into the paper's two components."""
+
+    compute: float            # GB-s ("computation cost")
+    executions: float         # per-execution charge
+    transactions: float       # storage transactions ("transaction cost")
+    gb_s: float
+    transaction_count: int
+
+    @property
+    def stateless(self) -> float:
+        """The paper's 'computation cost' component."""
+        return self.compute + self.executions
+
+    @property
+    def stateful(self) -> float:
+        """The paper's 'transaction cost' component."""
+        return self.transactions
+
+    @property
+    def total(self) -> float:
+        return self.stateless + self.stateful
+
+    @property
+    def stateful_share(self) -> float:
+        """Transaction cost as a fraction of the total (Fig 11c)."""
+        return self.stateful / self.total if self.total else 0.0
+
+
+class AzurePriceModel:
+    """Prices a deployment's billing and transaction meters."""
+
+    def __init__(self, calibration: AzureCalibration):
+        self.calibration = calibration
+
+    def breakdown(self, billing: BillingMeter,
+                  meter: TransactionMeter) -> AzureCostBreakdown:
+        """Cost of everything recorded so far."""
+        gb_s = billing.total_gb_s()
+        transaction_count = sum(
+            meter.count(service=service) for service in BILLABLE_SERVICES)
+        return AzureCostBreakdown(
+            compute=gb_s * self.calibration.gb_s_price,
+            executions=(billing.total_requests()
+                        * self.calibration.execution_price),
+            transactions=(transaction_count
+                          * self.calibration.storage_transaction_price),
+            gb_s=gb_s,
+            transaction_count=transaction_count)
+
+    def monthly_cost(self, breakdown_per_run: AzureCostBreakdown,
+                     runs_per_month: int,
+                     idle_transactions_per_month: int = 0) -> float:
+        """Project to a monthly bill, *including idle-time polling*.
+
+        Unlike AWS, the Durable framework keeps polling its queues while
+        the workflow is idle, so the monthly bill has a constant term
+        (§V-A cost discussion, Fig 15).
+        """
+        idle = (idle_transactions_per_month
+                * self.calibration.storage_transaction_price)
+        return breakdown_per_run.total * runs_per_month + idle
+
+    def premium_monthly_cost(self, hours: float = 730.0) -> float:
+        """Fixed monthly bill for the premium plan's pre-warmed pool."""
+        return (self.calibration.premium_min_instances
+                * self.calibration.premium_instance_hourly_price * hours)

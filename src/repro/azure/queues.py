@@ -1,0 +1,113 @@
+"""Queue-chained Azure functions — the paper's *Az-Queue* implementation.
+
+"Isolated functions connecting through Azure queues" (Table II): each
+stage of the workflow is a queue-triggered function; stage N's result is
+enqueued for stage N+1.  Every hop pays queue-trigger polling latency —
+the dominant cost in Fig 8, where the Az-Queue chain accumulates ~30 s of
+99ile queue time — and the chain's cold start is the worst of all
+implementations (10-20 s, Fig 10), reflecting request queueing on a
+static container pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.azure.app import TRIGGER_QUEUE, FunctionAppService
+from repro.sim.kernel import Event
+from repro.storage.meter import TransactionMeter
+from repro.storage.queue import CloudQueue
+from repro.telemetry import SpanKind
+
+
+@dataclass
+class ChainRun:
+    """Outcome of one message's trip through the whole chain."""
+
+    run_id: int
+    submitted_at: float
+    finished_at: float
+    value: Any
+    queue_time: float        # total trigger-polling + queue latency
+    execution_time: float    # total handler execution time
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class QueueChain:
+    """A pipeline of queue-triggered functions."""
+
+    _run_ids = itertools.count(1)
+
+    def __init__(self, app: FunctionAppService, meter: TransactionMeter,
+                 stages: List[str], name: str = "chain"):
+        if not stages:
+            raise ValueError("a queue chain needs at least one stage")
+        for stage in stages:
+            app.get_function(stage)   # fail fast on unknown functions
+        self.app = app
+        self.meter = meter
+        self.stages = list(stages)
+        self.name = name
+        self.env = app.env
+        rng = app.streams.get(f"azure.queuechain.{name}")
+        self.queues = [
+            CloudQueue(self.env, meter, rng, name=f"{name}-q{index}",
+                       account=f"{name}-storage",
+                       max_message_size=app.calibration
+                       .queue_payload_limit_bytes)
+            for index in range(len(stages))]
+        self._rng = rng
+
+    def run(self, input_value: Any) -> Generator:
+        """Push a message through every stage; returns a :class:`ChainRun`.
+
+        Stage hops model the queue-trigger listener: the message is
+        enqueued, waits for the trigger's polling cycle, then executes on
+        the shared app pool.
+        """
+        run_id = next(self._run_ids)
+        submitted_at = self.env.now
+        telemetry = self.app.telemetry
+        workflow_span = telemetry.start_span(
+            self.name, SpanKind.WORKFLOW, platform="azure",
+            implementation="az-queue", run_id=run_id)
+
+        calibration = self.app.calibration
+        queue_time = 0.0
+        execution_time = 0.0
+        value = input_value
+        for index, stage in enumerate(self.stages):
+            queue = self.queues[index]
+            yield from queue.enqueue(value)
+            # Queue-trigger listener polling delay before pickup.
+            poll_delay = calibration.queue_trigger_poll.sample(self._rng)
+            wait_span = telemetry.start_span(
+                stage, SpanKind.QUEUE_WAIT, parent=workflow_span,
+                platform="azure", implementation="az-queue")
+            yield self.env.timeout(poll_delay)
+            message = yield from queue.poll()
+            if message is None:
+                raise RuntimeError(
+                    f"queue chain {self.name!r} lost its own message")
+            telemetry.end_span(wait_span)
+            queue_time += self.env.now - wait_span.start
+
+            result = yield from self.app.invoke(
+                stage, message.value, trigger=TRIGGER_QUEUE,
+                parent_span=workflow_span)
+            yield from queue.delete(message)
+            queue_time += result.queue_wait
+            execution_time += result.duration
+            value = result.value
+
+        finished_at = self.env.now
+        telemetry.end_span(workflow_span)
+        return ChainRun(
+            run_id=run_id, submitted_at=submitted_at,
+            finished_at=finished_at, value=value,
+            queue_time=queue_time, execution_time=execution_time)

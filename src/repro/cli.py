@@ -1,0 +1,253 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro latency   --scale small --iterations 10
+    python -m repro inference --scale large
+    python -m repro coldstart --days 2
+    python -m repro video     --workers 1,5,20,80
+    python -m repro cost      --runs-per-month 30
+    python -m repro paper     # condensed everything
+
+Each subcommand builds fresh testbeds, runs the campaign on the simulated
+clock and prints the corresponding table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    ColdStartCampaign,
+    ExperimentRunner,
+    Testbed,
+    build_ml_inference_deployments,
+    build_ml_training_deployments,
+    build_video_deployments,
+    cost_report,
+)
+from repro.core.costs import monthly_projection
+from repro.core.persistence import save_results
+from repro.core.metrics import percentile
+from repro.core.report import render_bars, render_table
+
+ML_VARIANTS = ["AWS-Lambda", "AWS-Step", "Az-Func", "Az-Queue", "Az-Dorch",
+               "Az-Dent"]
+
+
+def _variants(value: str) -> List[str]:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ML_VARIANTS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown variants: {unknown}; choose from {ML_VARIANTS}")
+    return names
+
+
+def _worker_list(value: str) -> List[int]:
+    try:
+        workers = [int(item) for item in value.split(",") if item.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    if not workers or any(count < 1 for count in workers):
+        raise argparse.ArgumentTypeError("worker counts must be positive")
+    return workers
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    rows = []
+    campaigns = []
+    reports = []
+    for name in args.variants:
+        testbed = Testbed(seed=args.seed)
+        deployment = build_ml_training_deployments(
+            testbed, args.scale)[name]
+        campaign = runner.run_campaign(deployment,
+                                       iterations=args.iterations, warmup=1)
+        campaigns.append(campaign)
+        reports.append(cost_report(deployment,
+                                   per_runs=args.iterations + 1))
+        stats = campaign.stats()
+        rows.append([name, stats.median, stats.p95, stats.p99])
+    print(render_table(["variant", "median s", "p95 s", "p99 s"], rows,
+                       title=f"ML training latency ({args.scale}, "
+                             f"{args.iterations} iterations)"))
+    if getattr(args, "save", None):
+        path = save_results(
+            args.save, campaigns=campaigns, cost_reports=reports,
+            metadata={"command": "latency", "scale": args.scale,
+                      "iterations": args.iterations, "seed": args.seed})
+        print(f"\nresults saved to {path}")
+    return 0
+
+
+def cmd_inference(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    rows = []
+    for name in ["AWS-Step", "Az-Dorch", "Az-Dent"]:
+        testbed = Testbed(seed=args.seed)
+        deployment = build_ml_inference_deployments(
+            testbed, args.scale)[name]
+        campaign = runner.run_campaign(deployment,
+                                       iterations=args.iterations, warmup=1)
+        rows.append([name, campaign.stats().median, campaign.stats().p99])
+    print(render_table(["variant", "median s", "p99 s"], rows,
+                       title=f"ML inference latency ({args.scale})"))
+    return 0
+
+
+def cmd_coldstart(args: argparse.Namespace) -> int:
+    campaign = ColdStartCampaign(interval_s=3600.0, days=args.days)
+    data = {}
+    for name in ["Az-Queue", "AWS-Step", "Az-Dorch", "Az-Dent"]:
+        testbed = Testbed(seed=args.seed)
+        deployment = build_ml_training_deployments(testbed, "small")[name]
+        delays = campaign.run(deployment).cold_start_delays
+        data[name] = percentile(delays, 50)
+    print(render_bars(data, title=f"Cold start delay, median of "
+                                  f"{campaign.request_count} hourly "
+                                  "requests", unit="s"))
+    return 0
+
+
+def cmd_video(args: argparse.Namespace) -> int:
+    rows = []
+    for workers in args.workers:
+        row = [workers]
+        for name in ("AWS-Step", "Az-Dorch"):
+            testbed = Testbed(seed=args.seed)
+            deployment = build_video_deployments(
+                testbed, n_workers=workers)[name]
+            deployment.deploy()
+            run = testbed.run(deployment.invoke(n_workers=workers))
+            row.append(run.latency)
+        rows.append(row)
+    print(render_table(["workers", "AWS-Step (s)", "Az-Dorch (s)"], rows,
+                       title="Video processing latency vs workers"))
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ("AWS-Step", "Az-Dorch"):
+        testbed = Testbed(seed=args.seed)
+        deployment = build_video_deployments(
+            testbed, n_workers=args.workers)[name]
+        deployment.deploy()
+        for _ in range(args.measured_runs):
+            testbed.run(deployment.invoke())
+            testbed.advance(30.0)
+        per_run = cost_report(deployment, per_runs=args.measured_runs)
+        idle = 0
+        if name == "Az-Dorch":
+            before = len(testbed.azure.meter)
+            testbed.advance(3600.0)
+            idle = (len(testbed.azure.meter) - before) * 24 * 30
+        projected = monthly_projection(per_run, args.runs_per_month,
+                                       idle_transactions_per_month=idle)
+        rows.append([name, projected.compute_cost,
+                     projected.transaction_cost, projected.total,
+                     f"{projected.transaction_share:.0%}"])
+    print(render_table(
+        ["variant", "compute $/mo", "transactions $/mo", "total $/mo",
+         "tx share"],
+        rows, title=f"Monthly video cost, {args.workers} workers, "
+                    f"{args.runs_per_month} runs/month"))
+    return 0
+
+
+def cmd_takeaways(args: argparse.Namespace) -> int:
+    from repro.core.takeaways import (
+        evaluate_ml_takeaways,
+        evaluate_video_takeaways,
+        render_takeaways,
+    )
+    takeaways = (evaluate_ml_takeaways(iterations=args.iterations,
+                                       seed=args.seed)
+                 + evaluate_video_takeaways(seed=args.seed))
+    print(render_takeaways(takeaways))
+    return 0 if all(takeaway.holds for takeaway in takeaways) else 1
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    print("Condensed paper reproduction "
+          "(full version: pytest benchmarks/ --benchmark-only -s)\n")
+    args.scale = "small"
+    args.iterations = 8
+    args.variants = ML_VARIANTS
+    cmd_latency(args)
+    print()
+    args.workers = [1, 20, 80]
+    cmd_video(args)
+    print()
+    args.days = 1.0
+    cmd_coldstart(args)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stateful serverless workbench — IISWC'21 reproduction")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="testbed random seed")
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="write campaign results to a JSON file "
+                             "(latency command)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    latency = commands.add_parser(
+        "latency", help="ML training latency across variants (Fig 6)")
+    latency.add_argument("--scale", choices=["small", "large"],
+                         default="small")
+    latency.add_argument("--iterations", type=int, default=10)
+    latency.add_argument("--variants", type=_variants, default=ML_VARIANTS)
+    latency.set_defaults(func=cmd_latency)
+
+    inference = commands.add_parser(
+        "inference", help="ML inference latency (Fig 9)")
+    inference.add_argument("--scale", choices=["small", "large"],
+                           default="small")
+    inference.add_argument("--iterations", type=int, default=10)
+    inference.set_defaults(func=cmd_inference)
+
+    coldstart = commands.add_parser(
+        "coldstart", help="hourly cold-start campaign (Fig 10)")
+    coldstart.add_argument("--days", type=float, default=4.0)
+    coldstart.set_defaults(func=cmd_coldstart)
+
+    video = commands.add_parser(
+        "video", help="video fan-out scaling (Fig 12)")
+    video.add_argument("--workers", type=_worker_list,
+                       default=[1, 5, 10, 20, 40, 80])
+    video.set_defaults(func=cmd_video)
+
+    cost = commands.add_parser(
+        "cost", help="monthly video cost projection (Fig 15)")
+    cost.add_argument("--workers", type=int, default=20)
+    cost.add_argument("--runs-per-month", type=int, default=30)
+    cost.add_argument("--measured-runs", type=int, default=4)
+    cost.set_defaults(func=cmd_cost)
+
+    takeaways = commands.add_parser(
+        "takeaways", help="re-derive the paper's key-takeaway bullets")
+    takeaways.add_argument("--iterations", type=int, default=8)
+    takeaways.set_defaults(func=cmd_takeaways)
+
+    paper = commands.add_parser(
+        "paper", help="condensed run of the main experiments")
+    paper.set_defaults(func=cmd_paper)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

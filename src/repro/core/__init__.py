@@ -1,0 +1,73 @@
+"""The paper's contribution: the cross-platform evaluation harness.
+
+This package wires the two platform simulations and the two workloads
+into the six deployment variants of Table II, runs the measurement
+campaigns of §IV, and renders every table and figure of §V.
+"""
+
+from repro.core.testbed import Testbed
+from repro.core.deployments import (
+    Deployment,
+    RunResult,
+    build_ml_inference_deployments,
+    build_ml_training_deployments,
+    build_video_deployments,
+)
+from repro.core.experiment import (
+    CampaignResult,
+    ColdStartCampaign,
+    ExperimentRunner,
+)
+from repro.core.metrics import (
+    LatencyBreakdown,
+    LatencyStats,
+    cdf_points,
+    percentile,
+    summarize,
+)
+from repro.core.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    LoadGenerator,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from repro.core.costs import CostReport, cost_report
+from repro.core.workflow import (
+    Workflow,
+    map_over,
+    parallel,
+    sequence,
+    task,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "CampaignResult",
+    "DiurnalArrivals",
+    "LoadGenerator",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "ColdStartCampaign",
+    "CostReport",
+    "Deployment",
+    "ExperimentRunner",
+    "LatencyBreakdown",
+    "LatencyStats",
+    "RunResult",
+    "Testbed",
+    "Workflow",
+    "build_ml_inference_deployments",
+    "build_ml_training_deployments",
+    "build_video_deployments",
+    "cdf_points",
+    "cost_report",
+    "percentile",
+    "summarize",
+    "map_over",
+    "parallel",
+    "sequence",
+    "task",
+]

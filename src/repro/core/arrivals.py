@@ -1,0 +1,179 @@
+"""Open-loop load generation: arrival processes and a load driver.
+
+The paper's protocol is closed-loop — one request at a time, spaced out.
+Production traffic is not: requests arrive on their own schedule whether
+or not earlier ones finished.  This module adds the standard arrival
+models (Poisson, uniform, diurnal, bursty) and an open-loop driver, which
+exposes a behaviour the paper's protocol cannot see: under concurrent
+load, AWS's per-request containers absorb bursts while Azure's shared
+instance pool queues them.
+
+Example
+-------
+>>> from repro.core.arrivals import PoissonArrivals
+>>> import numpy as np
+>>> arrivals = PoissonArrivals(rate_per_s=2.0)
+>>> times = arrivals.schedule(np.random.default_rng(0), horizon_s=10.0)
+>>> all(0 <= t <= 10.0 for t in times)
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.core.deployments.base import Deployment, RunResult
+from repro.core.experiment import CampaignResult
+
+
+class ArrivalProcess:
+    """Base class: produces arrival timestamps over a horizon."""
+
+    def schedule(self, rng: np.random.Generator,
+                 horizon_s: float) -> List[float]:
+        """Arrival times in ``[0, horizon_s)``, sorted ascending."""
+        raise NotImplementedError
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_per_s``."""
+
+    rate_per_s: float
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+
+    def schedule(self, rng, horizon_s):
+        times = []
+        now = float(rng.exponential(1.0 / self.rate_per_s))
+        while now < horizon_s:
+            times.append(now)
+            now += float(rng.exponential(1.0 / self.rate_per_s))
+        return times
+
+
+@dataclass
+class UniformArrivals(ArrivalProcess):
+    """Perfectly regular arrivals at ``rate_per_s`` (a pacing baseline)."""
+
+    rate_per_s: float
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+
+    def schedule(self, rng, horizon_s):
+        interval = 1.0 / self.rate_per_s
+        count = int(horizon_s / interval)
+        return [interval * (index + 1) for index in range(count)
+                if interval * (index + 1) < horizon_s]
+
+
+@dataclass
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night modulation of a Poisson process.
+
+    Rate at time t: ``base + amplitude * (1 + sin(2πt/period)) / 2``.
+    Implemented by thinning a Poisson process at the peak rate.
+    """
+
+    base_rate_per_s: float
+    amplitude_per_s: float
+    period_s: float = 86_400.0
+
+    def __post_init__(self):
+        if self.base_rate_per_s <= 0 or self.amplitude_per_s < 0:
+            raise ValueError("rates must be positive")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    def rate_at(self, time_s: float) -> float:
+        phase = (1.0 + math.sin(2.0 * math.pi * time_s / self.period_s)) / 2
+        return self.base_rate_per_s + self.amplitude_per_s * phase
+
+    def schedule(self, rng, horizon_s):
+        peak = self.base_rate_per_s + self.amplitude_per_s
+        times = []
+        now = float(rng.exponential(1.0 / peak))
+        while now < horizon_s:
+            if rng.random() < self.rate_at(now) / peak:
+                times.append(now)
+            now += float(rng.exponential(1.0 / peak))
+        return times
+
+
+@dataclass
+class BurstyArrivals(ArrivalProcess):
+    """Poisson background plus occasional simultaneous bursts."""
+
+    rate_per_s: float
+    burst_size: int = 10
+    bursts_per_hour: float = 2.0
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0 or self.burst_size < 1:
+            raise ValueError("rate and burst size must be positive")
+
+    def schedule(self, rng, horizon_s):
+        times = list(PoissonArrivals(self.rate_per_s).schedule(
+            rng, horizon_s))
+        n_bursts = rng.poisson(self.bursts_per_hour * horizon_s / 3600.0)
+        for _ in range(n_bursts):
+            at = float(rng.uniform(0.0, horizon_s))
+            times.extend([at] * self.burst_size)
+        return sorted(times)
+
+
+class LoadGenerator:
+    """Open-loop driver: fire invocations on the arrival schedule.
+
+    Unlike :class:`~repro.core.experiment.ExperimentRunner`, it does not
+    wait for one run to finish before the next arrives — concurrency is
+    whatever the schedule produces.
+    """
+
+    def __init__(self, arrivals: ArrivalProcess, horizon_s: float,
+                 drain: bool = True):
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        self.arrivals = arrivals
+        self.horizon_s = horizon_s
+        self.drain = drain
+
+    def run(self, deployment: Deployment,
+            invoke_kwargs: Optional[Dict[str, Any]] = None
+            ) -> CampaignResult:
+        """Drive the deployment; returns a campaign of all completed runs."""
+        deployment.deploy()
+        testbed = deployment.testbed
+        rng = testbed.streams.get(f"load.{deployment.name}")
+        offsets = self.arrivals.schedule(rng, self.horizon_s)
+        kwargs = invoke_kwargs or {}
+        result = CampaignResult(deployment=deployment.name)
+        start = testbed.now
+
+        def fire(env, delay):
+            yield env.timeout(delay)
+            run = yield from deployment.invoke(**kwargs)
+            result.runs.append(run)
+            return run
+
+        processes = [testbed.env.process(fire(testbed.env, offset))
+                     for offset in offsets]
+
+        def driver(env):
+            if processes:
+                yield env.all_of(processes)
+
+        if self.drain:
+            testbed.env.run(until=testbed.env.process(driver(testbed.env)))
+        else:
+            testbed.env.run(until=start + self.horizon_s)
+        result.runs.sort(key=lambda run: run.started_at)
+        return result

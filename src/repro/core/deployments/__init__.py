@@ -1,0 +1,31 @@
+"""The six deployment variants of Table II, for both workloads.
+
+Builders return dictionaries keyed by the paper's graph references
+(``AWS-Lambda``, ``AWS-Step``, ``Az-Func``, ``Az-Queue``, ``Az-Dorch``,
+``Az-Dent``).
+"""
+
+from repro.core.deployments.base import Deployment, RunResult
+from repro.core.deployments.ml import (
+    MLWorkload,
+    build_ml_inference_deployments,
+    build_ml_training_deployments,
+    ml_workload,
+)
+from repro.core.deployments.video import (
+    VideoWorkload,
+    build_video_deployments,
+    video_workload,
+)
+
+__all__ = [
+    "Deployment",
+    "MLWorkload",
+    "RunResult",
+    "VideoWorkload",
+    "build_ml_inference_deployments",
+    "build_ml_training_deployments",
+    "build_video_deployments",
+    "ml_workload",
+    "video_workload",
+]

@@ -1,0 +1,150 @@
+"""Measurement campaigns: the paper's experimental protocol (§IV).
+
+* :class:`ExperimentRunner` — "results are collected from running over
+  one hundred iterations of each implementation": repeated invocations on
+  one testbed, with latency stats, per-run breakdowns and cost meters.
+* :class:`ColdStartCampaign` — "each workflow is run for four days, with
+  the rate of one request per hour": 96 widely-spaced invocations whose
+  trigger-to-start delays form Fig 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.core.deployments.base import Deployment, RunResult
+from repro.core.metrics import (
+    LatencyBreakdown,
+    LatencyStats,
+    breakdown_from_spans,
+    summarize,
+)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced for one deployment."""
+
+    deployment: str
+    runs: List[RunResult] = field(default_factory=list)
+    breakdowns: List[LatencyBreakdown] = field(default_factory=list)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [run.latency for run in self.runs]
+
+    @property
+    def cold_start_delays(self) -> List[float]:
+        return [run.cold_start_delay for run in self.runs
+                if run.cold_start_delay is not None]
+
+    def stats(self) -> LatencyStats:
+        return summarize(self.latencies)
+
+    def median_breakdown(self) -> LatencyBreakdown:
+        """Component-wise median of the per-run breakdowns."""
+        if not self.breakdowns:
+            raise ValueError("no breakdowns recorded")
+        from repro.core.metrics import percentile
+        return LatencyBreakdown(
+            queue_time=percentile(
+                [b.queue_time for b in self.breakdowns], 50),
+            execution_time=percentile(
+                [b.execution_time for b in self.breakdowns], 50),
+            cold_start_time=percentile(
+                [b.cold_start_time for b in self.breakdowns], 50))
+
+    def p99_breakdown(self) -> LatencyBreakdown:
+        """Breakdown of the run nearest the 99ile latency (Fig 8)."""
+        if not self.breakdowns:
+            raise ValueError("no breakdowns recorded")
+        from repro.core.metrics import percentile
+        target = percentile(self.latencies, 99)
+        index = min(range(len(self.runs)),
+                    key=lambda i: abs(self.runs[i].latency - target))
+        return self.breakdowns[index]
+
+
+class ExperimentRunner:
+    """Runs latency campaigns against deployed variants."""
+
+    def __init__(self, think_time_s: float = 30.0,
+                 settle_time_s: float = 5.0):
+        #: pause between iterations (containers stay warm, queues drain)
+        self.think_time_s = think_time_s
+        #: pause after each run so async billing/polling settles
+        self.settle_time_s = settle_time_s
+
+    def run_campaign(self, deployment: Deployment, iterations: int,
+                     warmup: int = 1,
+                     invoke_kwargs: Optional[Dict[str, Any]] = None
+                     ) -> CampaignResult:
+        """``iterations`` measured runs (after ``warmup`` unmeasured)."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        deployment.deploy()
+        testbed = deployment.testbed
+        telemetry = deployment.stack.telemetry
+        result = CampaignResult(deployment=deployment.name)
+        kwargs = invoke_kwargs or {}
+
+        for index in range(warmup + iterations):
+            window_start = testbed.now
+            run = testbed.run(deployment.invoke(**kwargs))
+            testbed.advance(self.settle_time_s)
+            if index >= warmup:
+                result.runs.append(run)
+                result.breakdowns.append(breakdown_from_spans(
+                    telemetry, since=window_start, until=testbed.now))
+            testbed.advance(self.think_time_s)
+        return result
+
+    def run_parallel_batch(self, deployment: Deployment, batch: int,
+                           invoke_kwargs: Optional[Dict[str, Any]] = None
+                           ) -> List[RunResult]:
+        """``batch`` concurrent invocations (fan-out stress)."""
+        deployment.deploy()
+        testbed = deployment.testbed
+        kwargs = invoke_kwargs or {}
+
+        def launcher(env):
+            processes = [
+                env.process(_drive(deployment.invoke(**kwargs)))
+                for _ in range(batch)]
+            yield env.all_of(processes)
+            return [process.value for process in processes]
+
+        return testbed.env.run(
+            until=testbed.env.process(launcher(testbed.env)))
+
+
+def _drive(generator: Generator):
+    result = yield from generator
+    return result
+
+
+class ColdStartCampaign:
+    """The paper's 4-day, one-request-per-hour cold-start protocol."""
+
+    def __init__(self, interval_s: float = 3600.0, days: float = 4.0):
+        if interval_s <= 0 or days <= 0:
+            raise ValueError("interval and days must be positive")
+        self.interval_s = interval_s
+        self.days = days
+
+    @property
+    def request_count(self) -> int:
+        return int(self.days * 86400.0 / self.interval_s)
+
+    def run(self, deployment: Deployment) -> CampaignResult:
+        """Returns a campaign whose cold_start_delays form Fig 10."""
+        deployment.deploy()
+        testbed = deployment.testbed
+        result = CampaignResult(deployment=deployment.name)
+        for _ in range(self.request_count):
+            run = testbed.run(deployment.invoke())
+            result.runs.append(run)
+            elapsed = testbed.now - run.started_at
+            testbed.advance(max(0.0, self.interval_s - elapsed))
+        return result

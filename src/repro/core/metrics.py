@@ -1,0 +1,117 @@
+"""Latency statistics: percentiles, CDFs, breakdowns.
+
+The aggregation layer behind every latency figure in the paper — median
+and 99ile bars (Fig 6), CDFs (Fig 7, Fig 14), queue/execution breakdowns
+(Fig 8, Fig 13) and fan-out finish-time tables (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics for one deployment's latency sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean,
+                "median": self.median, "p95": self.p95, "p99": self.p99,
+                "min": self.minimum, "max": self.maximum}
+
+
+def summarize(values: Sequence[float]) -> LatencyStats:
+    """Compute the full stats bundle for a latency sample."""
+    if len(values) == 0:
+        raise ValueError("no values to summarize")
+    data = np.asarray(values, dtype=float)
+    return LatencyStats(
+        count=len(data), mean=float(data.mean()),
+        median=float(np.percentile(data, 50)),
+        p95=float(np.percentile(data, 95)),
+        p99=float(np.percentile(data, 99)),
+        minimum=float(data.min()), maximum=float(data.max()))
+
+
+def cdf_points(values: Sequence[float],
+               n_points: int = 100) -> List[Tuple[float, float]]:
+    """(latency, cumulative fraction) pairs for CDF plots (Fig 7/14)."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    data = np.sort(np.asarray(values, dtype=float))
+    if n_points >= len(data):
+        fractions = (np.arange(len(data)) + 1) / len(data)
+        return list(zip(data.tolist(), fractions.tolist()))
+    quantiles = np.linspace(0.0, 1.0, n_points + 1)[1:]
+    points = np.quantile(data, quantiles)
+    return list(zip(points.tolist(), quantiles.tolist()))
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """Share of values ≥ threshold (e.g. 'half the workers wait ≥40 s')."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    data = np.asarray(values, dtype=float)
+    return float((data >= threshold).mean())
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Queue time vs execution time (Fig 8 / Fig 13)."""
+
+    queue_time: float
+    execution_time: float
+    cold_start_time: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.queue_time + self.execution_time + self.cold_start_time
+
+    @property
+    def queue_share(self) -> float:
+        return self.queue_time / self.total if self.total else 0.0
+
+
+def breakdown_from_spans(telemetry, since: float,
+                         until: float) -> LatencyBreakdown:
+    """Aggregate a window of spans into a queue/execution breakdown.
+
+    * queue time — scheduling waits and queue-trigger polling,
+    * execution time — billable handler execution (incl. replay),
+    * cold start — container/instance provisioning.
+    """
+    queue_time = 0.0
+    execution_time = 0.0
+    cold_time = 0.0
+    for span in telemetry.spans:
+        if not span.closed or span.start < since or span.start >= until:
+            continue
+        if span.kind in ("queue_wait", "scheduling"):
+            queue_time += span.duration
+        elif span.kind == "execution":
+            execution_time += span.duration
+        elif span.kind == "cold_start":
+            cold_time += span.duration
+    return LatencyBreakdown(queue_time=queue_time,
+                            execution_time=execution_time,
+                            cold_start_time=cold_time)

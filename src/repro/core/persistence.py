@@ -1,0 +1,104 @@
+"""Persist experiment results to JSON for cross-run comparison.
+
+Campaign latencies and cost reports serialize to a stable, versioned JSON
+shape so that a run's numbers can be archived next to EXPERIMENTS.md,
+diffed across calibration changes, or post-processed elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.costs import CostReport
+from repro.core.deployments.base import RunResult
+from repro.core.experiment import CampaignResult
+from repro.core.metrics import LatencyBreakdown
+
+FORMAT_VERSION = 1
+
+
+def campaign_to_dict(campaign: CampaignResult) -> Dict[str, Any]:
+    """A JSON-ready representation of a campaign."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "campaign",
+        "deployment": campaign.deployment,
+        "runs": [asdict(run) for run in campaign.runs],
+        "breakdowns": [asdict(breakdown)
+                       for breakdown in campaign.breakdowns],
+    }
+
+
+def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
+    """Inverse of :func:`campaign_to_dict`."""
+    _check(data, "campaign")
+    campaign = CampaignResult(deployment=data["deployment"])
+    campaign.runs = [RunResult(**run) for run in data["runs"]]
+    campaign.breakdowns = [LatencyBreakdown(**breakdown)
+                           for breakdown in data["breakdowns"]]
+    return campaign
+
+
+def cost_report_to_dict(report: CostReport) -> Dict[str, Any]:
+    """A JSON-ready representation of a cost report."""
+    payload = asdict(report)
+    payload.update({"format_version": FORMAT_VERSION, "kind": "cost"})
+    return payload
+
+
+def cost_report_from_dict(data: Dict[str, Any]) -> CostReport:
+    """Inverse of :func:`cost_report_to_dict`."""
+    _check(data, "cost")
+    fields = {key: value for key, value in data.items()
+              if key not in ("format_version", "kind")}
+    return CostReport(**fields)
+
+
+def _check(data: Dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ValueError(
+            f"expected a {kind!r} document, got {data.get('kind')!r}")
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('format_version')!r}")
+
+
+def save_results(path: Union[str, Path],
+                 campaigns: Optional[List[CampaignResult]] = None,
+                 cost_reports: Optional[List[CostReport]] = None,
+                 metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Write campaigns and cost reports to one JSON file."""
+    path = Path(path)
+    document = {
+        "format_version": FORMAT_VERSION,
+        "kind": "results",
+        "metadata": dict(metadata or {}),
+        "campaigns": [campaign_to_dict(campaign)
+                      for campaign in (campaigns or [])],
+        "cost_reports": [cost_report_to_dict(report)
+                         for report in (cost_reports or [])],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, default=_fallback))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a results file back into live objects."""
+    data = json.loads(Path(path).read_text())
+    _check(data, "results")
+    return {
+        "metadata": data["metadata"],
+        "campaigns": [campaign_from_dict(campaign)
+                      for campaign in data["campaigns"]],
+        "cost_reports": [cost_report_from_dict(report)
+                         for report in data["cost_reports"]],
+    }
+
+
+def _fallback(value: Any) -> Any:
+    """JSON encoder fallback: stringify anything exotic in run values."""
+    return repr(value)

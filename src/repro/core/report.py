@@ -1,0 +1,165 @@
+"""Text renderers for the paper's tables and figures.
+
+Benchmarks print these so a run of ``pytest benchmarks/ --benchmark-only``
+reproduces every table and figure as readable console output, alongside
+the qualitative assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(header).ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(value.ljust(width)
+                                for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_bars(data: Dict[str, float], title: str = "", unit: str = "",
+                width: int = 50) -> str:
+    """Horizontal ASCII bars, longest label-aligned (the paper's bar
+    charts, e.g. Fig 6/9/10/11)."""
+    if not data:
+        raise ValueError("no data to render")
+    label_width = max(len(label) for label in data)
+    peak = max(abs(value) for value in data.values()) or 1.0
+    lines = [title] if title else []
+    for label, value in data.items():
+        bar = "#" * max(1, int(round(width * abs(value) / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(groups: Dict[str, Dict[str, float]], title: str = "",
+                        unit: str = "") -> str:
+    """Bars grouped by an outer key (e.g. dataset scale)."""
+    lines = [title] if title else []
+    for group, data in groups.items():
+        lines.append(f"-- {group}")
+        lines.append(render_bars(data, unit=unit))
+    return "\n".join(lines)
+
+
+def render_cdf(series: Dict[str, List[Tuple[float, float]]],
+               title: str = "", quantiles: Sequence[float] = (
+                   0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)) -> str:
+    """A CDF as a quantile table (Fig 7 / Fig 14)."""
+    headers = ["fraction"] + list(series)
+    rows = []
+    for target in quantiles:
+        row: List[object] = [f"{target:.2f}"]
+        for points in series.values():
+            value = _value_at_fraction(points, target)
+            row.append(value)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _value_at_fraction(points: List[Tuple[float, float]],
+                       target: float) -> float:
+    for value, fraction in points:
+        if fraction >= target:
+            return value
+    return points[-1][0]
+
+
+def render_gantt(spans, since: float = 0.0, until: Optional[float] = None,
+                 width: int = 72, max_rows: int = 40,
+                 title: str = "") -> str:
+    """An ASCII Gantt chart of telemetry spans — the debugging view.
+
+    Each closed span becomes one row: a bar positioned on a common time
+    axis, labelled ``kind:name``.  Useful for eyeballing where a workflow
+    spent its time (cold starts, queueing, execution, replay).
+    """
+    closed = [span for span in spans if span.closed and span.start >= since
+              and (until is None or span.start < until)]
+    if not closed:
+        raise ValueError("no closed spans in the window")
+    closed.sort(key=lambda span: (span.start, span.span_id))
+    closed = closed[:max_rows]
+    t0 = min(span.start for span in closed)
+    t1 = max(span.end for span in closed)
+    span_of_axis = max(t1 - t0, 1e-9)
+    label_width = max(len(f"{span.kind}:{span.name}") for span in closed)
+    lines = [title] if title else []
+    lines.append(f"{'':{label_width}}  {t0:.2f}s {'-' * (width - 16)} "
+                 f"{t1:.2f}s")
+    for span in closed:
+        begin = int(width * (span.start - t0) / span_of_axis)
+        length = max(1, int(width * span.duration / span_of_axis))
+        bar = " " * begin + "#" * min(length, width - begin)
+        label = f"{span.kind}:{span.name}"
+        lines.append(f"{label:{label_width}}  |{bar.ljust(width)}| "
+                     f"{span.duration:.2f}s")
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_timeseries(points: Sequence[Tuple[float, float]],
+                      title: str = "", unit: str = "",
+                      width: int = 60) -> str:
+    """A sparkline plus min/max annotations for a metric timeseries.
+
+    ``points`` are (time, value) pairs, e.g. from
+    :meth:`repro.telemetry.metrics.MetricSeries.percentile_per_period`.
+    """
+    if not points:
+        raise ValueError("no points to render")
+    values = [value for _, value in points]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    if len(values) > width:
+        # Downsample by striding; sparklines don't need every point.
+        stride = len(values) / width
+        values = [values[int(index * stride)] for index in range(width)]
+    marks = "".join(
+        _SPARK_LEVELS[int((value - low) / span * (len(_SPARK_LEVELS) - 1))]
+        for value in values)
+    lines = [title] if title else []
+    lines.append(f"[{marks}]")
+    lines.append(f"min={low:,.2f}{unit}  max={high:,.2f}{unit}  "
+                 f"n={len(points)}  t=[{points[0][0]:,.0f}s"
+                 f"..{points[-1][0]:,.0f}s]")
+    return "\n".join(lines)
+
+
+def render_breakdown(data: Dict[str, Tuple[float, float]],
+                     title: str = "") -> str:
+    """Stacked queue/execution breakdown table (Fig 8 / Fig 13)."""
+    headers = ["implementation", "queue time (s)", "execution time (s)",
+               "total (s)"]
+    rows = [[name, queue, execution, queue + execution]
+            for name, (queue, execution) in data.items()]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,140 @@
+"""Parameter sweeps: sensitivity analysis over calibration constants.
+
+The reproduction's claims are shapes, and shapes should be robust to the
+calibration constants around them.  A :class:`CalibrationSweep` reruns a
+measurement under a grid of calibration overrides and tabulates the
+metric, making "how sensitive is Fig 12 to the scale interval?" a
+three-line question.
+
+Example
+-------
+>>> from repro.core.sweep import CalibrationSweep
+>>> sweep = CalibrationSweep(platform="azure",
+...                          parameter="scale_interval_s",
+...                          values=[5.0, 10.0, 20.0])
+>>> len(sweep.points())
+3
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.testbed import Testbed
+from repro.platforms.calibration import (
+    default_aws_calibration,
+    default_azure_calibration,
+)
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the overrides applied and the measured value."""
+
+    overrides: Dict[str, Any]
+    value: Any = None
+
+
+class CalibrationSweep:
+    """A one-parameter sweep over a platform calibration constant."""
+
+    def __init__(self, platform: str, parameter: str,
+                 values: Sequence[Any], seed: int = 0):
+        if platform not in ("aws", "azure"):
+            raise ValueError("platform must be 'aws' or 'azure'")
+        if not values:
+            raise ValueError("sweep needs at least one value")
+        template = (default_aws_calibration() if platform == "aws"
+                    else default_azure_calibration())
+        if not hasattr(template, parameter):
+            raise AttributeError(
+                f"{type(template).__name__} has no field {parameter!r}")
+        self.platform = platform
+        self.parameter = parameter
+        self.values = list(values)
+        self.seed = seed
+
+    def points(self) -> List[SweepPoint]:
+        return [SweepPoint(overrides={self.parameter: value})
+                for value in self.values]
+
+    def run(self, measure: Callable[[Testbed], Any]) -> List[SweepPoint]:
+        """Evaluate ``measure`` on a fresh testbed per grid point.
+
+        ``measure`` receives a testbed whose calibration carries the
+        point's override and returns the metric to record.
+        """
+        results = []
+        for point in self.points():
+            aws = default_aws_calibration()
+            azure = default_azure_calibration()
+            target = aws if self.platform == "aws" else azure
+            for key, value in point.overrides.items():
+                setattr(target, key, value)
+            testbed = Testbed(seed=self.seed, aws_calibration=aws,
+                              azure_calibration=azure)
+            point.value = measure(testbed)
+            results.append(point)
+        return results
+
+
+class GridSweep:
+    """A multi-parameter grid over both calibrations.
+
+    ``grid`` maps ``"aws.field"`` / ``"azure.field"`` names to value
+    lists; the cartesian product is evaluated.
+    """
+
+    def __init__(self, grid: Dict[str, Sequence[Any]], seed: int = 0):
+        if not grid:
+            raise ValueError("grid must not be empty")
+        for name in grid:
+            platform, _, parameter = name.partition(".")
+            if platform not in ("aws", "azure") or not parameter:
+                raise ValueError(
+                    f"grid keys look like 'aws.field' or 'azure.field', "
+                    f"got {name!r}")
+            template = (default_aws_calibration() if platform == "aws"
+                        else default_azure_calibration())
+            if not hasattr(template, parameter):
+                raise AttributeError(
+                    f"{type(template).__name__} has no field {parameter!r}")
+        self.grid = {name: list(values) for name, values in grid.items()}
+        self.seed = seed
+
+    def points(self) -> List[SweepPoint]:
+        names = sorted(self.grid)
+        combinations = itertools.product(
+            *(self.grid[name] for name in names))
+        return [SweepPoint(overrides=dict(zip(names, combo)))
+                for combo in combinations]
+
+    def run(self, measure: Callable[[Testbed], Any]) -> List[SweepPoint]:
+        results = []
+        for point in self.points():
+            aws = default_aws_calibration()
+            azure = default_azure_calibration()
+            for name, value in point.overrides.items():
+                platform, _, parameter = name.partition(".")
+                target = aws if platform == "aws" else azure
+                setattr(target, parameter, value)
+            testbed = Testbed(seed=self.seed, aws_calibration=aws,
+                              azure_calibration=azure)
+            point.value = measure(testbed)
+            results.append(point)
+        return results
+
+
+def tabulate(points: List[SweepPoint],
+             value_label: str = "value") -> List[List[Any]]:
+    """Rows ``[override..., value]`` ready for ``render_table``."""
+    if not points:
+        raise ValueError("no sweep points")
+    names = sorted(points[0].overrides)
+    rows = []
+    for point in points:
+        rows.append([point.overrides[name] for name in names]
+                    + [point.value])
+    return rows

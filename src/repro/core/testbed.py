@@ -1,0 +1,125 @@
+"""The testbed: one simulated world holding both cloud platforms.
+
+A :class:`Testbed` owns a single simulation environment plus, per
+platform, a complete service stack (runtime, storage, telemetry, billing
+and transaction meters).  Deployments register their functions into the
+testbed; the experiment runner drives invocations and reads measurements
+back out of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.aws import AWSPriceModel, LambdaService, StepFunctionsService
+from repro.azure import (
+    AzurePriceModel,
+    DurableFunctionsRuntime,
+    FunctionAppService,
+)
+from repro.platforms.billing import BillingMeter
+from repro.platforms.calibration import (
+    AWSCalibration,
+    AzureCalibration,
+    default_aws_calibration,
+    default_azure_calibration,
+)
+from repro.sim import Environment, RandomStreams
+from repro.storage import BlobStore, TransactionMeter
+from repro.telemetry import Telemetry
+
+
+@dataclass
+class PlatformStack:
+    """One platform's services and meters."""
+
+    telemetry: Telemetry
+    billing: BillingMeter
+    meter: TransactionMeter
+    blob: BlobStore
+
+    def reset_meters(self) -> None:
+        """Clear billing/transaction/telemetry state between campaigns."""
+        self.telemetry.reset()
+        self.billing.reset()
+        self.meter.reset()
+
+
+class Testbed:
+    """A fresh simulated world with AWS and Azure stacks side by side."""
+
+    #: not a pytest test class, despite the name
+    __test__ = False
+
+    def __init__(self, seed: int = 0,
+                 aws_calibration: Optional[AWSCalibration] = None,
+                 azure_calibration: Optional[AzureCalibration] = None):
+        self.env = Environment()
+        self.streams = RandomStreams(seed=seed)
+        self.aws_calibration = aws_calibration or default_aws_calibration()
+        self.azure_calibration = (azure_calibration
+                                  or default_azure_calibration())
+
+        clock = lambda: self.env.now  # noqa: E731 - tiny clock closure
+
+        # -- AWS stack ----------------------------------------------------------
+        aws_telemetry = Telemetry(clock)
+        aws_billing = BillingMeter(clock)
+        aws_meter = TransactionMeter(clock)
+        aws_blob = BlobStore(self.env, aws_meter,
+                             self.streams.get("aws.blob"), account="s3")
+        self.aws = PlatformStack(aws_telemetry, aws_billing, aws_meter,
+                                 aws_blob)
+        self.lambdas = LambdaService(
+            self.env, aws_telemetry, aws_billing, self.streams,
+            calibration=self.aws_calibration,
+            services={"blob": aws_blob})
+        self.stepfunctions = StepFunctionsService(
+            self.env, self.lambdas, aws_telemetry, aws_meter)
+        self.aws_prices = AWSPriceModel(self.aws_calibration)
+
+        # -- Azure stack ---------------------------------------------------------
+        azure_telemetry = Telemetry(clock)
+        azure_billing = BillingMeter(clock)
+        azure_meter = TransactionMeter(clock)
+        azure_blob = BlobStore(self.env, azure_meter,
+                               self.streams.get("azure.blob"),
+                               account="azblob")
+        self.azure = PlatformStack(azure_telemetry, azure_billing,
+                                   azure_meter, azure_blob)
+        self.durable = DurableFunctionsRuntime(
+            self.env, azure_telemetry, azure_billing, azure_meter,
+            self.streams, calibration=self.azure_calibration,
+            services={"blob": azure_blob})
+        self.azure_prices = AzurePriceModel(self.azure_calibration)
+
+    @property
+    def app(self) -> FunctionAppService:
+        """The Azure function app (shared by durable and plain functions)."""
+        return self.durable.app
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(self, generator: Generator) -> Any:
+        """Drive a workflow generator to completion on the testbed clock."""
+        def process(env):
+            result = yield from generator
+            return result
+        return self.env.run(until=self.env.process(process(self.env)))
+
+    def advance(self, seconds: float) -> None:
+        """Let simulated time pass (background pumps keep running)."""
+        if seconds < 0:
+            raise ValueError("cannot advance backwards")
+        self.env.run(until=self.env.now + seconds)
+
+    def stack(self, platform: str) -> PlatformStack:
+        """The meter stack for 'aws' or 'azure'."""
+        if platform == "aws":
+            return self.aws
+        if platform == "azure":
+            return self.azure
+        raise ValueError(f"unknown platform: {platform!r}")

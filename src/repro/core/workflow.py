@@ -1,0 +1,276 @@
+"""Platform-neutral workflow IR: author once, deploy to either cloud.
+
+The paper's core tenant problem (§I) is *choosing* between two
+incompatible programming models: AWS's JSON state machines versus Azure's
+code-first orchestrators.  This module answers the library-design
+question that follows from the characterization: a small workflow graph —
+tasks, sequences, parallel fan-outs, dynamic maps — that **compiles to
+both**: an Amazon-States-Language definition for Step Functions and a
+generator orchestrator for Durable Functions.
+
+Semantics are aligned with the lowest common denominator the paper
+evaluates:
+
+* a *task* names a function deployed on the target platform and receives
+  the current data document;
+* a *sequence* threads the document through steps;
+* a *parallel* block runs fixed branches and yields the list of branch
+  outputs;
+* a *map* fans out over a list produced by ``items_path`` in the document
+  and yields the list of per-item outputs.
+
+Example
+-------
+>>> from repro.core.workflow import Workflow, task, sequence
+>>> wf = Workflow("etl", sequence(task("extract"), task("load")))
+>>> definition = wf.to_asl()
+>>> definition["StartAt"]
+'etl-1-extract'
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.aws.jsonpath import get_path
+
+
+# -- nodes -------------------------------------------------------------------------
+
+class Node:
+    """Base class for workflow graph nodes."""
+
+
+@dataclass
+class TaskNode(Node):
+    """Invoke the platform function registered under ``function``."""
+
+    function: str
+
+    def __post_init__(self):
+        if not self.function:
+            raise ValueError("task needs a function name")
+
+
+@dataclass
+class SequenceNode(Node):
+    """Run steps in order, threading the data document through."""
+
+    steps: List[Node]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("sequence needs at least one step")
+
+
+@dataclass
+class ParallelNode(Node):
+    """Run fixed branches concurrently; output is the branch-output list."""
+
+    branches: List[Node]
+
+    def __post_init__(self):
+        if not self.branches:
+            raise ValueError("parallel needs at least one branch")
+
+
+@dataclass
+class MapNode(Node):
+    """Fan out over the list at ``items_path``; output is the result list."""
+
+    items_path: str
+    iterator: Node
+    max_concurrency: int = 0
+
+    def __post_init__(self):
+        if not self.items_path.startswith("$"):
+            raise ValueError("items_path must be a reference path ($...)")
+        if self.max_concurrency < 0:
+            raise ValueError("max_concurrency must be non-negative")
+
+
+def task(function: str) -> TaskNode:
+    """Sugar for :class:`TaskNode`."""
+    return TaskNode(function=function)
+
+
+def sequence(*steps: Node) -> SequenceNode:
+    """Sugar for :class:`SequenceNode`."""
+    return SequenceNode(steps=list(steps))
+
+
+def parallel(*branches: Node) -> ParallelNode:
+    """Sugar for :class:`ParallelNode`."""
+    return ParallelNode(branches=list(branches))
+
+
+def map_over(items_path: str, iterator: Node,
+             max_concurrency: int = 0) -> MapNode:
+    """Sugar for :class:`MapNode`."""
+    return MapNode(items_path=items_path, iterator=iterator,
+                   max_concurrency=max_concurrency)
+
+
+# -- the workflow --------------------------------------------------------------------
+
+class Workflow:
+    """A named, platform-neutral workflow graph."""
+
+    def __init__(self, name: str, root: Node):
+        if not name:
+            raise ValueError("workflow needs a name")
+        if not isinstance(root, Node):
+            raise TypeError(f"root must be a workflow node, got {root!r}")
+        self.name = name
+        self.root = root
+
+    def functions(self) -> List[str]:
+        """All function names the workflow references (deduplicated)."""
+        found: List[str] = []
+
+        def visit(node: Node) -> None:
+            if isinstance(node, TaskNode):
+                if node.function not in found:
+                    found.append(node.function)
+            elif isinstance(node, SequenceNode):
+                for step in node.steps:
+                    visit(step)
+            elif isinstance(node, ParallelNode):
+                for branch in node.branches:
+                    visit(branch)
+            elif isinstance(node, MapNode):
+                visit(node.iterator)
+
+        visit(self.root)
+        return found
+
+    # -- AWS compilation -------------------------------------------------------------
+
+    def to_asl(self) -> Dict[str, Any]:
+        """Compile to an Amazon-States-Language definition."""
+        counter = itertools.count()
+
+        def state_name(label: str) -> str:
+            return f"{self.name}-{next(counter)}-{label}"
+
+        def compile_node(node: Node, next_state: Optional[str]
+                         ) -> (str, Dict[str, Any]):
+            """Compile ``node``; returns (entry_state, states_dict)."""
+            terminal = {"End": True} if next_state is None else {
+                "Next": next_state}
+            if isinstance(node, TaskNode):
+                name = state_name(node.function)
+                return name, {name: {"Type": "Task",
+                                     "Resource": node.function,
+                                     **terminal}}
+            if isinstance(node, SequenceNode):
+                states: Dict[str, Any] = {}
+                entry = next_state
+                for step in reversed(node.steps):
+                    entry, step_states = compile_node(step, entry)
+                    states.update(step_states)
+                return entry, states
+            if isinstance(node, ParallelNode):
+                name = state_name("parallel")
+                branches = []
+                for branch in node.branches:
+                    entry, states = compile_node(branch, None)
+                    branches.append({"StartAt": entry, "States": states})
+                return name, {name: {"Type": "Parallel",
+                                     "Branches": branches, **terminal}}
+            if isinstance(node, MapNode):
+                name = state_name("map")
+                entry, states = compile_node(node.iterator, None)
+                return name, {name: {
+                    "Type": "Map", "ItemsPath": node.items_path,
+                    "MaxConcurrency": node.max_concurrency,
+                    "Iterator": {"StartAt": entry, "States": states},
+                    **terminal}}
+            raise TypeError(f"unknown node type: {type(node).__name__}")
+
+        start_at, states = compile_node(self.root, None)
+        return {"Comment": f"compiled from workflow {self.name!r}",
+                "StartAt": start_at, "States": states}
+
+    def deploy_aws(self, testbed, workflow_type: str = "standard") -> str:
+        """Create the state machine on the testbed; returns its name.
+
+        ``workflow_type`` selects Standard or Express semantics/pricing.
+        """
+        for function in self.functions():
+            testbed.lambdas.get_function(function)   # fail fast
+        testbed.stepfunctions.create_state_machine(
+            self.name, self.to_asl(), workflow_type=workflow_type)
+        return self.name
+
+    # -- Azure compilation --------------------------------------------------------------
+
+    def to_orchestrator(self) -> Callable[[Any], Generator]:
+        """Compile to a deterministic Durable orchestrator generator."""
+        root = self.root
+
+        def run_node(context, node: Node, data: Any):
+            if isinstance(node, TaskNode):
+                result = yield context.call_activity(node.function, data)
+                return result
+            if isinstance(node, SequenceNode):
+                for step in node.steps:
+                    data = yield from run_node(context, step, data)
+                return data
+            if isinstance(node, ParallelNode):
+                # Durable has no sub-graph parallelism primitive for
+                # arbitrary branches; single-task branches fan out as one
+                # task_all, nested branches run as sub-sequences in order
+                # of scheduling (they still overlap via the task model
+                # when each branch is a single activity).
+                if all(isinstance(branch, TaskNode)
+                       for branch in node.branches):
+                    tasks = [context.call_activity(branch.function, data)
+                             for branch in node.branches]
+                    results = yield context.task_all(tasks)
+                    return results
+                results = []
+                for branch in node.branches:
+                    results.append((yield from run_node(
+                        context, branch, data)))
+                return results
+            if isinstance(node, MapNode):
+                items = get_path(data, node.items_path)
+                if not isinstance(items, list):
+                    raise TypeError(
+                        f"items_path {node.items_path!r} did not "
+                        "resolve to a list")
+                if isinstance(node.iterator, TaskNode):
+                    tasks = [context.call_activity(
+                        node.iterator.function, item) for item in items]
+                    results = yield context.task_all(tasks)
+                    return results
+                results = []
+                for item in items:
+                    results.append((yield from run_node(
+                        context, node.iterator, item)))
+                return results
+            raise TypeError(f"unknown node type: {type(node).__name__}")
+
+        def orchestrator(context):
+            result = yield from run_node(context, root, context.input)
+            return result
+
+        orchestrator.__name__ = f"workflow_{self.name}"
+        return orchestrator
+
+    def deploy_azure(self, testbed, measured_memory_mb: int = 256) -> str:
+        """Register the orchestrator on the testbed; returns its name."""
+        from repro.azure import OrchestratorSpec
+        for function in self.functions():
+            testbed.app.get_function(function)   # fail fast
+        testbed.durable.register_orchestrator(OrchestratorSpec(
+            self.name, self.to_orchestrator(),
+            measured_memory_mb=measured_memory_mb))
+        return self.name
+
+    def __repr__(self) -> str:
+        return (f"Workflow(name={self.name!r}, "
+                f"functions={self.functions()})")

@@ -1,0 +1,40 @@
+"""Shared platform abstractions and calibration constants.
+
+:mod:`repro.platforms.base` defines the function/handler contract common to
+both cloud simulations; :mod:`repro.platforms.calibration` holds every
+latency distribution and price constant, each documented against the paper
+measurement it reproduces; :mod:`repro.platforms.billing` is the unified
+cost meter both platforms bill into.
+"""
+
+from repro.platforms.base import (
+    FunctionContext,
+    FunctionSpec,
+    FunctionTimeout,
+    InvocationResult,
+    PayloadLimitExceeded,
+    WorkModel,
+)
+from repro.platforms.billing import BillingMeter, ComputeCharge, RequestCharge
+from repro.platforms.calibration import (
+    AWSCalibration,
+    AzureCalibration,
+    default_aws_calibration,
+    default_azure_calibration,
+)
+
+__all__ = [
+    "AWSCalibration",
+    "AzureCalibration",
+    "BillingMeter",
+    "ComputeCharge",
+    "FunctionContext",
+    "FunctionSpec",
+    "FunctionTimeout",
+    "InvocationResult",
+    "PayloadLimitExceeded",
+    "RequestCharge",
+    "WorkModel",
+    "default_aws_calibration",
+    "default_azure_calibration",
+]

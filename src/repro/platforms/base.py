@@ -1,0 +1,194 @@
+"""The function/handler contract shared by both platform simulations.
+
+A serverless function is a :class:`FunctionSpec`: a name, a handler and
+resource limits.  Handlers are generator functions::
+
+    def handler(ctx, event):
+        data = yield from ctx.blob.get(event['input_key'])
+        result = transform(data)                 # real Python compute
+        yield from ctx.busy(ctx.work('transform', units=len(data)))
+        return result
+
+``ctx`` is a :class:`FunctionContext` giving access to simulated time
+(:meth:`~FunctionContext.busy`), storage services, per-function random
+streams and calibrated work models.  Handlers run *real* computation (the
+trained model really predicts); simulated service time is charged
+separately through ``busy``/``work`` so campaigns are fast and
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+import numpy as np
+
+from repro.sim.distributions import Constant, Distribution
+from repro.storage.payload import MB, estimate_size
+
+
+class PayloadLimitExceeded(ValueError):
+    """A value crossing a function boundary exceeds the platform limit."""
+
+    def __init__(self, size: int, limit: int, where: str):
+        super().__init__(
+            f"payload of {size} bytes exceeds the {limit}-byte limit ({where})")
+        self.size = size
+        self.limit = limit
+        self.where = where
+
+
+class FunctionTimeout(RuntimeError):
+    """A function exceeded its configured execution time limit."""
+
+
+@dataclass
+class WorkModel:
+    """Service-time model for one logical unit of handler work.
+
+    ``duration(units)`` = base + per_unit × units, where ``base`` is drawn
+    from a distribution to provide run-to-run jitter.
+    """
+
+    base: Distribution = field(default_factory=lambda: Constant(0.0))
+    per_unit: float = 0.0
+
+    def duration(self, rng: np.random.Generator, units: float = 1.0) -> float:
+        """Sampled service time for ``units`` of work."""
+        return max(0.0, self.base.sample(rng) + self.per_unit * units)
+
+
+@dataclass
+class FunctionSpec:
+    """Definition of a deployable serverless function."""
+
+    name: str
+    handler: Callable[["FunctionContext", Any], Generator]
+    memory_mb: int = 1536
+    timeout_s: float = 900.0
+    #: measured (not configured) memory, for Azure-style billing; defaults
+    #: to the configured size when the platform bills on configuration.
+    measured_memory_mb: Optional[int] = None
+    #: named work models the handler can reference via ``ctx.work(name)``
+    work_models: Dict[str, WorkModel] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_mb / 1024.0
+
+    @property
+    def billing_memory_mb(self) -> int:
+        """Memory the platform bills on (measured if provided)."""
+        return self.measured_memory_mb or self.memory_mb
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one function invocation."""
+
+    value: Any
+    started_at: float
+    finished_at: float
+    cold_start: bool
+    cold_start_duration: float = 0.0
+    queue_wait: float = 0.0
+    billed_gb_s: float = 0.0
+    function_name: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Handler execution time (excludes queueing and cold start)."""
+        return self.finished_at - self.started_at
+
+
+class FunctionContext:
+    """Everything a handler can touch while it runs."""
+
+    def __init__(self, env, spec: FunctionSpec, rng: np.random.Generator,
+                 services: Optional[Dict[str, Any]] = None,
+                 telemetry=None, span=None,
+                 jitter: Optional[Distribution] = None,
+                 cpu_factor: float = 1.0):
+        self.env = env
+        self.spec = spec
+        self.rng = rng
+        self.services = dict(services or {})
+        self.telemetry = telemetry
+        self.span = span
+        self.jitter = jitter
+        if cpu_factor <= 0:
+            raise ValueError(f"cpu_factor must be positive: {cpu_factor}")
+        #: relative slowness of this execution environment — >1 means the
+        #: same work takes longer (e.g. a small-memory Lambda's CPU share)
+        self.cpu_factor = cpu_factor
+        self._busy_time = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.env.now
+
+    @property
+    def blob(self):
+        """The deployment's blob store (remote object storage)."""
+        return self.services["blob"]
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated compute time this invocation has consumed."""
+        return self._busy_time
+
+    def busy(self, seconds: float) -> Generator:
+        """Consume ``seconds`` of simulated compute time.
+
+        If the platform configured an execution-jitter distribution, the
+        requested time is scaled by one multiplicative draw.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative busy time: {seconds}")
+        seconds *= self.cpu_factor
+        if self.jitter is not None:
+            seconds *= max(0.0, self.jitter.sample(self.rng))
+        self._busy_time += seconds
+        yield self.env.timeout(seconds)
+        return None
+
+    def work(self, name: str, units: float = 1.0) -> Generator:
+        """Consume time from the spec's named :class:`WorkModel`."""
+        try:
+            model = self.spec.work_models[name]
+        except KeyError:
+            raise KeyError(
+                f"function {self.spec.name!r} has no work model {name!r}; "
+                f"available: {sorted(self.spec.work_models)}") from None
+        duration = model.duration(self.rng, units)
+        yield from self.busy(duration)
+        return duration
+
+    def service(self, name: str) -> Any:
+        """Look up an injected platform service by name."""
+        return self.services[name]
+
+
+def enforce_payload_limit(value: Any, limit: int, where: str) -> int:
+    """Check ``value`` against a byte limit; returns the estimated size."""
+    size = estimate_size(value)
+    if size > limit:
+        raise PayloadLimitExceeded(size, limit, where)
+    return size
+
+
+def round_up(value: float, granularity: float) -> float:
+    """Round ``value`` up to a billing granularity (e.g. 0.1 s)."""
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    ticks = math.ceil(round(value / granularity, 9))
+    return ticks * granularity

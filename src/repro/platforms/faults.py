@@ -1,0 +1,71 @@
+"""Fault injection: crash-prone handlers for reliability testing.
+
+Serverless platforms run on preemptible infrastructure; containers die
+mid-execution.  The durable programming model's whole value proposition
+is surviving that.  This module wraps handlers with configurable failure
+behaviour so tests and benchmarks can exercise the recovery paths:
+framework retries, orchestration-level error handling, and event-sourced
+resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+
+class ContainerCrash(RuntimeError):
+    """The execution environment died mid-run."""
+
+
+@dataclass
+class FaultInjector:
+    """Wraps handlers so they crash with probability ``crash_probability``.
+
+    A crashed invocation consumes its execution time (time spent before a
+    container dies is spent — and on most platforms billed) but produces
+    no result; the caller sees :class:`ContainerCrash`.
+
+    >>> injector = FaultInjector(crash_probability=0.0)
+    >>> injector.crashes
+    0
+    """
+
+    crash_probability: float = 0.1
+    #: stream name used to draw crash decisions (stable across runs)
+    stream: str = "faults"
+    crashes: int = field(default=0, init=False)
+    invocations: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash_probability must lie in [0, 1]")
+
+    def wrap(self, handler: Callable[..., Generator],
+             name: Optional[str] = None) -> Callable[..., Generator]:
+        """Return a crash-prone version of ``handler``."""
+        injector = self
+
+        def faulty(ctx, event) -> Generator:
+            injector.invocations += 1
+            rng = ctx.rng
+            if rng.random() < injector.crash_probability:
+                injector.crashes += 1
+                # The time is spent (and billed); the result is lost.
+                result = yield from handler(ctx, event)
+                del result
+                raise ContainerCrash(
+                    "container crashed during "
+                    f"{name or getattr(handler, '__name__', 'handler')}")
+            result = yield from handler(ctx, event)
+            return result
+
+        faulty.__name__ = f"faulty_{name or getattr(handler, '__name__', 'h')}"
+        return faulty
+
+    @property
+    def observed_crash_rate(self) -> float:
+        """Fraction of invocations that crashed so far."""
+        if self.invocations == 0:
+            return 0.0
+        return self.crashes / self.invocations

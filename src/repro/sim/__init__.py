@@ -1,0 +1,76 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, coroutine-based DES in the style of SimPy.
+Processes are Python generators that ``yield`` events; the
+:class:`~repro.sim.kernel.Environment` advances a virtual clock and resumes
+processes when the events they wait on are triggered.
+
+The kernel is the substrate on which both cloud platform simulations
+(:mod:`repro.aws`, :mod:`repro.azure`) are built.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def clock(env, name, tick):
+...     while env.now < 2:
+...         log.append((name, env.now))
+...         yield env.timeout(tick)
+>>> _ = env.process(clock(env, 'fast', 0.5))
+>>> _ = env.process(clock(env, 'slow', 1.0))
+>>> env.run(until=2)
+>>> log[0]
+('fast', 0.0)
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    Pareto,
+    Shifted,
+    Uniform,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Constant",
+    "Container",
+    "Distribution",
+    "Empirical",
+    "Environment",
+    "Event",
+    "Exponential",
+    "Interrupt",
+    "LogNormal",
+    "Mixture",
+    "Normal",
+    "Pareto",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Shifted",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "Uniform",
+]

@@ -1,0 +1,250 @@
+"""Probability distributions used by the platform latency models.
+
+Each distribution is a small object with ``sample(rng)`` and ``mean()``;
+platform calibration (:mod:`repro.platforms.calibration`) composes these
+into cold-start, scheduling-delay and storage latency models.
+
+All times are in seconds unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class Distribution:
+    """Base class for latency distributions."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected value (used by coarse capacity planning and tests)."""
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values (vectorised where the subclass allows)."""
+        return np.array([self.sample(rng) for _ in range(n)])
+
+
+class Constant(Distribution):
+    """A degenerate distribution — always ``value``."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if high < low:
+            raise ValueError(f"high ({high}) < low ({low})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class Normal(Distribution):
+    """Normal truncated at zero (latencies cannot be negative)."""
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return max(0.0, float(rng.normal(self.mu, self.sigma)))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.maximum(0.0, rng.normal(self.mu, self.sigma, size=n))
+
+    def mean(self) -> float:
+        # Truncation bias is negligible for the mu >> sigma cases we use.
+        return self.mu
+
+    def __repr__(self) -> str:
+        return f"Normal(mu={self.mu}, sigma={self.sigma})"
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterised by its *linear-space* median and sigma.
+
+    ``median`` is the 50th percentile of the distribution itself (not of
+    the underlying normal), which makes calibration against reported
+    medians direct: ``LogNormal(median=40, sigma=1.0)`` has median 40.
+    """
+
+    def __init__(self, median: float, sigma: float):
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self._mu, self.sigma, size=n)
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self.sigma ** 2 / 2.0)
+
+    def percentile(self, q: float) -> float:
+        """Analytic percentile, ``q`` in [0, 100]."""
+        from scipy.stats import norm
+        return math.exp(self._mu + self.sigma * norm.ppf(q / 100.0))
+
+    def __repr__(self) -> str:
+        return f"LogNormal(median={self.median}, sigma={self.sigma})"
+
+
+class Pareto(Distribution):
+    """Pareto (heavy tail) with scale ``xm`` and shape ``alpha``."""
+
+    def __init__(self, xm: float, alpha: float):
+        if xm <= 0 or alpha <= 0:
+            raise ValueError("xm and alpha must be positive")
+        self.xm = float(xm)
+        self.alpha = float(alpha)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.xm * (1.0 + rng.pareto(self.alpha)))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=n))
+
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return float("inf")
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def __repr__(self) -> str:
+        return f"Pareto(xm={self.xm}, alpha={self.alpha})"
+
+
+class Shifted(Distribution):
+    """A distribution offset by a constant floor."""
+
+    def __init__(self, base: Distribution, offset: float):
+        self.base = base
+        self.offset = float(offset)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.offset + self.base.sample(rng)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.offset + self.base.sample_many(rng, n)
+
+    def mean(self) -> float:
+        return self.offset + self.base.mean()
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.base!r}, offset={self.offset})"
+
+
+class Mixture(Distribution):
+    """A weighted mixture of component distributions.
+
+    Used for bimodal behaviours such as "usually warm container, sometimes
+    cold" or the paper's Fig 14 scheduling-delay distribution (roughly half
+    the workers wait ~40 s, a 5 % tail waits minutes).
+    """
+
+    def __init__(self, components: Sequence[Tuple[float, Distribution]]):
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        total = sum(weight for weight, _ in components)
+        if total <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        self.components: List[Tuple[float, Distribution]] = [
+            (weight / total, dist) for weight, dist in components]
+
+    def sample(self, rng: np.random.Generator) -> float:
+        pick = rng.random()
+        cumulative = 0.0
+        for weight, dist in self.components:
+            cumulative += weight
+            if pick <= cumulative:
+                return dist.sample(rng)
+        return self.components[-1][1].sample(rng)
+
+    def mean(self) -> float:
+        return sum(weight * dist.mean() for weight, dist in self.components)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{w:.3f}*{d!r}" for w, d in self.components)
+        return f"Mixture({inner})"
+
+
+class Empirical(Distribution):
+    """Resamples from a fixed set of observed values."""
+
+    def __init__(self, values: Sequence[float]):
+        if len(values) == 0:
+            raise ValueError("empirical distribution needs values")
+        self.values = np.asarray(values, dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.values, size=n)
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.values)})"

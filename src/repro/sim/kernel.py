@@ -1,0 +1,412 @@
+"""Core event loop for the discrete-event simulation kernel.
+
+The design follows the classic process-interaction style: simulation
+processes are generator functions that yield :class:`Event` objects.  The
+:class:`Environment` keeps a priority queue of scheduled events ordered by
+``(time, priority, sequence)`` and resumes each waiting process when the
+event it yielded is triggered.
+
+Only virtual time exists here; nothing sleeps on the wall clock.  A four-day
+cold-start campaign therefore costs only as many event dispatches as it
+schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Event scheduling priorities.  Lower sorts earlier at equal times.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. running a finished environment)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt cause is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An event that may be waited on by processes.
+
+    Events have three observable states: *pending* (created, not yet
+    triggered), *triggered* (scheduled on the event queue with a value),
+    and *processed* (callbacks have run).  A process that yields a
+    triggered-or-processed event resumes immediately on the next dispatch.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        #: set when a failure value has been retrieved or defused
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception for failed events)."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event that triggers when the generator returns
+    (successfully, with the ``StopIteration`` value) or raises.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def name(self) -> str:
+        """The wrapped generator function's name (for diagnostics)."""
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=URGENT)
+        # Detach from the event the process was waiting on, if any.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value of the triggered event."""
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as error:
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name} yielded a non-event: {next_event!r}")
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Event is pending or triggered-but-unprocessed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: resume immediately with its value.
+            event = next_event
+
+        env._active_process = None
+
+
+class ConditionValue:
+    """Mapping from events to values for :class:`AllOf`/:class:`AnyOf`."""
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> list:
+        return [event._value for event in self.events]
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {len(self.events)} events>"
+
+
+class Condition(Event):
+    """Composite event over a set of sub-events.
+
+    Triggers when ``evaluate(events, done_count)`` returns True.  Failed
+    sub-events propagate their exception to the condition.
+    """
+
+    def __init__(self, env: "Environment",
+                 evaluate: Callable[[list, int], bool],
+                 events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._done = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        self._done += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._done):
+            done = [e for e in self._events if e._ok is not None and e._ok]
+            self.succeed(ConditionValue(done))
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* sub-events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, done: done == len(events), events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* sub-event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, done: done >= 1, events)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Place ``event`` on the queue ``delay`` time units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Return an event that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Return an event that triggers when any of ``events`` has."""
+        return AnyOf(self, events)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # An unhandled failure crashes the simulation, loudly.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to queue exhaustion), a number (run
+        until that simulated time), or an :class:`Event` (run until the
+        event triggers, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until ({stop_time}) lies in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.triggered:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.triggered:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            raise SimulationError(
+                "run(until=event) finished but the event never triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

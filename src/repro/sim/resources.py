@@ -1,0 +1,241 @@
+"""Shared-resource primitives built on the DES kernel.
+
+These follow SimPy semantics closely enough that anyone who has used SimPy
+will feel at home:
+
+* :class:`Resource` — a semaphore with ``capacity`` slots; requests are
+  events that trigger when a slot is granted.
+* :class:`PriorityResource` — like :class:`Resource` but requests carry a
+  priority (lower value is served first).
+* :class:`Container` — a continuous level with ``put``/``get`` amounts.
+* :class:`Store` — a FIFO object store with blocking ``put``/``get``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # holding the resource
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` with an explicit priority (lower = first)."""
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self.time = resource.env.now
+        super().__init__(resource)
+
+
+class Resource:
+    """A semaphore-style resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        request = Request(self)
+        self.queue.append(request)
+        self._grant()
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a held slot (no-op if the request was never granted)."""
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            self._cancel(request)
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.pop(0)
+            self.users.append(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served in priority order."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list = []
+        self._sequence = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        request = PriorityRequest(self, priority)
+        heapq.heappush(self._heap, (priority, self._sequence, request))
+        self._sequence += 1
+        self._grant()
+        return request
+
+    def _cancel(self, request: Request) -> None:
+        self._heap = [entry for entry in self._heap if entry[2] is not request]
+        heapq.heapify(self._heap)
+
+    def _grant(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _, _, request = heapq.heappop(self._heap)
+            self.users.append(request)
+            request.succeed()
+
+
+class Container:
+    """A continuous quantity with bounded level (e.g. tokens, bytes)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._putters: List[tuple] = []
+        self._getters: List[tuple] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks (pending event) while it would overflow."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    event.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """FIFO store of arbitrary items with blocking put/get.
+
+    ``get`` accepts an optional filter; the first matching item (in FIFO
+    order) is returned.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: List[tuple] = []
+        self._getters: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; blocks while the store is full."""
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return the first (matching) item; blocks if none."""
+        event = Event(self.env)
+        self._getters.append((predicate, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending putters while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                item, event = self._putters.pop(0)
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            # Serve getters whose predicate matches something.
+            served: List[int] = []
+            for index, (predicate, event) in enumerate(self._getters):
+                match_index = None
+                for item_index, item in enumerate(self.items):
+                    if predicate is None or predicate(item):
+                        match_index = item_index
+                        break
+                if match_index is not None:
+                    item = self.items.pop(match_index)
+                    event.succeed(item)
+                    served.append(index)
+                    progress = True
+            for index in reversed(served):
+                self._getters.pop(index)

@@ -1,0 +1,104 @@
+"""Blob (object) storage — the S3 / Azure Blob stand-in.
+
+Workflows use blob storage for payloads that exceed the platform's
+cross-function payload limit (dataframes, video files) and for artifacts
+such as pre-trained models.  Every operation takes simulated time and is
+metered as a billable transaction.
+
+All operations are generator methods intended to be driven with
+``yield from`` inside a simulation process::
+
+    def handler(env, blob):
+        model = yield from blob.get('models/best.bin')
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Environment
+from repro.storage.latency import StorageLatencyModel, default_blob_latency
+from repro.storage.meter import TransactionMeter
+from repro.storage.payload import Payload
+
+
+class BlobNotFound(KeyError):
+    """Raised when getting a key that has never been put."""
+
+
+class BlobStore:
+    """A flat-namespace object store with latency and metering."""
+
+    def __init__(self, env: Environment, meter: TransactionMeter,
+                 rng: np.random.Generator, account: str = "blob",
+                 latency: Optional[StorageLatencyModel] = None):
+        self.env = env
+        self.meter = meter
+        self.rng = rng
+        self.account = account
+        self.latency = latency or default_blob_latency()
+        self._objects: Dict[str, Payload] = {}
+
+    # -- synchronous inspection helpers (no simulated time) ----------------
+
+    def exists(self, key: str) -> bool:
+        """True if ``key`` holds an object (no transaction recorded)."""
+        return key in self._objects
+
+    def size_of(self, key: str) -> int:
+        """Stored size of ``key`` in bytes."""
+        try:
+            return self._objects[key].size
+        except KeyError:
+            raise BlobNotFound(key) from None
+
+    def keys(self) -> List[str]:
+        """All stored keys (inspection only)."""
+        return sorted(self._objects)
+
+    # -- simulated operations ----------------------------------------------
+
+    def put(self, key: str, value: Any,
+            size: Optional[int] = None) -> Generator:
+        """Store ``value`` under ``key``; yields for upload latency."""
+        payload = Payload(value, size) if size is not None else Payload.wrap(value)
+        duration = self.latency.operation_time(self.rng, payload.size)
+        yield self.env.timeout(duration)
+        self._objects[key] = payload
+        self.meter.record("blob", self.account, "put", size=payload.size)
+        return payload.size
+
+    def get(self, key: str) -> Generator:
+        """Fetch the object under ``key``; yields for download latency."""
+        if key not in self._objects:
+            # The lookup itself still costs a round trip.
+            duration = self.latency.operation_time(self.rng, 0)
+            yield self.env.timeout(duration)
+            self.meter.record("blob", self.account, "get", size=0)
+            raise BlobNotFound(key)
+        payload = self._objects[key]
+        duration = self.latency.operation_time(self.rng, payload.size)
+        yield self.env.timeout(duration)
+        self.meter.record("blob", self.account, "get", size=payload.size)
+        return payload.value
+
+    def delete(self, key: str) -> Generator:
+        """Remove ``key`` (idempotent); yields for the round trip."""
+        duration = self.latency.operation_time(self.rng, 0)
+        yield self.env.timeout(duration)
+        self._objects.pop(key, None)
+        self.meter.record("blob", self.account, "delete")
+        return None
+
+    def list_prefix(self, prefix: str) -> Generator:
+        """List keys with ``prefix``; yields for the listing round trip."""
+        duration = self.latency.operation_time(self.rng, 0)
+        yield self.env.timeout(duration)
+        matches = sorted(key for key in self._objects if key.startswith(prefix))
+        self.meter.record("blob", self.account, "list")
+        return matches
+
+    def __repr__(self) -> str:
+        return f"BlobStore(account={self.account!r}, objects={len(self._objects)})"

@@ -1,0 +1,48 @@
+"""Latency models for storage services.
+
+A storage operation's duration = per-operation base latency (drawn from a
+distribution) + transfer time for the bytes moved at the service's
+effective bandwidth.  Defaults approximate public measurements of
+S3/Azure Blob small-object latency and sustained throughput; they are
+deliberately simple — the paper's conclusions hinge on *relative* costs
+(remote storage ≫ direct entity access) rather than exact milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.distributions import Distribution, LogNormal
+
+
+@dataclass
+class StorageLatencyModel:
+    """Latency model: ``base + bytes / bandwidth``."""
+
+    base: Distribution
+    bandwidth_bytes_per_s: float = 100e6  # ~100 MB/s sustained
+
+    def operation_time(self, rng: np.random.Generator, size: int = 0) -> float:
+        """Duration in seconds for one operation moving ``size`` bytes."""
+        transfer = size / self.bandwidth_bytes_per_s if size else 0.0
+        return max(0.0, self.base.sample(rng)) + transfer
+
+
+def default_blob_latency() -> StorageLatencyModel:
+    """Object storage: ~20 ms median first-byte, heavy-ish tail."""
+    return StorageLatencyModel(base=LogNormal(median=0.020, sigma=0.45),
+                               bandwidth_bytes_per_s=90e6)
+
+
+def default_queue_latency() -> StorageLatencyModel:
+    """Storage queue ops: ~8 ms median per REST call."""
+    return StorageLatencyModel(base=LogNormal(median=0.008, sigma=0.35),
+                               bandwidth_bytes_per_s=60e6)
+
+
+def default_table_latency() -> StorageLatencyModel:
+    """Table store ops: ~10 ms median per entity operation."""
+    return StorageLatencyModel(base=LogNormal(median=0.010, sigma=0.40),
+                               bandwidth_bytes_per_s=60e6)

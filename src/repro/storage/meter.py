@@ -1,0 +1,117 @@
+"""Transaction metering for storage services.
+
+Azure bills Durable Functions users for every queue and table transaction
+the Durable Task Framework performs — including the constant queue polling
+that continues while the application is idle.  The meter records every
+operation with enough detail (service, operation, timestamp, byte size)
+for the pricing layer to reconstruct both providers' stateful cost
+components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One or more identical billable storage operations.
+
+    ``count`` lets high-frequency periodic traffic (idle queue polling,
+    lease heartbeats) be metered in batches without creating one record
+    per poll over multi-day simulations.
+    """
+
+    time: float
+    service: str        # e.g. 'queue', 'table', 'blob'
+    account: str        # storage account / namespace
+    operation: str      # e.g. 'enqueue', 'poll', 'read', 'insert'
+    size: int = 0       # bytes moved, when meaningful
+    billable: bool = True
+    count: int = 1
+
+
+class TransactionMeter:
+    """Collects :class:`TransactionRecord` entries from storage services.
+
+    A single meter is shared by all the storage services of one platform
+    deployment so that cost reports see every transaction in one place.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self.records: List[TransactionRecord] = []
+
+    def record(self, service: str, account: str, operation: str,
+               size: int = 0, billable: bool = True,
+               count: int = 1) -> TransactionRecord:
+        """Append ``count`` identical transactions at the current time."""
+        if count < 1:
+            raise ValueError(f"count must be at least 1, got {count}")
+        entry = TransactionRecord(
+            time=self._clock(), service=service, account=account,
+            operation=operation, size=size, billable=billable, count=count)
+        self.records.append(entry)
+        return entry
+
+    def count(self, service: Optional[str] = None,
+              operation: Optional[str] = None,
+              account: Optional[str] = None,
+              billable_only: bool = True) -> int:
+        """Number of recorded transactions matching the filters."""
+        return sum(entry.count for entry in self.records
+                   if (service is None or entry.service == service)
+                   and (operation is None or entry.operation == operation)
+                   and (account is None or entry.account == account)
+                   and (not billable_only or entry.billable))
+
+    def counts_by(self, key: str = "operation",
+                  billable_only: bool = True) -> Dict[str, int]:
+        """Histogram of transactions grouped by a record field."""
+        histogram: Dict[str, int] = {}
+        for entry in self.records:
+            if billable_only and not entry.billable:
+                continue
+            value = getattr(entry, key)
+            histogram[value] = histogram.get(value, 0) + entry.count
+        return histogram
+
+    def bytes_moved(self, service: Optional[str] = None) -> int:
+        """Total payload bytes across matching transactions."""
+        return sum(entry.size * entry.count for entry in self.records
+                   if service is None or entry.service == service)
+
+    def between(self, start: float, end: float) -> List[TransactionRecord]:
+        """Records with ``start <= time < end``."""
+        return [entry for entry in self.records if start <= entry.time < end]
+
+    def window_counts(self, window: float) -> List[Tuple[float, int]]:
+        """Per-window transaction counts — exposes idle-time polling load."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        buckets: Dict[int, int] = {}
+        for entry in self.records:
+            buckets_key = int(entry.time // window)
+            buckets[buckets_key] = buckets.get(buckets_key, 0) + entry.count
+        return [(index * window, buckets[index]) for index in sorted(buckets)]
+
+    def merge(self, others: Iterable["TransactionMeter"]) -> "TransactionMeter":
+        """Return a new meter containing this meter's and others' records."""
+        merged = TransactionMeter(self._clock)
+        merged.records = list(self.records)
+        for other in others:
+            merged.records.extend(other.records)
+        merged.records.sort(key=lambda entry: entry.time)
+        return merged
+
+    def reset(self) -> None:
+        """Drop all records (used between experiment iterations)."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        """Total transaction count (including batched records)."""
+        return sum(entry.count for entry in self.records)
+
+    def __repr__(self) -> str:
+        return f"TransactionMeter(records={len(self.records)})"

@@ -1,0 +1,131 @@
+"""Table (key-value) storage — the Azure Table / DynamoDB stand-in.
+
+Tables hold the Durable Task Framework's *history table* (the event-source
+log for orchestrations) and the persisted state of durable entities.
+Entities are addressed by ``(partition_key, row_key)``; every read, insert,
+update and range query is a billable transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.kernel import Environment
+from repro.storage.latency import StorageLatencyModel, default_table_latency
+from repro.storage.meter import TransactionMeter
+from repro.storage.payload import Payload
+
+
+class EntityNotFound(KeyError):
+    """Raised when reading a row that does not exist."""
+
+
+@dataclass
+class TableEntity:
+    """One table row."""
+
+    partition_key: str
+    row_key: str
+    payload: Payload
+    etag: int = 0
+
+    @property
+    def value(self) -> Any:
+        return self.payload.value
+
+    @property
+    def size(self) -> int:
+        return self.payload.size
+
+
+class TableStore:
+    """A partitioned key-value table with latency and metering."""
+
+    def __init__(self, env: Environment, meter: TransactionMeter,
+                 rng: np.random.Generator, name: str = "table",
+                 account: str = "storage",
+                 latency: Optional[StorageLatencyModel] = None):
+        self.env = env
+        self.meter = meter
+        self.rng = rng
+        self.name = name
+        self.account = account
+        self.latency = latency or default_table_latency()
+        self._rows: Dict[Tuple[str, str], TableEntity] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- synchronous inspection helpers --------------------------------------
+
+    def contains(self, partition_key: str, row_key: str) -> bool:
+        """True if the row exists (no transaction recorded)."""
+        return (partition_key, row_key) in self._rows
+
+    def partition_size(self, partition_key: str) -> int:
+        """Number of rows in a partition (inspection only)."""
+        return sum(1 for pk, _ in self._rows if pk == partition_key)
+
+    # -- simulated operations -------------------------------------------------
+
+    def insert(self, partition_key: str, row_key: str, value: Any,
+               size: Optional[int] = None) -> Generator:
+        """Insert or replace a row; yields for the round trip."""
+        payload = Payload(value, size) if size is not None else Payload.wrap(value)
+        duration = self.latency.operation_time(self.rng, payload.size)
+        yield self.env.timeout(duration)
+        key = (partition_key, row_key)
+        etag = self._rows[key].etag + 1 if key in self._rows else 0
+        self._rows[key] = TableEntity(partition_key, row_key, payload, etag)
+        self.meter.record("table", self.account, "insert", size=payload.size)
+        return etag
+
+    def read(self, partition_key: str, row_key: str) -> Generator:
+        """Read one row's value; yields for the round trip."""
+        key = (partition_key, row_key)
+        if key not in self._rows:
+            duration = self.latency.operation_time(self.rng, 0)
+            yield self.env.timeout(duration)
+            self.meter.record("table", self.account, "read", size=0)
+            raise EntityNotFound(key)
+        entity = self._rows[key]
+        duration = self.latency.operation_time(self.rng, entity.size)
+        yield self.env.timeout(duration)
+        self.meter.record("table", self.account, "read", size=entity.size)
+        return entity.value
+
+    def read_partition(self, partition_key: str) -> Generator:
+        """Read a whole partition in row-key order (the history replay path)."""
+        rows = sorted(
+            (entity for (pk, _), entity in self._rows.items()
+             if pk == partition_key),
+            key=lambda entity: entity.row_key)
+        size = sum(entity.size for entity in rows)
+        duration = self.latency.operation_time(self.rng, size)
+        yield self.env.timeout(duration)
+        self.meter.record("table", self.account, "query", size=size)
+        return [entity.value for entity in rows]
+
+    def delete(self, partition_key: str, row_key: str) -> Generator:
+        """Delete one row (idempotent)."""
+        duration = self.latency.operation_time(self.rng, 0)
+        yield self.env.timeout(duration)
+        self._rows.pop((partition_key, row_key), None)
+        self.meter.record("table", self.account, "delete")
+        return None
+
+    def delete_partition(self, partition_key: str) -> Generator:
+        """Delete a whole partition (end-of-orchestration cleanup)."""
+        duration = self.latency.operation_time(self.rng, 0)
+        yield self.env.timeout(duration)
+        keys = [key for key in self._rows if key[0] == partition_key]
+        for key in keys:
+            del self._rows[key]
+        self.meter.record("table", self.account, "delete")
+        return len(keys)
+
+    def __repr__(self) -> str:
+        return f"TableStore(name={self.name!r}, rows={len(self._rows)})"

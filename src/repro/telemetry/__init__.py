@@ -1,0 +1,30 @@
+"""Telemetry: spans, counters and event logs.
+
+Stands in for AWS CloudWatch and Azure Application Insights — the paper's
+log-collection layer (§IV-A).  Platform runtimes emit :class:`Span` records
+for every interesting interval (cold start, queue wait, execution,
+orchestrator replay, state transition); the evaluation harness aggregates
+them into the latency breakdowns, CDFs and percentile charts the paper
+reports.
+"""
+
+from repro.telemetry.spans import Span, SpanKind, Telemetry
+from repro.telemetry.timeline import Timeline, TimelineEvent
+from repro.telemetry.metrics import (
+    MetricSeries,
+    MetricsRegistry,
+    PeriodStats,
+    series_from_spans,
+)
+
+__all__ = [
+    "MetricSeries",
+    "MetricsRegistry",
+    "PeriodStats",
+    "Span",
+    "SpanKind",
+    "Telemetry",
+    "Timeline",
+    "TimelineEvent",
+    "series_from_spans",
+]

@@ -1,0 +1,131 @@
+"""CloudWatch-style metric timeseries: per-period aggregation.
+
+Both providers expose monitoring as *period-aggregated statistics*
+(count/sum/min/max/avg/percentiles per minute).  This module provides the
+same view over simulated measurements, so examples and benchmarks can
+plot, say, per-minute invocation counts or p99 scheduling delay over the
+course of a campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodStats:
+    """Aggregated statistics for one time bucket."""
+
+    period_start: float
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricSeries:
+    """Timestamped samples of one metric."""
+
+    def __init__(self, name: str, clock: Callable[[], float]):
+        self.name = name
+        self._clock = clock
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, value: float) -> None:
+        """Record ``value`` at the current simulated time."""
+        self.samples.append((self._clock(), float(value)))
+
+    def record_at(self, time: float, value: float) -> None:
+        """Record a sample at an explicit timestamp."""
+        self.samples.append((float(time), float(value)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def aggregate(self, period_s: float,
+                  since: float = 0.0,
+                  until: Optional[float] = None) -> List[PeriodStats]:
+        """Per-period statistics over ``[since, until)``.
+
+        Empty periods between populated ones are included with zero
+        counts (monitoring dashboards show gaps as zeros, not holes).
+        """
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        window = [(time, value) for time, value in self.samples
+                  if time >= since and (until is None or time < until)]
+        if not window:
+            return []
+        buckets: Dict[int, List[float]] = {}
+        for time, value in window:
+            buckets.setdefault(int((time - since) // period_s),
+                               []).append(value)
+        stats = []
+        for index in range(max(buckets) + 1):
+            values = buckets.get(index, [])
+            start = since + index * period_s
+            if values:
+                stats.append(PeriodStats(
+                    period_start=start, count=len(values),
+                    total=float(sum(values)),
+                    minimum=float(min(values)),
+                    maximum=float(max(values))))
+            else:
+                stats.append(PeriodStats(period_start=start, count=0,
+                                         total=0.0, minimum=0.0,
+                                         maximum=0.0))
+        return stats
+
+    def percentile_per_period(self, period_s: float, q: float,
+                              since: float = 0.0,
+                              until: Optional[float] = None
+                              ) -> List[Tuple[float, float]]:
+        """(period_start, q-th percentile) for populated periods."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must lie in [0, 100]")
+        window = [(time, value) for time, value in self.samples
+                  if time >= since and (until is None or time < until)]
+        buckets: Dict[int, List[float]] = {}
+        for time, value in window:
+            buckets.setdefault(int((time - since) // period_s),
+                               []).append(value)
+        return [(since + index * period_s,
+                 float(np.percentile(values, q)))
+                for index, values in sorted(buckets.items())]
+
+
+class MetricsRegistry:
+    """A named family of metric series sharing one clock."""
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self._series: Dict[str, MetricSeries] = {}
+
+    def series(self, name: str) -> MetricSeries:
+        """The series for ``name``, created on first use."""
+        if name not in self._series:
+            self._series[name] = MetricSeries(name, self._clock)
+        return self._series[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+
+def series_from_spans(telemetry, kind: str, clock: Callable[[], float],
+                      name: Optional[str] = None) -> MetricSeries:
+    """Build a duration series from matching telemetry spans.
+
+    Each closed span contributes one sample at its start time whose value
+    is its duration — e.g. per-minute p99 of worker scheduling delay.
+    """
+    series = MetricSeries(name or kind, clock)
+    for span in telemetry.find(kind=kind, name=name):
+        series.record_at(span.start, span.duration)
+    return series

@@ -1,0 +1,151 @@
+"""Span collection for simulated platform activity."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class SpanKind:
+    """Well-known span kinds emitted by the platform simulations."""
+
+    COLD_START = "cold_start"        # container provisioning before first run
+    QUEUE_WAIT = "queue_wait"        # time spent waiting in a dispatch queue
+    SCHEDULING = "scheduling"        # trigger-to-start delay for a worker
+    EXECUTION = "execution"          # billable function execution
+    REPLAY = "replay"                # orchestrator replay execution
+    TRANSITION = "transition"        # state-machine transition
+    STORAGE = "storage"              # remote storage access from a handler
+    WORKFLOW = "workflow"            # end-to-end workflow interval
+    ENTITY_OP = "entity_op"          # durable entity operation
+
+
+@dataclass
+class Span:
+    """A named interval of simulated time with attributes."""
+
+    span_id: int
+    name: str
+    kind: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length; raises if the span is still open."""
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.6g}" if self.end is not None else "open"
+        return (f"Span({self.name!r}, kind={self.kind}, "
+                f"start={self.start:.6g}, end={end})")
+
+
+class Telemetry:
+    """Collects spans against a simulated clock.
+
+    >>> from repro.sim import Environment
+    >>> env = Environment()
+    >>> telemetry = Telemetry(clock=lambda: env.now)
+    >>> span = telemetry.start_span('invoke', SpanKind.EXECUTION)
+    >>> _ = telemetry.end_span(span)
+    >>> span.duration
+    0.0
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self.spans: List[Span] = []
+
+    def start_span(self, name: str, kind: str,
+                   parent: Optional[Span] = None,
+                   **attributes: Any) -> Span:
+        """Open a span at the current simulated time."""
+        span = Span(
+            span_id=next(self._ids), name=name, kind=kind,
+            start=self._clock(),
+            parent_id=parent.span_id if parent else None,
+            attributes=dict(attributes))
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span, **attributes: Any) -> Span:
+        """Close a span at the current simulated time."""
+        if span.end is not None:
+            raise ValueError(f"span {span.name!r} already closed")
+        span.end = self._clock()
+        span.attributes.update(attributes)
+        return span
+
+    def record(self, name: str, kind: str, start: float, end: float,
+               parent: Optional[Span] = None, **attributes: Any) -> Span:
+        """Record an already-completed interval."""
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end}")
+        span = Span(
+            span_id=next(self._ids), name=name, kind=kind, start=start,
+            end=end, parent_id=parent.span_id if parent else None,
+            attributes=dict(attributes))
+        self.spans.append(span)
+        return span
+
+    # -- queries ---------------------------------------------------------------
+
+    def find(self, kind: Optional[str] = None, name: Optional[str] = None,
+             **attributes: Any) -> List[Span]:
+        """All closed spans matching the filters."""
+        matches = []
+        for span in self.spans:
+            if not span.closed:
+                continue
+            if kind is not None and span.kind != kind:
+                continue
+            if name is not None and span.name != name:
+                continue
+            if any(span.attributes.get(key) != value
+                   for key, value in attributes.items()):
+                continue
+            matches.append(span)
+        return matches
+
+    def durations(self, kind: Optional[str] = None,
+                  name: Optional[str] = None, **attributes: Any) -> List[float]:
+        """Durations of all matching closed spans."""
+        return [span.duration
+                for span in self.find(kind=kind, name=name, **attributes)]
+
+    def total_time(self, kind: Optional[str] = None,
+                   name: Optional[str] = None, **attributes: Any) -> float:
+        """Summed duration of matching spans (e.g. total queue time)."""
+        return sum(self.durations(kind=kind, name=name, **attributes))
+
+    def children_of(self, parent: Span) -> List[Span]:
+        """Direct children of ``parent``."""
+        return [span for span in self.spans if span.parent_id == parent.span_id]
+
+    def merge(self, others: Iterable["Telemetry"]) -> "Telemetry":
+        """A new collector holding this one's spans plus others'."""
+        merged = Telemetry(self._clock)
+        merged.spans = list(self.spans)
+        for other in others:
+            merged.spans.extend(other.spans)
+        merged.spans.sort(key=lambda span: span.start)
+        return merged
+
+    def reset(self) -> None:
+        """Drop all spans (between experiment iterations)."""
+        self.spans.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans)

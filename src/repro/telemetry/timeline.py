@@ -1,0 +1,51 @@
+"""Point-in-time event log (the CloudWatch-Logs-style complement to spans)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped event with a category and free-form details."""
+
+    time: float
+    category: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class Timeline:
+    """An append-only, time-ordered event log."""
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self.events: List[TimelineEvent] = []
+
+    def log(self, category: str, message: str, **details: Any) -> TimelineEvent:
+        """Record an event at the current simulated time."""
+        event = TimelineEvent(
+            time=self._clock(), category=category, message=message,
+            details=dict(details))
+        self.events.append(event)
+        return event
+
+    def filter(self, category: Optional[str] = None,
+               since: float = float("-inf"),
+               until: float = float("inf")) -> List[TimelineEvent]:
+        """Events matching a category within ``[since, until)``."""
+        return [event for event in self.events
+                if (category is None or event.category == category)
+                and since <= event.time < until]
+
+    def last(self, category: Optional[str] = None) -> Optional[TimelineEvent]:
+        """Most recent matching event, or ``None``."""
+        matching = self.filter(category=category)
+        return matching[-1] if matching else None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

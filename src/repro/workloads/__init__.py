@@ -1,0 +1,14 @@
+"""The paper's two case-study workloads.
+
+:mod:`repro.workloads.ml` — the machine-learning training/inference
+pipeline (§III-A): feature engineering, PCA, model selection over
+RandomForest / KNeighbors / Lasso, and the inference path.
+
+:mod:`repro.workloads.video` — the parallel video-processing workload
+(§III-B): split → fan-out face detection → merge.
+
+Workload code is platform-neutral: stage functions compute real results
+(the regressors really fit, the detector really scans frames) and expose
+calibrated :class:`~repro.platforms.base.WorkModel` durations for the
+simulation clock.  Platform wiring lives in :mod:`repro.core.deployments`.
+"""

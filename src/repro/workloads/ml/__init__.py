@@ -1,0 +1,56 @@
+"""Machine-learning pipeline workload (paper §III-A).
+
+A regression model for car pricing: feature engineering (one-hot
+encoding + scaling), PCA dimension reduction, and model selection across
+RandomForest, KNeighbors and Lasso — all implemented from scratch on
+numpy, standing in for the paper's sklearn stack.
+"""
+
+from repro.workloads.ml.dataset import (
+    CarPricingDataset,
+    Frame,
+    make_car_pricing_dataset,
+    train_test_split,
+)
+from repro.workloads.ml.preprocess import MinMaxScaler, OneHotEncoder
+from repro.workloads.ml.pca import PCA
+from repro.workloads.ml.models import (
+    KNeighborsRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    mean_squared_error,
+    r2_score,
+)
+from repro.workloads.ml.gridsearch import (
+    GridSearch,
+    ParameterGrid,
+    grid_candidates,
+)
+from repro.workloads.ml.selection import (
+    CandidateResult,
+    ModelCandidate,
+    default_candidates,
+    select_best,
+)
+
+__all__ = [
+    "CandidateResult",
+    "CarPricingDataset",
+    "Frame",
+    "GridSearch",
+    "KNeighborsRegressor",
+    "LassoRegressor",
+    "MinMaxScaler",
+    "ModelCandidate",
+    "OneHotEncoder",
+    "PCA",
+    "ParameterGrid",
+    "RandomForestRegressor",
+    "default_candidates",
+    "grid_candidates",
+    "make_car_pricing_dataset",
+    "mean_squared_error",
+    "r2_score",
+    "select_best",
+    "train_test_split",
+]

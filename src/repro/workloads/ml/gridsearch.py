@@ -1,0 +1,103 @@
+"""Hyper-parameter grid search over the model-selection space.
+
+The paper's model selection "searches through different algorithms with a
+range of parameters" (§IV-A).  :class:`ParameterGrid` expands parameter
+ranges sklearn-style; :class:`GridSearch` turns per-algorithm grids into
+:class:`~repro.workloads.ml.selection.ModelCandidate` lists and fits them
+all, reusing the selection machinery the deployments already exercise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.ml.selection import (
+    CandidateResult,
+    ModelCandidate,
+    select_best,
+    train_candidate,
+)
+
+
+class ParameterGrid:
+    """The cartesian product of parameter ranges.
+
+    >>> grid = ParameterGrid({"a": [1, 2], "b": ["x"]})
+    >>> len(grid)
+    2
+    >>> sorted(point["a"] for point in grid)
+    [1, 2]
+    """
+
+    def __init__(self, grid: Dict[str, Sequence[Any]]):
+        if not grid:
+            raise ValueError("parameter grid must not be empty")
+        for name, values in grid.items():
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ValueError(
+                    f"parameter {name!r} needs a non-empty list of values")
+        self.grid = {name: list(values) for name, values in grid.items()}
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        names = sorted(self.grid)
+        for combination in itertools.product(
+                *(self.grid[name] for name in names)):
+            yield dict(zip(names, combination))
+
+
+#: Algorithms whose training the deployments treat as "heavy" (the paper
+#: trains them in sub-orchestrators rather than entities).
+HEAVY_ALGORITHMS = {"random_forest"}
+
+
+def grid_candidates(algorithm: str, grid: Dict[str, Sequence[Any]],
+                    prefix: Optional[str] = None) -> List[ModelCandidate]:
+    """One :class:`ModelCandidate` per grid point."""
+    prefix = prefix or algorithm
+    candidates = []
+    for index, params in enumerate(ParameterGrid(grid)):
+        label = "-".join(f"{key}={params[key]}" for key in sorted(params))
+        candidates.append(ModelCandidate(
+            name=f"{prefix}[{label}]" if label else f"{prefix}[{index}]",
+            algorithm=algorithm, params=dict(params),
+            heavy=algorithm in HEAVY_ALGORITHMS))
+    return candidates
+
+
+class GridSearch:
+    """Fit every candidate from per-algorithm grids; keep the best."""
+
+    def __init__(self, grids: Dict[str, Dict[str, Sequence[Any]]]):
+        if not grids:
+            raise ValueError("grid search needs at least one algorithm")
+        self.candidates: List[ModelCandidate] = []
+        for algorithm, grid in grids.items():
+            self.candidates.extend(grid_candidates(algorithm, grid))
+        self.results_: List[CandidateResult] = []
+        self.best_: Optional[CandidateResult] = None
+
+    def fit(self, train_features: np.ndarray, train_targets: np.ndarray,
+            validation_features: np.ndarray,
+            validation_targets: np.ndarray) -> "GridSearch":
+        """Train and score every candidate; populate ``best_``."""
+        self.results_ = [
+            train_candidate(candidate, train_features, train_targets,
+                            validation_features, validation_targets)
+            for candidate in self.candidates]
+        self.best_ = select_best(self.results_)
+        return self
+
+    def leaderboard(self) -> List[CandidateResult]:
+        """Results sorted best-first."""
+        if not self.results_:
+            raise RuntimeError("GridSearch.fit() has not been called")
+        return sorted(self.results_, key=lambda result: result.error)

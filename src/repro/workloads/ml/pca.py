@@ -1,0 +1,75 @@
+"""Principal component analysis via SVD — the dimension-reduction step.
+
+The paper (§IV-A): "Dimension reduction is based on the Principal
+Component Analysis (PCA), and makes use of the sklearn.decomposition
+library".  This is the numpy equivalent: center, SVD, project.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCA:
+    """Project onto the top ``n_components`` principal directions.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(100, 5)) @ rng.normal(size=(5, 5))
+    >>> reduced = PCA(n_components=2).fit(data).transform(data)
+    >>> reduced.shape
+    (100, 2)
+    """
+
+    def __init__(self, n_components: int):
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, matrix: np.ndarray) -> "PCA":
+        """Learn the principal directions of ``matrix`` (rows = samples)."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        n_rows, n_cols = matrix.shape
+        if self.n_components > min(n_rows, n_cols):
+            raise ValueError(
+                f"n_components={self.n_components} exceeds "
+                f"min(n_rows, n_cols)={min(n_rows, n_cols)}")
+        self.mean_ = matrix.mean(axis=0)
+        centered = matrix - self.mean_
+        _, singular_values, v_transposed = np.linalg.svd(
+            centered, full_matrices=False)
+        self.components_ = v_transposed[:self.n_components]
+        variances = singular_values ** 2
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            variances[:self.n_components] / total if total > 0
+            else np.zeros(self.n_components))
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Project ``matrix`` onto the fitted components."""
+        if self.components_ is None:
+            raise RuntimeError("PCA.fit() has not been called")
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} columns, "
+                f"got {matrix.shape[1]}")
+        return (matrix - self.mean_) @ self.components_.T
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    @property
+    def payload_size(self) -> int:
+        """Serialized size of the projection (mean + components)."""
+        if self.components_ is None:
+            return 64
+        return 64 + (self.mean_.size + self.components_.size) * 8

@@ -1,0 +1,111 @@
+"""Feature engineering: one-hot encoding and min-max scaling.
+
+The paper's data-preparation step (§III-A Figure 2): "non-numerical data
+are encoded, and scaled to a specific range".  Both transformers follow
+the sklearn fit/transform idiom and declare their serialized size so that
+payload-limit behaviour is realistic when they travel between functions
+or persist inside durable entities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.workloads.ml.dataset import Frame
+
+
+class NotFittedError(RuntimeError):
+    """transform() was called before fit()."""
+
+
+class OneHotEncoder:
+    """One-hot encodes the categorical columns of a :class:`Frame`.
+
+    Unknown categories at transform time map to the all-zeros vector
+    (sklearn's ``handle_unknown='ignore'``).
+    """
+
+    def __init__(self):
+        self.categories_: Optional[Dict[str, List[str]]] = None
+
+    def fit(self, frame: Frame) -> "OneHotEncoder":
+        """Learn category vocabularies from the categorical columns."""
+        self.categories_ = {
+            name: sorted({str(value) for value in frame[name]})
+            for name in frame.categorical_columns}
+        return self
+
+    def transform(self, frame: Frame) -> np.ndarray:
+        """Encode to a dense (n_rows, total_categories) 0/1 matrix."""
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder.fit() has not been called")
+        blocks = []
+        for name, levels in self.categories_.items():
+            index = {level: position for position, level in enumerate(levels)}
+            block = np.zeros((frame.n_rows, len(levels)))
+            for row, value in enumerate(frame[name]):
+                position = index.get(str(value))
+                if position is not None:
+                    block[row, position] = 1.0
+            blocks.append(block)
+        return np.hstack(blocks) if blocks else np.zeros((frame.n_rows, 0))
+
+    def fit_transform(self, frame: Frame) -> np.ndarray:
+        return self.fit(frame).transform(frame)
+
+    @property
+    def n_output_features(self) -> int:
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder.fit() has not been called")
+        return sum(len(levels) for levels in self.categories_.values())
+
+    @property
+    def payload_size(self) -> int:
+        """Serialized size: vocabularies plus framing."""
+        if self.categories_ is None:
+            return 64
+        return 64 + sum(
+            len(name) + sum(len(level) + 2 for level in levels)
+            for name, levels in self.categories_.items())
+
+
+class MinMaxScaler:
+    """Scales numeric features to ``[0, 1]`` column-wise.
+
+    Constant columns map to 0 (no divide-by-zero).
+    """
+
+    def __init__(self):
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, matrix: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column min and range."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        self.min_ = matrix.min(axis=0)
+        span = matrix.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler.fit() has not been called")
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape[1] != self.min_.shape[0]:
+            raise ValueError(
+                f"expected {self.min_.shape[0]} columns, got {matrix.shape[1]}")
+        return (matrix - self.min_) / self.range_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    @property
+    def payload_size(self) -> int:
+        if self.min_ is None:
+            return 64
+        return 64 + 2 * self.min_.size * 8

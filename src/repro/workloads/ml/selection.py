@@ -1,0 +1,112 @@
+"""Model selection: the paper's parallel search for the best-fit model.
+
+§III-A Figure 3: "several parallel workflows, each focusing on a
+different algorithm, and parameter space... The last step is to select
+the best fit, which aggregates the results of all parallel model training
+workflows, and finds the most fitted model."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.ml.models import (
+    KNeighborsRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    mean_squared_error,
+)
+
+
+@dataclass
+class ModelCandidate:
+    """One (algorithm, hyper-parameters) point in the search space."""
+
+    name: str
+    algorithm: str               # 'random_forest' | 'kneighbors' | 'lasso'
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: the paper trains large models inside a sub-orchestrator and small
+    #: ones inside an entity — this flag drives that split
+    heavy: bool = False
+
+    def build(self):
+        """Instantiate the estimator."""
+        if self.algorithm == "random_forest":
+            return RandomForestRegressor(**self.params)
+        if self.algorithm == "kneighbors":
+            return KNeighborsRegressor(**self.params)
+        if self.algorithm == "lasso":
+            return LassoRegressor(**self.params)
+        raise ValueError(f"unknown algorithm: {self.algorithm!r}")
+
+
+@dataclass
+class CandidateResult:
+    """A trained candidate plus its validation error."""
+
+    candidate: ModelCandidate
+    model: Any
+    error: float
+
+    @property
+    def payload_size(self) -> int:
+        return getattr(self.model, "payload_size", 256)
+
+
+def default_candidates(seed: int = 0) -> List[ModelCandidate]:
+    """The default search space — the paper's three algorithms (§IV-A):
+    "searching through RandomForestRegressor, KNeighborsRegressor, and
+    Lasso to find the best fit model"."""
+    return [
+        ModelCandidate("rf-deep", "random_forest",
+                       {"n_estimators": 10, "max_depth": 14,
+                        "max_features": 20, "seed": seed}, heavy=True),
+        ModelCandidate("knn-5", "kneighbors", {"n_neighbors": 5}),
+        ModelCandidate("lasso-0.1", "lasso", {"alpha": 0.1}),
+    ]
+
+
+def train_candidate(candidate: ModelCandidate, train_features: np.ndarray,
+                    train_targets: np.ndarray,
+                    validation_features: np.ndarray,
+                    validation_targets: np.ndarray) -> CandidateResult:
+    """Fit one candidate and score it on the validation split."""
+    model = candidate.build()
+    model.fit(train_features, train_targets)
+    predictions = model.predict(validation_features)
+    error = mean_squared_error(validation_targets, predictions)
+    return CandidateResult(candidate=candidate, model=model, error=error)
+
+
+def select_best(results: Sequence[CandidateResult]) -> CandidateResult:
+    """The collector's job: keep the candidate with the lowest error.
+
+    Mirrors the paper's collector entity, whose "state ... is updated once
+    a new model is found with less error reported than the current model".
+    """
+    if not results:
+        raise ValueError("no candidate results to select from")
+    best = results[0]
+    for result in results[1:]:
+        if result.error < best.error:
+            best = result
+    return best
+
+
+class BestFitCollector:
+    """Incremental best-model state — the durable entity's behaviour."""
+
+    def __init__(self):
+        self.best: Optional[CandidateResult] = None
+        self.reports = 0
+
+    def report(self, result: CandidateResult) -> bool:
+        """Record one result; returns True when it became the new best."""
+        self.reports += 1
+        if self.best is None or result.error < self.best.error:
+            self.best = result
+            return True
+        return False

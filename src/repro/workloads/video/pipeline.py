@@ -1,0 +1,62 @@
+"""The video workload as platform-neutral stages plus an eager runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.workloads.video.facedetect import (
+    DetectionModel,
+    detect_faces_in_chunk,
+)
+from repro.workloads.video.video import (
+    MergedResult,
+    SyntheticVideo,
+    VideoChunk,
+    chunk_video,
+    merge_chunks,
+)
+
+
+@dataclass
+class VideoResult:
+    """Output of one full split → detect → merge run."""
+
+    merged: MergedResult
+    n_workers: int
+
+    @property
+    def detections(self) -> List[Tuple[int, int, int]]:
+        return self.merged.detections
+
+
+class VideoPipeline:
+    """Eager, in-process runner for the three-step workflow (Figure 5)."""
+
+    def __init__(self, video: SyntheticVideo,
+                 model: Optional[DetectionModel] = None):
+        self.video = video
+        self.model = model or DetectionModel()
+
+    def split(self, n_workers: int,
+              max_chunk_bytes: Optional[int] = None) -> List[VideoChunk]:
+        """Step 1: break the video into chunks."""
+        return chunk_video(self.video, n_workers,
+                           max_chunk_bytes=max_chunk_bytes)
+
+    def detect(self, chunk: VideoChunk) -> List[Tuple[int, int, int]]:
+        """Step 2 (per worker): face detection on one chunk."""
+        return detect_faces_in_chunk(chunk, self.model)
+
+    def merge(self, results: List[Tuple[int, List[Tuple[int, int, int]]]]
+              ) -> MergedResult:
+        """Step 3: aggregate worker outputs."""
+        return merge_chunks(results)
+
+    def run(self, n_workers: int,
+            max_chunk_bytes: Optional[int] = None) -> VideoResult:
+        """The whole workflow, sequentially, in-process."""
+        chunks = self.split(n_workers, max_chunk_bytes=max_chunk_bytes)
+        per_chunk = [(chunk.index, self.detect(chunk)) for chunk in chunks]
+        return VideoResult(merged=self.merge(per_chunk),
+                           n_workers=len(chunks))

@@ -1,0 +1,187 @@
+"""Tests for ASL parsing and static validation."""
+
+import pytest
+
+from repro.aws import AslValidationError, parse_state_machine
+from repro.aws.states import MapState, ParallelState, TaskState
+
+
+def minimal(states=None, start="Only"):
+    return {
+        "StartAt": start,
+        "States": states or {"Only": {"Type": "Succeed"}},
+    }
+
+
+def test_minimal_machine_parses():
+    machine = parse_state_machine(minimal())
+    assert machine.start_at == "Only"
+    assert machine.state_count() == 1
+
+
+def test_missing_start_at():
+    with pytest.raises(AslValidationError, match="StartAt"):
+        parse_state_machine({"States": {"A": {"Type": "Succeed"}}})
+
+
+def test_missing_states():
+    with pytest.raises(AslValidationError, match="States"):
+        parse_state_machine({"StartAt": "A"})
+
+
+def test_empty_states():
+    with pytest.raises(AslValidationError, match="not be empty"):
+        parse_state_machine({"StartAt": "A", "States": {}})
+
+
+def test_start_at_unknown_state():
+    with pytest.raises(AslValidationError, match="not a defined state"):
+        parse_state_machine(minimal(start="Ghost"))
+
+
+def test_dangling_next_target():
+    with pytest.raises(AslValidationError, match="unknown state"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Pass", "Next": "Ghost"},
+        }))
+
+
+def test_unreachable_state_detected():
+    with pytest.raises(AslValidationError, match="unreachable"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Succeed"},
+            "Island": {"Type": "Succeed"},
+        }))
+
+
+def test_state_without_next_or_end():
+    with pytest.raises(AslValidationError, match="neither 'Next' nor 'End'"):
+        parse_state_machine(minimal(states={"Only": {"Type": "Pass"}}))
+
+
+def test_no_terminal_state():
+    with pytest.raises(AslValidationError, match="no terminal state"):
+        parse_state_machine(minimal(states={
+            "A": {"Type": "Pass", "Next": "B"},
+            "B": {"Type": "Pass", "Next": "A"},
+        }, start="A"))
+
+
+def test_task_requires_resource():
+    with pytest.raises(AslValidationError, match="Resource"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Task", "End": True}}))
+
+
+def test_unknown_state_type():
+    with pytest.raises(AslValidationError, match="unknown Type"):
+        parse_state_machine(minimal(states={"Only": {"Type": "Quantum"}}))
+
+
+def test_task_state_fields_parsed():
+    machine = parse_state_machine(minimal(states={
+        "Only": {
+            "Type": "Task", "Resource": "fn", "End": True,
+            "InputPath": "$.in", "ResultPath": "$.out",
+            "TimeoutSeconds": 30,
+            "Retry": [{"ErrorEquals": ["States.ALL"], "MaxAttempts": 2}],
+            "Catch": [{"ErrorEquals": ["States.Timeout"], "Next": "Only"}],
+        }}))
+    state = machine.state("Only")
+    assert isinstance(state, TaskState)
+    assert state.resource == "fn"
+    assert state.input_path == "$.in"
+    assert state.retry[0]["max_attempts"] == 2
+    assert state.catch[0]["next"] == "Only"
+
+
+def test_retry_requires_error_equals():
+    with pytest.raises(AslValidationError, match="ErrorEquals"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Task", "Resource": "fn", "End": True,
+                     "Retry": [{"MaxAttempts": 2}]}}))
+
+
+def test_parallel_parses_branches_recursively():
+    machine = parse_state_machine(minimal(states={
+        "Only": {
+            "Type": "Parallel", "End": True,
+            "Branches": [minimal(), minimal()],
+        }}))
+    state = machine.state("Only")
+    assert isinstance(state, ParallelState)
+    assert len(state.branches) == 2
+    assert machine.state_count() == 3
+
+
+def test_parallel_requires_branches():
+    with pytest.raises(AslValidationError, match="branch"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Parallel", "End": True, "Branches": []}}))
+
+
+def test_map_parses_iterator():
+    machine = parse_state_machine(minimal(states={
+        "Only": {
+            "Type": "Map", "End": True, "ItemsPath": "$.chunks",
+            "MaxConcurrency": 5, "Iterator": minimal(),
+        }}))
+    state = machine.state("Only")
+    assert isinstance(state, MapState)
+    assert state.items_path == "$.chunks"
+    assert state.max_concurrency == 5
+
+
+def test_map_requires_iterator():
+    with pytest.raises(AslValidationError, match="Iterator"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Map", "End": True}}))
+
+
+def test_invalid_branch_fails_at_parse_time():
+    with pytest.raises(AslValidationError):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Parallel", "End": True,
+                     "Branches": [{"StartAt": "Ghost",
+                                   "States": {"A": {"Type": "Succeed"}}}]}}))
+
+
+def test_choice_requires_rules_and_comparator():
+    with pytest.raises(AslValidationError, match="choice rule"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Choice", "Choices": []},
+        }))
+    with pytest.raises(AslValidationError, match="comparator"):
+        parse_state_machine(minimal(states={
+            "C": {"Type": "Choice",
+                  "Choices": [{"Variable": "$.x", "Next": "Done"}]},
+            "Done": {"Type": "Succeed"},
+        }, start="C"))
+
+
+def test_choice_targets_are_validated():
+    with pytest.raises(AslValidationError, match="unknown state"):
+        parse_state_machine(minimal(states={
+            "C": {"Type": "Choice",
+                  "Choices": [{"Variable": "$.x", "NumericEquals": 1,
+                               "Next": "Ghost"}],
+                  "Default": "Done"},
+            "Done": {"Type": "Succeed"},
+        }, start="C"))
+
+
+def test_wait_requires_seconds():
+    with pytest.raises(AslValidationError, match="Seconds"):
+        parse_state_machine(minimal(states={
+            "Only": {"Type": "Wait", "End": True}}))
+
+
+def test_state_count_recurses_into_map():
+    machine = parse_state_machine(minimal(states={
+        "M": {"Type": "Map", "End": True, "Iterator": minimal(states={
+            "A": {"Type": "Pass", "Next": "B"},
+            "B": {"Type": "Succeed"},
+        }, start="A")},
+    }, start="M"))
+    assert machine.state_count() == 3
+    assert machine.state_count(recursive=False) == 1

@@ -1,0 +1,127 @@
+"""Tests for Express workflows: pricing model, duration cap, semantics."""
+
+import pytest
+
+from repro.aws.stepfunctions import (
+    EXPRESS,
+    EXPRESS_DURATION_LIMIT_S,
+    STANDARD,
+)
+from repro.platforms.base import FunctionSpec
+
+
+def quick(ctx, event):
+    yield from ctx.busy(0.5)
+    return event
+
+
+def slow(ctx, event):
+    yield from ctx.busy(400.0)
+    return event
+
+
+CHAIN = {
+    "StartAt": "A",
+    "States": {
+        "A": {"Type": "Task", "Resource": "quick", "Next": "B"},
+        "B": {"Type": "Task", "Resource": "quick", "End": True},
+    },
+}
+
+
+@pytest.fixture
+def deployed(lambdas, stepfunctions):
+    lambdas.register(FunctionSpec(name="quick", handler=quick,
+                                  memory_mb=512, timeout_s=60.0))
+    lambdas.register(FunctionSpec(name="slow", handler=slow,
+                                  memory_mb=1536, timeout_s=600.0))
+    return stepfunctions
+
+
+def test_default_workflow_type_is_standard(deployed):
+    deployed.create_state_machine("m", CHAIN)
+    assert deployed.workflow_type_of("m") == STANDARD
+
+
+def test_invalid_workflow_type_rejected(deployed):
+    with pytest.raises(ValueError, match="workflow_type"):
+        deployed.create_state_machine("m", CHAIN, workflow_type="warp")
+
+
+def test_express_execution_succeeds_and_meters_duration(deployed, meter,
+                                                        run):
+    deployed.create_state_machine("m", CHAIN, workflow_type=EXPRESS)
+    record = run(deployed.start_execution("m", 1))
+    assert record.status == "SUCCEEDED"
+    assert record.workflow_type == EXPRESS
+    # No per-transition charges...
+    assert meter.count(service="stepfunctions", operation="transition") == 0
+    # ... but one request plus a duration record.
+    assert meter.count(service="stepfunctions-express",
+                       operation="request") == 1
+    assert meter.count(service="stepfunctions-express",
+                       operation="duration") == 1
+
+
+def test_standard_execution_does_not_meter_express(deployed, meter, run):
+    deployed.create_state_machine("m", CHAIN)
+    run(deployed.start_execution("m", 1))
+    assert meter.count(service="stepfunctions-express") == 0
+    assert meter.count(service="stepfunctions", operation="transition") == 2
+
+
+def test_express_duration_cap_enforced(deployed, run):
+    deployed.create_state_machine("m", {
+        "StartAt": "S",
+        "States": {"S": {"Type": "Task", "Resource": "slow", "End": True}},
+    }, workflow_type=EXPRESS)
+    record = run(deployed.start_execution("m", 1))
+    assert record.status == "FAILED"
+    assert record.error == "States.Timeout"
+    assert record.duration > EXPRESS_DURATION_LIMIT_S
+
+
+def test_standard_allows_long_executions(deployed, run):
+    deployed.create_state_machine("m", {
+        "StartAt": "S",
+        "States": {"S": {"Type": "Task", "Resource": "slow", "End": True}},
+    })
+    record = run(deployed.start_execution("m", 1))
+    assert record.status == "SUCCEEDED"
+
+
+def test_express_pricing_components(deployed, meter, billing, run,
+                                    calibration):
+    from repro.aws import AWSPriceModel
+    deployed.create_state_machine("m", CHAIN, workflow_type=EXPRESS)
+    record = run(deployed.start_execution("m", 1))
+    breakdown = AWSPriceModel(calibration).breakdown(billing, meter)
+    assert breakdown.transitions == 0.0
+    assert breakdown.express > 0.0
+    expected = (calibration.express_request_price
+                + record.duration * 64 / 1024.0
+                * calibration.express_gb_s_price)
+    assert breakdown.express == pytest.approx(expected, rel=0.01)
+
+
+def test_express_cheaper_for_chatty_workflows(deployed, meter, billing, run,
+                                              calibration):
+    """The Express value proposition: many short transitions cost less."""
+    from repro.aws import AWSPriceModel
+    many_states = {
+        "StartAt": "S0",
+        "States": {},
+    }
+    for index in range(10):
+        many_states["States"][f"S{index}"] = {
+            "Type": "Task", "Resource": "quick",
+            **({"Next": f"S{index + 1}"} if index < 9 else {"End": True}),
+        }
+    deployed.create_state_machine("std", many_states)
+    deployed.create_state_machine("exp", many_states,
+                                  workflow_type=EXPRESS)
+    run(deployed.start_execution("std", 1))
+    run(deployed.start_execution("exp", 1))
+    breakdown = AWSPriceModel(calibration).breakdown(billing, meter)
+    # 10 transitions at $25/M vs 1 request + ~6 s of 64 MB duration.
+    assert breakdown.express < breakdown.transitions

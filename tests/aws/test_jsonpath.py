@@ -1,0 +1,104 @@
+"""Tests for the ASL reference-path subset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aws.jsonpath import (
+    PathError,
+    apply_parameters,
+    get_path,
+    parse_path,
+    set_path,
+)
+
+
+def test_parse_root():
+    assert parse_path("$") == []
+
+
+def test_parse_fields_and_indices():
+    assert parse_path("$.a.b[2].c") == ["a", "b", 2, "c"]
+
+
+def test_parse_rejects_missing_dollar():
+    with pytest.raises(PathError):
+        parse_path("a.b")
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(PathError):
+        parse_path("$.a..b")
+    with pytest.raises(PathError):
+        parse_path("$[x]")
+
+
+def test_get_root_returns_whole_document():
+    data = {"a": 1}
+    assert get_path(data, "$") is data
+
+
+def test_get_nested():
+    data = {"a": {"b": [10, 20, 30]}}
+    assert get_path(data, "$.a.b[1]") == 20
+
+
+def test_get_missing_field_raises():
+    with pytest.raises(PathError, match="not found"):
+        get_path({"a": 1}, "$.b")
+
+
+def test_get_index_out_of_range_raises():
+    with pytest.raises(PathError):
+        get_path({"a": [1]}, "$.a[5]")
+
+
+def test_set_root_replaces_document():
+    assert set_path({"a": 1}, "$", "new") == "new"
+
+
+def test_set_creates_intermediate_objects():
+    result = set_path({"x": 1}, "$.a.b", 42)
+    assert result == {"x": 1, "a": {"b": 42}}
+
+
+def test_set_does_not_mutate_original():
+    original = {"a": {"b": 1}}
+    result = set_path(original, "$.a.c", 2)
+    assert original == {"a": {"b": 1}}
+    assert result["a"] == {"b": 1, "c": 2}
+
+
+def test_set_on_non_dict_input_builds_object():
+    assert set_path([1, 2], "$.result", "ok") == {"result": "ok"}
+
+
+def test_set_rejects_array_indexing():
+    with pytest.raises(PathError):
+        set_path({}, "$.a[0]", 1)
+
+
+def test_apply_parameters_literal_and_path():
+    template = {"static": 1, "dynamic.$": "$.x", "nested": {"deep.$": "$.y.z"}}
+    data = {"x": "ex", "y": {"z": "zee"}}
+    assert apply_parameters(template, data) == {
+        "static": 1, "dynamic": "ex", "nested": {"deep": "zee"}}
+
+
+def test_apply_parameters_list():
+    assert apply_parameters([{"v.$": "$.a"}], {"a": 7}) == [{"v": 7}]
+
+
+def test_apply_parameters_bad_path_value():
+    with pytest.raises(PathError):
+        apply_parameters({"v.$": 42}, {})
+
+
+@given(st.dictionaries(
+    st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,5}", fullmatch=True),
+    st.integers(), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_get_after_set_roundtrip(data):
+    key = sorted(data)[0]
+    updated = set_path(data, f"$.{key}", "sentinel")
+    assert get_path(updated, f"$.{key}") == "sentinel"

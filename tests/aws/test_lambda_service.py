@@ -1,0 +1,207 @@
+"""Tests for the simulated AWS Lambda runtime."""
+
+import pytest
+
+from repro.platforms.base import (
+    FunctionSpec,
+    FunctionTimeout,
+    WorkModel,
+)
+from repro.sim import Constant
+
+
+def echo_handler(ctx, event):
+    yield from ctx.busy(1.0)
+    return {"echo": event}
+
+
+def make_spec(name="echo", handler=echo_handler, **kwargs):
+    return FunctionSpec(name=name, handler=handler, **kwargs)
+
+
+def test_register_and_invoke(lambdas, run):
+    lambdas.register(make_spec())
+    result = run(lambdas.invoke("echo", {"x": 1}))
+    assert result.value == {"echo": {"x": 1}}
+    assert result.function_name == "echo"
+
+
+def test_register_rejects_duplicates(lambdas):
+    lambdas.register(make_spec())
+    with pytest.raises(ValueError, match="already registered"):
+        lambdas.register(make_spec())
+
+
+def test_register_rejects_bad_memory(lambdas):
+    with pytest.raises(ValueError, match="multiple of 128"):
+        lambdas.register(make_spec(memory_mb=1000))
+
+
+def test_register_rejects_excessive_timeout(lambdas):
+    with pytest.raises(ValueError, match="exceeds the Lambda limit"):
+        lambdas.register(make_spec(timeout_s=1000.0))
+
+
+def test_invoke_unknown_function(lambdas, run):
+    with pytest.raises(KeyError, match="no such Lambda function"):
+        run(lambdas.invoke("ghost", {}))
+
+
+def test_first_invocation_is_cold(lambdas, run):
+    lambdas.register(make_spec())
+    result = run(lambdas.invoke("echo", {}))
+    assert result.cold_start
+    assert 1.0 <= result.cold_start_duration <= 2.0
+
+
+def test_second_invocation_reuses_warm_container(lambdas, run):
+    lambdas.register(make_spec())
+    run(lambdas.invoke("echo", {}))
+    result = run(lambdas.invoke("echo", {}))
+    assert not result.cold_start
+    assert lambdas.warm_container_count("echo") == 1
+
+
+def test_container_expires_after_keep_alive(env, lambdas, run):
+    lambdas.register(make_spec())
+    run(lambdas.invoke("echo", {}))
+
+    def later(env):
+        yield env.timeout(lambdas.calibration.keep_alive_s + 1)
+        result = yield from lambdas.invoke("echo", {})
+        return result
+
+    result = env.run(until=env.process(later(env)))
+    assert result.cold_start
+
+
+def test_parallel_invocations_cold_start_in_parallel(env, lambdas, run):
+    """Per-request provisioning: N cold starts overlap, not queue."""
+    lambdas.register(make_spec())
+
+    def fan_out(env):
+        processes = [env.process(_invoke(lambdas, "echo", i))
+                     for i in range(20)]
+        yield env.all_of(processes)
+        return [process.value for process in processes]
+
+    results = env.run(until=env.process(fan_out(env)))
+    assert all(result.cold_start for result in results)
+    # Total time ~ max(cold) + exec, nowhere near the serial sum.
+    assert env.now < 2.0 + 1.5
+    assert lambdas.warm_container_count("echo") == 20
+
+
+def _invoke(lambdas, name, payload):
+    result = yield from lambdas.invoke(name, payload)
+    return result
+
+
+def test_billing_rounds_up_to_100ms(lambdas, billing, run):
+    def quick(ctx, event):
+        yield from ctx.busy(0.0)
+        return None
+
+    # Disable jitter noise by busying an exact amount.
+    lambdas.calibration.execution_jitter = Constant(1.0)
+
+    def handler(ctx, event):
+        yield from ctx.busy(0.234)
+        return None
+
+    lambdas.register(make_spec(name="timed", handler=handler))
+    run(lambdas.invoke("timed", {}))
+    charge = billing.compute[-1]
+    assert charge.raw_duration == pytest.approx(0.234, abs=1e-9)
+    assert charge.billed_duration == pytest.approx(0.3)
+    assert charge.gb_s == pytest.approx(0.3 * 1.5)
+
+
+def test_billing_uses_configured_memory(lambdas, billing, run):
+    lambdas.calibration.execution_jitter = Constant(1.0)
+
+    def handler(ctx, event):
+        yield from ctx.busy(1.0)
+        return None
+
+    lambdas.register(make_spec(name="fat", handler=handler, memory_mb=3072))
+    run(lambdas.invoke("fat", {}))
+    charge = billing.compute[-1]
+    assert charge.memory_mb == 3072
+    # More memory = more CPU share: the 1 s of work finishes in 0.5 s
+    # (fixture pins full CPU at 1536 MB), billed at the configured 3 GB.
+    assert charge.gb_s == pytest.approx(charge.billed_duration * 3.0)
+    assert charge.raw_duration == pytest.approx(0.5)
+
+
+def test_request_charge_recorded(lambdas, billing, run):
+    lambdas.register(make_spec())
+    run(lambdas.invoke("echo", {}))
+    run(lambdas.invoke("echo", {}))
+    assert billing.total_requests() == 2
+
+
+def test_timeout_enforced(lambdas, run):
+    def slow(ctx, event):
+        yield from ctx.busy(10.0)
+        return None
+
+    lambdas.register(make_spec(name="slow", handler=slow, timeout_s=2.0))
+    with pytest.raises(FunctionTimeout):
+        run(lambdas.invoke("slow", {}))
+
+
+def test_timeout_still_bills_partial_execution(lambdas, billing, run):
+    def slow(ctx, event):
+        yield from ctx.busy(10.0)
+        return None
+
+    lambdas.register(make_spec(name="slow", handler=slow, timeout_s=2.0))
+    with pytest.raises(FunctionTimeout):
+        run(lambdas.invoke("slow", {}))
+    assert billing.compute[-1].raw_duration == pytest.approx(2.0)
+
+
+def test_handler_exception_propagates(lambdas, run):
+    def broken(ctx, event):
+        yield from ctx.busy(0.1)
+        raise ValueError("boom")
+
+    lambdas.register(make_spec(name="broken", handler=broken))
+    with pytest.raises(ValueError, match="boom"):
+        run(lambdas.invoke("broken", {}))
+
+
+def test_execution_span_emitted(lambdas, telemetry, run):
+    lambdas.register(make_spec())
+    run(lambdas.invoke("echo", {}))
+    spans = telemetry.find(kind="execution", name="echo")
+    assert len(spans) == 1
+    assert spans[0].attributes["platform"] == "aws"
+    assert spans[0].attributes["cold"] is True
+
+
+def test_work_model_lookup(lambdas, run):
+    spec = make_spec(
+        name="modeled",
+        handler=lambda ctx, event: _modeled_handler(ctx, event),
+        work_models={"train": WorkModel(base=Constant(0.5), per_unit=0.01)})
+    lambdas.calibration.execution_jitter = Constant(1.0)
+    lambdas.register(spec)
+    result = run(lambdas.invoke("modeled", {"rows": 100}))
+    assert result.duration == pytest.approx(0.5 + 0.01 * 100)
+
+
+def _modeled_handler(ctx, event):
+    yield from ctx.work("train", units=event["rows"])
+    return None
+
+
+def test_unknown_work_model_raises(lambdas, run):
+    def handler(ctx, event):
+        yield from ctx.work("missing")
+        return None
+
+    lambdas.register(make_spec(name="nomodel", handler=handler))
+    with pytest.raises(KeyError, match="no work model"):
+        run(lambdas.invoke("nomodel", {}))

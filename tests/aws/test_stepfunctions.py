@@ -1,0 +1,358 @@
+"""Integration tests for the Step Functions executor."""
+
+import pytest
+
+from repro.platforms.base import FunctionSpec
+from repro.sim import Constant
+from repro.storage.payload import KB
+
+
+def register(lambdas, name, handler, **kwargs):
+    lambdas.register(FunctionSpec(name=name, handler=handler, **kwargs))
+
+
+def adder(ctx, event):
+    yield from ctx.busy(0.5)
+    return event["a"] + event["b"]
+
+
+def doubler(ctx, event):
+    yield from ctx.busy(0.2)
+    return event * 2
+
+
+def failing(ctx, event):
+    yield from ctx.busy(0.1)
+    raise RuntimeError("task blew up")
+
+
+def test_single_task_machine(lambdas, stepfunctions, run):
+    register(lambdas, "add", adder)
+    stepfunctions.create_state_machine("calc", {
+        "StartAt": "Add",
+        "States": {"Add": {"Type": "Task", "Resource": "add", "End": True}},
+    })
+    record = run(stepfunctions.start_execution("calc", {"a": 2, "b": 3}))
+    assert record.status == "SUCCEEDED"
+    assert record.output == 5
+    assert record.transitions == 1
+
+
+def test_create_rejects_undeployed_resource(lambdas, stepfunctions):
+    with pytest.raises(KeyError, match="no such Lambda"):
+        stepfunctions.create_state_machine("bad", {
+            "StartAt": "T",
+            "States": {"T": {"Type": "Task", "Resource": "ghost",
+                             "End": True}},
+        })
+
+
+def test_duplicate_machine_name(lambdas, stepfunctions):
+    definition = {"StartAt": "S", "States": {"S": {"Type": "Succeed"}}}
+    stepfunctions.create_state_machine("m", definition)
+    with pytest.raises(ValueError, match="already exists"):
+        stepfunctions.create_state_machine("m", definition)
+
+
+def test_task_chain_threads_data(lambdas, stepfunctions, run):
+    register(lambdas, "double", doubler)
+    stepfunctions.create_state_machine("chain", {
+        "StartAt": "First",
+        "States": {
+            "First": {"Type": "Task", "Resource": "double", "Next": "Second"},
+            "Second": {"Type": "Task", "Resource": "double", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("chain", 3))
+    assert record.output == 12
+    assert record.transitions == 2
+    assert record.states_entered == ["First", "Second"]
+
+
+def test_input_result_output_paths(lambdas, stepfunctions, run):
+    register(lambdas, "add", adder)
+    stepfunctions.create_state_machine("paths", {
+        "StartAt": "Add",
+        "States": {
+            "Add": {
+                "Type": "Task", "Resource": "add",
+                "InputPath": "$.numbers",
+                "ResultPath": "$.sum",
+                "End": True,
+            },
+        },
+    })
+    record = run(stepfunctions.start_execution(
+        "paths", {"numbers": {"a": 1, "b": 2}, "keep": "me"}))
+    assert record.output == {"numbers": {"a": 1, "b": 2},
+                             "keep": "me", "sum": 3}
+
+
+def test_parameters_template(lambdas, stepfunctions, run):
+    register(lambdas, "add", adder)
+    stepfunctions.create_state_machine("params", {
+        "StartAt": "Add",
+        "States": {
+            "Add": {
+                "Type": "Task", "Resource": "add",
+                "Parameters": {"a.$": "$.left", "b": 10},
+                "End": True,
+            },
+        },
+    })
+    record = run(stepfunctions.start_execution("params", {"left": 5}))
+    assert record.output == 15
+
+
+def test_pass_state_injects_result(lambdas, stepfunctions, run):
+    stepfunctions.create_state_machine("passer", {
+        "StartAt": "Inject",
+        "States": {
+            "Inject": {"Type": "Pass", "Result": {"v": 1},
+                       "ResultPath": "$.injected", "Next": "Done"},
+            "Done": {"Type": "Succeed"},
+        },
+    })
+    record = run(stepfunctions.start_execution("passer", {"x": 0}))
+    assert record.output == {"x": 0, "injected": {"v": 1}}
+    assert record.transitions == 2
+
+
+def test_wait_state_delays(env, lambdas, stepfunctions, run):
+    stepfunctions.create_state_machine("waiter", {
+        "StartAt": "W",
+        "States": {
+            "W": {"Type": "Wait", "Seconds": 30, "Next": "Done"},
+            "Done": {"Type": "Succeed"},
+        },
+    })
+    record = run(stepfunctions.start_execution("waiter", {}))
+    assert record.duration >= 30.0
+
+
+def test_choice_state_routes(lambdas, stepfunctions, run):
+    stepfunctions.create_state_machine("chooser", {
+        "StartAt": "C",
+        "States": {
+            "C": {"Type": "Choice",
+                  "Choices": [
+                      {"Variable": "$.size", "NumericGreaterThan": 100,
+                       "Next": "Big"}],
+                  "Default": "Small"},
+            "Big": {"Type": "Pass", "Result": "big", "End": True},
+            "Small": {"Type": "Pass", "Result": "small", "End": True},
+        },
+    })
+    big = run(stepfunctions.start_execution("chooser", {"size": 500}))
+    small = run(stepfunctions.start_execution("chooser", {"size": 5}))
+    assert big.output == "big"
+    assert small.output == "small"
+
+
+def test_fail_state_fails_execution(lambdas, stepfunctions, run):
+    stepfunctions.create_state_machine("failer", {
+        "StartAt": "F",
+        "States": {"F": {"Type": "Fail", "Error": "Custom.Error",
+                         "Cause": "nope"}},
+    })
+    record = run(stepfunctions.start_execution("failer", {}))
+    assert record.status == "FAILED"
+    assert record.error == "Custom.Error"
+
+
+def test_task_failure_without_catch_fails_execution(lambdas, stepfunctions,
+                                                    run):
+    register(lambdas, "boom", failing)
+    stepfunctions.create_state_machine("fragile", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "boom", "End": True}},
+    })
+    record = run(stepfunctions.start_execution("fragile", {}))
+    assert record.status == "FAILED"
+    assert record.error == "States.TaskFailed"
+
+
+def test_catch_routes_to_recovery_state(lambdas, stepfunctions, run):
+    register(lambdas, "boom", failing)
+    stepfunctions.create_state_machine("caught", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "boom",
+                  "Catch": [{"ErrorEquals": ["States.ALL"],
+                             "Next": "Recover", "ResultPath": "$.error"}],
+                  "End": True},
+            "Recover": {"Type": "Pass", "Result": "recovered", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("caught", {}))
+    assert record.status == "SUCCEEDED"
+    assert record.output == "recovered"
+
+
+def test_retry_then_succeed(lambdas, stepfunctions, run):
+    attempts = []
+
+    def flaky(ctx, event):
+        yield from ctx.busy(0.1)
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "finally"
+
+    register(lambdas, "flaky", flaky)
+    stepfunctions.create_state_machine("retrier", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "flaky",
+                  "Retry": [{"ErrorEquals": ["States.ALL"],
+                             "IntervalSeconds": 1, "MaxAttempts": 3}],
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("retrier", {}))
+    assert record.status == "SUCCEEDED"
+    assert record.output == "finally"
+    assert len(attempts) == 3
+    # Initial entry + two retry re-entries.
+    assert record.transitions == 3
+
+
+def test_retry_exhaustion_fails(lambdas, stepfunctions, run):
+    register(lambdas, "boom", failing)
+    stepfunctions.create_state_machine("exhausted", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "boom",
+                  "Retry": [{"ErrorEquals": ["States.ALL"],
+                             "IntervalSeconds": 0.1, "MaxAttempts": 2}],
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("exhausted", {}))
+    assert record.status == "FAILED"
+
+
+def test_parallel_branches_run_concurrently(env, lambdas, stepfunctions, run):
+    def slow(ctx, event):
+        yield from ctx.busy(10.0)
+        return event
+
+    lambdas.calibration.execution_jitter = Constant(1.0)
+    register(lambdas, "slow", slow)
+    branch = {
+        "StartAt": "S",
+        "States": {"S": {"Type": "Task", "Resource": "slow", "End": True}},
+    }
+    stepfunctions.create_state_machine("par", {
+        "StartAt": "P",
+        "States": {
+            "P": {"Type": "Parallel", "Branches": [branch, branch, branch],
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("par", "x"))
+    assert record.output == ["x", "x", "x"]
+    # 3 branches of 10 s overlap: well under the 30 s serial time.
+    assert record.duration < 20.0
+
+
+def test_map_state_fans_out(lambdas, stepfunctions, run):
+    register(lambdas, "double", doubler)
+    stepfunctions.create_state_machine("mapper", {
+        "StartAt": "M",
+        "States": {
+            "M": {"Type": "Map", "ItemsPath": "$.items",
+                  "Iterator": {
+                      "StartAt": "D",
+                      "States": {"D": {"Type": "Task", "Resource": "double",
+                                       "End": True}},
+                  },
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution(
+        "mapper", {"items": [1, 2, 3, 4]}))
+    assert record.output == [2, 4, 6, 8]
+    # 1 Map entry + 4 iterator Task entries.
+    assert record.transitions == 5
+
+
+def test_map_max_concurrency_limits_parallelism(env, lambdas, stepfunctions,
+                                                run):
+    def slow(ctx, event):
+        yield from ctx.busy(10.0)
+        return event
+
+    lambdas.calibration.execution_jitter = Constant(1.0)
+    register(lambdas, "slow", slow)
+    stepfunctions.create_state_machine("bounded", {
+        "StartAt": "M",
+        "States": {
+            "M": {"Type": "Map", "ItemsPath": "$.items", "MaxConcurrency": 2,
+                  "Iterator": {
+                      "StartAt": "S",
+                      "States": {"S": {"Type": "Task", "Resource": "slow",
+                                       "End": True}},
+                  },
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution(
+        "bounded", {"items": [1, 2, 3, 4]}))
+    # 4 items at concurrency 2 → at least two sequential waves of 10 s.
+    assert record.duration >= 20.0
+
+
+def test_payload_limit_fails_execution(lambdas, stepfunctions, run):
+    def bloater(ctx, event):
+        yield from ctx.busy(0.1)
+        return "x" * (300 * KB)
+
+    register(lambdas, "bloater", bloater)
+    stepfunctions.create_state_machine("bloated", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "bloater",
+                         "End": True}},
+    })
+    record = run(stepfunctions.start_execution("bloated", {}))
+    assert record.status == "FAILED"
+    assert record.error == "States.DataLimitExceeded"
+
+
+def test_transitions_metered_for_pricing(lambdas, stepfunctions, meter, run):
+    register(lambdas, "double", doubler)
+    stepfunctions.create_state_machine("chain", {
+        "StartAt": "A",
+        "States": {
+            "A": {"Type": "Task", "Resource": "double", "Next": "B"},
+            "B": {"Type": "Task", "Resource": "double", "End": True},
+        },
+    })
+    run(stepfunctions.start_execution("chain", 1))
+    assert meter.count(service="stepfunctions", operation="transition") == 2
+
+
+def test_cold_overhead_only_after_idle(env, lambdas, stepfunctions, telemetry,
+                                       run):
+    register(lambdas, "double", doubler)
+    stepfunctions.create_state_machine("m", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "double", "End": True}},
+    })
+    run(stepfunctions.start_execution("m", 1))
+    run(stepfunctions.start_execution("m", 1))
+    cold_spans = telemetry.find(kind="cold_start", name="m",
+                                component="stepfunctions")
+    assert len(cold_spans) == 1  # only the first execution paid it
+
+
+def test_workflow_span_has_execution_id(lambdas, stepfunctions, telemetry,
+                                        run):
+    register(lambdas, "double", doubler)
+    stepfunctions.create_state_machine("m", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "double", "End": True}},
+    })
+    record = run(stepfunctions.start_execution("m", 1))
+    spans = telemetry.find(kind="workflow", name="m")
+    assert spans[0].attributes["execution_id"] == record.execution_id

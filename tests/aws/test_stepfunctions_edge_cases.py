@@ -1,0 +1,221 @@
+"""Edge cases of the ASL executor: comparators, paths, catch routing."""
+
+import pytest
+
+from repro.platforms.base import FunctionSpec
+
+
+def echo(ctx, event):
+    yield from ctx.busy(0.1)
+    return event
+
+
+@pytest.fixture
+def deployed(lambdas):
+    lambdas.register(FunctionSpec(name="echo", handler=echo,
+                                  memory_mb=512, timeout_s=60.0))
+    return lambdas
+
+
+def run_choice(stepfunctions, run, rule, data, default="No"):
+    name = f"choice-{run_choice.counter}"
+    run_choice.counter += 1
+    stepfunctions.create_state_machine(name, {
+        "StartAt": "C",
+        "States": {
+            "C": {"Type": "Choice", "Choices": [dict(rule, Next="Yes")],
+                  "Default": default},
+            "Yes": {"Type": "Pass", "Result": "yes", "End": True},
+            "No": {"Type": "Pass", "Result": "no", "End": True},
+        },
+    })
+    return run(stepfunctions.start_execution(name, data)).output
+
+
+run_choice.counter = 0
+
+
+@pytest.mark.parametrize("rule,data,expected", [
+    ({"Variable": "$.x", "StringEquals": "a"}, {"x": "a"}, "yes"),
+    ({"Variable": "$.x", "StringEquals": "a"}, {"x": "b"}, "no"),
+    ({"Variable": "$.n", "NumericEquals": 5}, {"n": 5}, "yes"),
+    ({"Variable": "$.n", "NumericGreaterThanEquals": 5}, {"n": 5}, "yes"),
+    ({"Variable": "$.n", "NumericLessThan": 5}, {"n": 4}, "yes"),
+    ({"Variable": "$.n", "NumericLessThanEquals": 5}, {"n": 6}, "no"),
+    ({"Variable": "$.b", "BooleanEquals": True}, {"b": True}, "yes"),
+    ({"Variable": "$.b", "BooleanEquals": True}, {"b": False}, "no"),
+    ({"Variable": "$.maybe", "IsPresent": True}, {"maybe": 1}, "yes"),
+    ({"Variable": "$.maybe", "IsPresent": True}, {"other": 1}, "no"),
+])
+def test_choice_comparators(deployed, stepfunctions, run, rule, data,
+                            expected):
+    assert run_choice(stepfunctions, run, rule, data) == expected
+
+
+def test_choice_missing_variable_falls_through(deployed, stepfunctions, run):
+    assert run_choice(stepfunctions, run,
+                      {"Variable": "$.gone", "NumericEquals": 1},
+                      {"x": 1}) == "no"
+
+
+def test_choice_no_default_no_match_fails(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("strict", {
+        "StartAt": "C",
+        "States": {
+            "C": {"Type": "Choice",
+                  "Choices": [{"Variable": "$.x", "NumericEquals": 1,
+                               "Next": "Done"}]},
+            "Done": {"Type": "Succeed"},
+        },
+    })
+    record = run(stepfunctions.start_execution("strict", {"x": 2}))
+    assert record.status == "FAILED"
+    assert record.error == "States.NoChoiceMatched"
+
+
+def test_wait_seconds_path(deployed, stepfunctions, run, env):
+    stepfunctions.create_state_machine("waiter", {
+        "StartAt": "W",
+        "States": {
+            "W": {"Type": "Wait", "SecondsPath": "$.delay", "Next": "Done"},
+            "Done": {"Type": "Succeed"},
+        },
+    })
+    record = run(stepfunctions.start_execution("waiter", {"delay": 42}))
+    assert record.duration >= 42.0
+
+
+def test_catch_result_path_preserves_input(deployed, lambdas, stepfunctions,
+                                           run):
+    def boom(ctx, event):
+        yield from ctx.busy(0.1)
+        raise RuntimeError("pow")
+
+    lambdas.register(FunctionSpec(name="boom", handler=boom,
+                                  memory_mb=512, timeout_s=60.0))
+    stepfunctions.create_state_machine("keeper", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "boom",
+                  "Catch": [{"ErrorEquals": ["States.TaskFailed"],
+                             "Next": "Inspect", "ResultPath": "$.error"}],
+                  "End": True},
+            "Inspect": {"Type": "Pass", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("keeper", {"keep": "me"}))
+    assert record.status == "SUCCEEDED"
+    assert record.output["keep"] == "me"
+    assert record.output["error"]["Error"] == "States.TaskFailed"
+    assert "pow" in record.output["error"]["Cause"]
+
+
+def test_catch_specific_error_name_does_not_match_others(deployed, lambdas,
+                                                         stepfunctions, run):
+    def boom(ctx, event):
+        yield from ctx.busy(0.1)
+        raise RuntimeError("pow")
+
+    lambdas.register(FunctionSpec(name="boom2", handler=boom,
+                                  memory_mb=512, timeout_s=60.0))
+    stepfunctions.create_state_machine("selective", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "boom2",
+                  "Catch": [{"ErrorEquals": ["States.Timeout"],
+                             "Next": "Recover"}],
+                  "End": True},
+            "Recover": {"Type": "Pass", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("selective", {}))
+    assert record.status == "FAILED"
+    assert record.error == "States.TaskFailed"
+
+
+def test_map_with_parameters_template(deployed, lambdas, stepfunctions, run):
+    def combine(ctx, event):
+        yield from ctx.busy(0.1)
+        return f"{event['tag']}:{event['item']}"
+
+    lambdas.register(FunctionSpec(name="combine", handler=combine,
+                                  memory_mb=512, timeout_s=60.0))
+    stepfunctions.create_state_machine("tagger", {
+        "StartAt": "M",
+        "States": {
+            "M": {"Type": "Map", "ItemsPath": "$.items",
+                  "Parameters": {"item.$": "$.value", "tag": "t"},
+                  "Iterator": {
+                      "StartAt": "C",
+                      "States": {"C": {"Type": "Task",
+                                       "Resource": "combine",
+                                       "End": True}},
+                  },
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution(
+        "tagger", {"items": [{"value": 1}, {"value": 2}]}))
+    assert record.output == ["t:1", "t:2"]
+
+
+def test_map_over_empty_list(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("emptymap", {
+        "StartAt": "M",
+        "States": {
+            "M": {"Type": "Map", "ItemsPath": "$.items",
+                  "Iterator": {
+                      "StartAt": "E",
+                      "States": {"E": {"Type": "Task", "Resource": "echo",
+                                       "End": True}},
+                  },
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("emptymap", {"items": []}))
+    assert record.status == "SUCCEEDED"
+    assert record.output == []
+
+
+def test_map_items_path_not_a_list_fails(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("badmap", {
+        "StartAt": "M",
+        "States": {
+            "M": {"Type": "Map", "ItemsPath": "$.items",
+                  "Iterator": {
+                      "StartAt": "E",
+                      "States": {"E": {"Type": "Task", "Resource": "echo",
+                                       "End": True}},
+                  },
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("badmap", {"items": 7}))
+    assert record.status == "FAILED"
+    assert record.error == "States.Runtime"
+
+
+def test_execution_record_duration_requires_finish(deployed, stepfunctions):
+    from repro.aws.stepfunctions import ExecutionRecord
+    record = ExecutionRecord(execution_id=1, machine_name="m",
+                             started_at=0.0)
+    with pytest.raises(ValueError):
+        record.duration
+
+
+def test_list_and_describe_executions(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("inventory", {
+        "StartAt": "E",
+        "States": {"E": {"Type": "Task", "Resource": "echo", "End": True}},
+    })
+    first = run(stepfunctions.start_execution("inventory", 1))
+    second = run(stepfunctions.start_execution("inventory", 2))
+    executions = stepfunctions.list_executions(name="inventory")
+    assert [record.execution_id for record in executions] == [
+        second.execution_id, first.execution_id]
+    assert stepfunctions.list_executions(status="FAILED") == []
+    assert (stepfunctions.describe_execution(first.execution_id)
+            is first)
+    import pytest as _pytest
+    with _pytest.raises(KeyError):
+        stepfunctions.describe_execution(999_999)

@@ -1,0 +1,95 @@
+"""Tests for Task-state TimeoutSeconds and ResultSelector."""
+
+import pytest
+
+from repro.platforms.base import FunctionSpec
+
+
+def slow(ctx, event):
+    yield from ctx.busy(60.0)
+    return {"answer": event, "noise": "lots"}
+
+
+def quick(ctx, event):
+    yield from ctx.busy(0.5)
+    return {"answer": event, "noise": "lots", "nested": {"deep": 7}}
+
+
+@pytest.fixture
+def deployed(lambdas):
+    lambdas.register(FunctionSpec(name="slow", handler=slow,
+                                  memory_mb=1536, timeout_s=600.0))
+    lambdas.register(FunctionSpec(name="quick", handler=quick,
+                                  memory_mb=1536, timeout_s=600.0))
+    return lambdas
+
+
+def test_timeout_seconds_raises_states_timeout(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("tight", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "slow",
+                         "TimeoutSeconds": 5, "End": True}},
+    })
+    record = run(stepfunctions.start_execution("tight", 1))
+    assert record.status == "FAILED"
+    assert record.error == "States.Timeout"
+    # The state gave up at its own deadline, not the Lambda's.
+    assert record.duration < 20.0
+
+
+def test_timeout_seconds_catchable(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("tight-caught", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "slow", "TimeoutSeconds": 5,
+                  "Catch": [{"ErrorEquals": ["States.Timeout"],
+                             "Next": "Fallback"}],
+                  "End": True},
+            "Fallback": {"Type": "Pass", "Result": "fallback",
+                         "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("tight-caught", 1))
+    assert record.status == "SUCCEEDED"
+    assert record.output == "fallback"
+
+
+def test_generous_timeout_does_not_fire(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("loose", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "quick",
+                         "TimeoutSeconds": 30, "End": True}},
+    })
+    record = run(stepfunctions.start_execution("loose", 5))
+    assert record.status == "SUCCEEDED"
+    assert record.output["answer"] == 5
+
+
+def test_result_selector_projects_output(deployed, stepfunctions, run):
+    stepfunctions.create_state_machine("selected", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "quick",
+                  "ResultSelector": {"only.$": "$.answer",
+                                     "deep.$": "$.nested.deep",
+                                     "tag": "fixed"},
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("selected", 9))
+    assert record.output == {"only": 9, "deep": 7, "tag": "fixed"}
+
+
+def test_result_selector_composes_with_result_path(deployed, stepfunctions,
+                                                   run):
+    stepfunctions.create_state_machine("composed", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "quick",
+                  "ResultSelector": {"only.$": "$.answer"},
+                  "ResultPath": "$.result",
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("composed", {"keep": 1}))
+    assert record.output == {"keep": 1, "result": {"only": {"keep": 1}}}

@@ -1,0 +1,173 @@
+"""Tests for the Azure Functions consumption-plan runtime."""
+
+import pytest
+
+from repro.azure.app import TRIGGER_DURABLE, TRIGGER_HTTP, TRIGGER_QUEUE
+from repro.platforms.base import FunctionSpec, FunctionTimeout
+from repro.sim import Constant
+
+
+def echo(ctx, event):
+    yield from ctx.busy(1.0)
+    return {"echo": event}
+
+
+def make_spec(name="echo", handler=echo, **kwargs):
+    kwargs.setdefault("memory_mb", 1536)
+    kwargs.setdefault("timeout_s", 1800.0)
+    return FunctionSpec(name=name, handler=handler, **kwargs)
+
+
+def test_register_and_invoke(app, run):
+    app.register(make_spec())
+    result = run(app.invoke("echo", {"x": 1}))
+    assert result.value == {"echo": {"x": 1}}
+
+
+def test_register_rejects_oversized_memory(app):
+    with pytest.raises(ValueError, match="caps memory"):
+        app.register(make_spec(memory_mb=2048))
+
+
+def test_register_rejects_excessive_timeout(app):
+    with pytest.raises(ValueError, match="plan limit"):
+        app.register(make_spec(timeout_s=3600.0))
+
+
+def test_invoke_unknown_function(app, run):
+    with pytest.raises(KeyError, match="no such Azure function"):
+        run(app.invoke("ghost", {}))
+
+
+def test_scaled_to_zero_pays_trigger_cold_start(app, run, calibration):
+    app.register(make_spec())
+    result = run(app.invoke("echo", {}, trigger=TRIGGER_DURABLE))
+    assert result.cold_start
+    # Durable cold start is calibrated to 0.5-2 s (Fig 10).
+    assert 0.5 <= result.queue_wait <= 2.5
+
+
+def test_queue_trigger_cold_start_is_much_slower(app, run):
+    app.register(make_spec())
+    result = run(app.invoke("echo", {}, trigger=TRIGGER_QUEUE))
+    # 10-20 s (Fig 10), plus the warm dispatch hop.
+    assert 10.0 <= result.queue_wait <= 21.0
+
+
+def test_warm_invocation_reuses_instance(env, app, run):
+    app.register(make_spec())
+    run(app.invoke("echo", {}))
+    assert app.live_instance_count == 1
+    result = run(app.invoke("echo", {}))
+    assert not result.cold_start
+    assert result.queue_wait < 1.0
+    assert app.live_instance_count == 1
+
+
+def test_concurrency_limited_by_instance_slots(env, app, run, calibration):
+    """Work beyond the pool's slots waits for the scale controller."""
+    app.register(make_spec(name="slow", handler=_slow_handler))
+    run(app.invoke("slow", {}))  # one warm instance now
+
+    def fan_out(env):
+        processes = [env.process(_invoke(app, "slow", i)) for i in range(8)]
+        yield env.all_of(processes)
+        return [process.value for process in processes]
+
+    results = env.run(until=env.process(fan_out(env)))
+    waits = sorted(result.queue_wait for result in results)
+    # Two fit on the warm instance immediately; with 30 s tasks the rest
+    # queue until the controller adds instances (≥ one evaluation cycle).
+    assert waits[0] < 1.0
+    assert waits[-1] > calibration.scale_interval_s * 0.9
+
+
+def _invoke(app, name, payload):
+    result = yield from app.invoke(name, payload)
+    return result
+
+
+def test_scale_controller_grows_pool_under_backlog(env, app, run):
+    app.register(make_spec(name="slow", handler=_slow_handler))
+
+    def fan_out(env):
+        processes = [env.process(_invoke(app, "slow", i)) for i in range(30)]
+        yield env.all_of(processes)
+
+    env.run(until=env.process(fan_out(env)))
+    assert app.controller.scale_out_events > 0
+    assert app.live_instance_count > 1
+
+
+def _slow_handler(ctx, event):
+    yield from ctx.busy(30.0)
+    return event
+
+
+def test_idle_instances_reclaimed(env, app, run, calibration):
+    app.register(make_spec())
+    run(app.invoke("echo", {}))
+    assert app.live_instance_count == 1
+
+    def wait(env):
+        yield env.timeout(calibration.instance_idle_timeout_s
+                          + 2 * calibration.scale_interval_s)
+
+    env.run(until=env.process(wait(env)))
+    assert app.live_instance_count == 0
+
+
+def test_billing_uses_measured_memory_rounded_to_128(app, billing, run):
+    spec = make_spec(name="light", measured_memory_mb=200)
+    app.register(spec)
+    run(app.invoke("light", {}))
+    charge = billing.compute[-1]
+    assert charge.memory_mb == 256  # 200 rounded up to 128-multiple
+
+
+def test_billing_minimum_100ms(app, billing, run):
+    def instant(ctx, event):
+        yield from ctx.busy(0.001)
+        return None
+
+    app.register(make_spec(name="instant", handler=instant))
+    run(app.invoke("instant", {}))
+    assert billing.compute[-1].billed_duration == pytest.approx(0.1)
+
+
+def test_billing_ms_granularity_above_minimum(app, billing, run):
+    def timed(ctx, event):
+        yield from ctx.busy(0.2345)
+        return None
+
+    app.register(make_spec(name="timed", handler=timed))
+    run(app.invoke("timed", {}))
+    assert billing.compute[-1].billed_duration == pytest.approx(0.235)
+
+
+def test_timeout_enforced(app, run):
+    def forever(ctx, event):
+        yield from ctx.busy(100.0)
+        return None
+
+    app.register(make_spec(name="forever", handler=forever, timeout_s=5.0))
+    with pytest.raises(FunctionTimeout):
+        run(app.invoke("forever", {}))
+
+
+def test_scheduling_span_records_queue_wait(app, telemetry, run):
+    app.register(make_spec())
+    run(app.invoke("echo", {}))
+    spans = telemetry.find(kind="scheduling", name="echo")
+    assert len(spans) == 1
+    assert spans[0].attributes["queue_wait"] == pytest.approx(spans[0].duration)
+
+
+def test_handler_exception_propagates(app, run):
+    def broken(ctx, event):
+        yield from ctx.busy(0.1)
+        raise ValueError("kaput")
+
+    app.register(make_spec(name="broken", handler=broken))
+    with pytest.raises(ValueError, match="kaput"):
+        run(app.invoke("broken", {}))

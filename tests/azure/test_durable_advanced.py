@@ -1,0 +1,215 @@
+"""Tests for advanced durable features: external events, retries,
+continue-as-new, and the approval-vs-timeout pattern."""
+
+import pytest
+
+from repro.azure import OrchestratorSpec, RetryOptions
+from repro.azure.durable import OrchestrationFailedError, OrchestrationStatus
+from repro.azure.durable.tasks import ExternalEventTask
+from repro.platforms.base import FunctionSpec
+
+
+def register_activity(runtime, name, handler):
+    runtime.register_activity(FunctionSpec(
+        name=name, handler=handler, memory_mb=1536, timeout_s=1800.0))
+
+
+# -- external events -----------------------------------------------------------
+
+def test_wait_for_external_event(runtime, run, env):
+    def orchestrator(context):
+        approval = yield context.wait_for_external_event("Approval")
+        return {"approved_by": approval}
+
+    runtime.register_orchestrator(OrchestratorSpec("approval", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("approval")
+        yield env.timeout(120.0)   # the orchestration idles, unloaded
+        status = client.get_status(instance_id)
+        assert status.status == OrchestrationStatus.RUNNING
+        yield from client.raise_event(instance_id, "Approval", "alice")
+        output = yield from client.wait_for_completion(instance_id)
+        return output
+
+    assert run(scenario(env)) == {"approved_by": "alice"}
+    assert env.now >= 120.0
+
+
+def test_external_events_match_by_name_and_order(runtime, run, env):
+    def orchestrator(context):
+        first = yield context.wait_for_external_event("tick")
+        second = yield context.wait_for_external_event("tick")
+        other = yield context.wait_for_external_event("tock")
+        return [first, second, other]
+
+    runtime.register_orchestrator(OrchestratorSpec("ticker", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("ticker")
+        yield env.timeout(10.0)
+        yield from client.raise_event(instance_id, "tock", "T")
+        yield from client.raise_event(instance_id, "tick", 1)
+        yield from client.raise_event(instance_id, "tick", 2)
+        output = yield from client.wait_for_completion(instance_id)
+        return output
+
+    assert run(scenario(env)) == [1, 2, "T"]
+
+
+def test_raise_event_on_finished_instance_rejected(runtime, run, env):
+    def orchestrator(context):
+        yield context.create_timer(1.0)
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("quick", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("quick")
+        yield from client.wait_for_completion(instance_id)
+        yield from client.raise_event(instance_id, "late")
+
+    with pytest.raises(OrchestrationFailedError, match="finished"):
+        run(scenario(env))
+
+
+def test_approval_or_timeout_pattern(runtime, run, env):
+    """The canonical human-interaction pattern: event vs durable timer."""
+    outcomes = []
+
+    def orchestrator(context):
+        approval = context.wait_for_external_event("Approval")
+        deadline = context.create_timer(300.0)
+        winner, value = yield context.task_any([approval, deadline])
+        if isinstance(winner, ExternalEventTask):
+            return {"outcome": "approved", "by": value}
+        return {"outcome": "timed out"}
+
+    runtime.register_orchestrator(OrchestratorSpec("gate", orchestrator))
+
+    def approved(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("gate")
+        yield env.timeout(50.0)
+        yield from client.raise_event(instance_id, "Approval", "bob")
+        output = yield from client.wait_for_completion(instance_id)
+        return output
+
+    assert run(approved(env)) == {"outcome": "approved", "by": "bob"}
+
+    def expired(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("gate")
+        output = yield from client.wait_for_completion(instance_id)
+        return output
+
+    assert run(expired(env)) == {"outcome": "timed out"}
+
+
+# -- retries ----------------------------------------------------------------------
+
+def test_retry_options_validation():
+    with pytest.raises(ValueError):
+        RetryOptions(first_retry_interval_s=0)
+    with pytest.raises(ValueError):
+        RetryOptions(max_number_of_attempts=0)
+    with pytest.raises(ValueError):
+        RetryOptions(backoff_coefficient=0.5)
+    options = RetryOptions(first_retry_interval_s=2.0, backoff_coefficient=3.0)
+    assert options.delay_before_attempt(1) == 2.0
+    assert options.delay_before_attempt(2) == 6.0
+
+
+def test_call_activity_with_retry_recovers(runtime, run, env):
+    attempts = []
+
+    def flaky(ctx, event):
+        yield from ctx.busy(0.1)
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise RuntimeError("transient failure")
+        return "finally"
+
+    register_activity(runtime, "flaky", flaky)
+
+    def orchestrator(context):
+        result = yield context.call_activity_with_retry(
+            "flaky", RetryOptions(first_retry_interval_s=5.0,
+                                  max_number_of_attempts=5))
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("retrier", orchestrator))
+    assert run(runtime.client.run("retrier")) == "finally"
+    assert len(attempts) == 3
+    # Two backoff delays (5 s + 10 s) elapsed before success.
+    assert env.now >= 15.0
+
+
+def test_retry_exhaustion_fails_orchestration(runtime, run):
+    def broken(ctx, event):
+        yield from ctx.busy(0.1)
+        raise RuntimeError("permanent")
+
+    register_activity(runtime, "broken", broken)
+
+    def orchestrator(context):
+        yield context.call_activity_with_retry(
+            "broken", RetryOptions(first_retry_interval_s=1.0,
+                                   max_number_of_attempts=2))
+
+    runtime.register_orchestrator(OrchestratorSpec("doomed", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="permanent"):
+        run(runtime.client.run("doomed"))
+
+
+# -- continue-as-new -----------------------------------------------------------------
+
+def test_continue_as_new_restarts_with_new_input(runtime, run):
+    def add_one(ctx, event):
+        yield from ctx.busy(0.1)
+        return event + 1
+
+    register_activity(runtime, "add_one", add_one)
+
+    def orchestrator(context):
+        value = yield context.call_activity("add_one", context.input)
+        if value < 5:
+            context.continue_as_new(value)
+            return None
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("counter", orchestrator))
+    assert run(runtime.client.run("counter", 0)) == 5
+
+
+def test_continue_as_new_truncates_history(runtime, run):
+    """The eternal-orchestration pattern keeps replay cost bounded."""
+    def noop(ctx, event):
+        yield from ctx.busy(0.05)
+        return event
+
+    register_activity(runtime, "noop", noop)
+
+    def orchestrator(context):
+        yield context.call_activity("noop", context.input)
+        if context.input < 10:
+            context.continue_as_new(context.input + 1)
+            return None
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("eternal", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("eternal", 0)
+        output = yield from client.wait_for_completion(instance_id)
+        instance = client.get_status(instance_id)
+        return output, len(instance.history)
+
+    output, history_length = run(scenario(runtime.env))
+    assert output == "done"
+    # History holds only the final generation's events, not all eleven.
+    assert history_length < 8

@@ -1,0 +1,233 @@
+"""Tests for durable entities: state, serialization, orchestrator access."""
+
+import pytest
+
+from repro.azure import EntityId, EntitySpec, OrchestratorSpec
+from repro.platforms.base import FunctionSpec
+
+
+def counter_add(ctx, state, amount):
+    yield from ctx.busy(0.5)
+    new_state = (state or 0) + amount
+    return new_state, new_state
+
+
+def counter_spec():
+    return EntitySpec(name="Counter", operations={"add": counter_add},
+                      initial_state=lambda: 0)
+
+
+def test_entity_id_str_roundtrip():
+    entity = EntityId("Counter", "main")
+    assert str(entity) == "@Counter@main"
+    assert EntityId.parse(str(entity)) == entity
+
+
+def test_entity_id_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        EntityId.parse("Counter@main")
+    with pytest.raises(ValueError):
+        EntityId.parse("@CounterOnly")
+
+
+def test_entity_spec_unknown_operation():
+    spec = counter_spec()
+    with pytest.raises(KeyError, match="no operation"):
+        spec.operation("divide")
+
+
+def test_call_entity_from_orchestrator(runtime, run):
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        counter = EntityId("Counter", "main")
+        first = yield context.call_entity(counter, "add", 5)
+        second = yield context.call_entity(counter, "add", 7)
+        return first, second
+
+    runtime.register_orchestrator(OrchestratorSpec("counting", orchestrator))
+    assert run(runtime.client.run("counting")) == (5, 12)
+
+
+def test_entity_state_persists_across_orchestrations(runtime, run):
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        result = yield context.call_entity(EntityId("Counter", "k"), "add", 1)
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("inc", orchestrator))
+    assert run(runtime.client.run("inc")) == 1
+    assert run(runtime.client.run("inc")) == 2
+    assert run(runtime.client.run("inc")) == 3
+
+
+def test_builtin_get_and_set_operations(runtime, run):
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        counter = EntityId("Counter", "main")
+        yield context.call_entity(counter, "set", 100)
+        value = yield context.call_entity(counter, "get")
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("getset", orchestrator))
+    assert run(runtime.client.run("getset")) == 100
+
+
+def test_entity_operations_are_serialized(runtime, run, env):
+    """Concurrent calls to one entity key execute one at a time."""
+    active = {"count": 0, "max": 0}
+
+    def slow_op(ctx, state, _input):
+        active["count"] += 1
+        active["max"] = max(active["max"], active["count"])
+        yield from ctx.busy(5.0)
+        active["count"] -= 1
+        return (state or 0) + 1, None
+
+    runtime.register_entity(EntitySpec(
+        name="Serial", operations={"op": slow_op}, initial_state=lambda: 0))
+
+    def orchestrator(context):
+        entity = EntityId("Serial", "one")
+        tasks = [context.call_entity(entity, "op") for _ in range(4)]
+        yield context.task_all(tasks)
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("hammer", orchestrator))
+    run(runtime.client.run("hammer"))
+    assert active["max"] == 1
+    # Four serialized 5 s ops: at least 20 s of simulated time passed.
+    assert env.now >= 20.0
+
+
+def test_different_keys_run_concurrently(runtime, run, env):
+    def slow_op(ctx, state, _input):
+        yield from ctx.busy(5.0)
+        return state, None
+
+    runtime.register_entity(EntitySpec(
+        name="Sharded", operations={"op": slow_op}))
+
+    def orchestrator(context):
+        tasks = [context.call_entity(EntityId("Sharded", f"k{i}"), "op")
+                 for i in range(4)]
+        yield context.task_all(tasks)
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("sharded", orchestrator))
+    run(runtime.client.run("sharded"))
+    # Four different keys on a pool that scales: much less than 4×5 s of
+    # pure serial time plus overheads would allow.
+    assert env.now < 60.0
+
+
+def test_signal_entity_is_fire_and_forget(runtime, run):
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        counter = EntityId("Counter", "sig")
+        yield context.signal_entity(counter, "add", 10)
+        # A later two-way call observes the signal's effect (same queue,
+        # serialized processing).
+        value = yield context.call_entity(counter, "add", 1)
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("signaler", orchestrator))
+    assert run(runtime.client.run("signaler")) == 11
+
+
+def test_client_signal_and_read_state(runtime, run, env):
+    runtime.register_entity(counter_spec())
+    entity = EntityId("Counter", "client")
+
+    def scenario(env):
+        yield from runtime.client.signal_entity(entity, "add", 42)
+        # Give the pump time to process the signal.
+        yield env.timeout(60.0)
+        state = yield from runtime.client.read_entity_state(entity)
+        return state
+
+    assert run(scenario(env)) == 42
+
+
+def test_read_unset_entity_returns_initial_state(runtime, run):
+    runtime.register_entity(counter_spec())
+
+    def scenario(env):
+        state = yield from runtime.client.read_entity_state(
+            EntityId("Counter", "fresh"))
+        return state
+
+    assert run(scenario(runtime.env)) == 0
+
+
+def test_unknown_entity_operation_fails_orchestration(runtime, run):
+    from repro.azure.durable import OrchestrationFailedError
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        yield context.call_entity(EntityId("Counter", "x"), "divide", 2)
+
+    runtime.register_orchestrator(OrchestratorSpec("badop", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="no operation"):
+        run(runtime.client.run("badop"))
+
+
+def test_unregistered_entity_type_fails_orchestration(runtime, run):
+    from repro.azure.durable import OrchestrationFailedError
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        yield context.call_entity(EntityId("Ghost", "x"), "get")
+
+    runtime.register_orchestrator(OrchestratorSpec("ghostly", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="no such entity"):
+        run(runtime.client.run("ghostly"))
+
+
+def test_entity_ops_slower_than_equivalent_activity(runtime, run, telemetry):
+    """The paper's takeaway: entity ops > stateless activities (§V-A)."""
+
+    def work_op(ctx, state, _input):
+        yield from ctx.busy(1.0)
+        return state, "done"
+
+    def work_activity(ctx, _input):
+        yield from ctx.busy(1.0)
+        return "done"
+
+    runtime.register_entity(EntitySpec(name="Worker",
+                                       operations={"work": work_op}))
+    runtime.register_activity(FunctionSpec(
+        name="worker", handler=work_activity, memory_mb=1536,
+        timeout_s=1800.0))
+
+    def orchestrator(context):
+        yield context.call_activity("worker")
+        yield context.call_entity(EntityId("Worker", "w"), "work")
+        return "ok"
+
+    runtime.register_orchestrator(OrchestratorSpec("compare", orchestrator))
+    run(runtime.client.run("compare"))
+
+    activity_span = telemetry.find(kind="execution", name="worker")[0]
+    entity_span = telemetry.find(kind="execution", name="entity::Worker")[0]
+    # Same 1 s of logic, but the entity op pays dispatch overhead plus a
+    # state read and a state write.
+    assert entity_span.duration > activity_span.duration
+
+
+def test_entity_state_transactions_metered(runtime, run, meter):
+    runtime.register_entity(counter_spec())
+
+    def orchestrator(context):
+        yield context.call_entity(EntityId("Counter", "m"), "add", 1)
+        return "ok"
+
+    runtime.register_orchestrator(OrchestratorSpec("metered", orchestrator))
+    run(runtime.client.run("metered"))
+    # One read (miss) + one write for the op.
+    assert meter.count(service="table", operation="read") >= 1
+    assert meter.count(service="table", operation="insert") >= 1

@@ -1,0 +1,307 @@
+"""End-to-end tests for durable orchestrations: replay, fan-out, failure."""
+
+import pytest
+
+from repro.azure import EntityId, EntitySpec, OrchestratorSpec
+from repro.azure.durable import OrchestrationFailedError, OrchestrationStatus
+from repro.platforms.base import FunctionSpec
+from repro.storage.payload import KB
+
+
+def register_activity(runtime, name, handler, **kwargs):
+    kwargs.setdefault("memory_mb", 1536)
+    kwargs.setdefault("timeout_s", 1800.0)
+    runtime.register_activity(FunctionSpec(name=name, handler=handler,
+                                           **kwargs))
+
+
+def double_activity(ctx, event):
+    yield from ctx.busy(1.0)
+    return event * 2
+
+
+def add_activity(ctx, event):
+    yield from ctx.busy(0.5)
+    return event["a"] + event["b"]
+
+
+def test_single_activity_orchestration(runtime, run):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        result = yield context.call_activity("double", context.input)
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("simple", orchestrator))
+    output = run(runtime.client.run("simple", 21))
+    assert output == 42
+
+
+def test_activity_chain_runs_sequentially(runtime, run, env):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        first = yield context.call_activity("double", context.input)
+        second = yield context.call_activity("double", first)
+        third = yield context.call_activity("double", second)
+        return third
+
+    runtime.register_orchestrator(OrchestratorSpec("chain", orchestrator))
+    output = run(runtime.client.run("chain", 1))
+    assert output == 8
+    # Three sequential 1 s activities: at least 3 s of simulated time.
+    assert env.now >= 3.0
+
+
+def test_orchestrator_is_replayed_per_completion(runtime, run):
+    """The generator re-executes from the top on each episode."""
+    register_activity(runtime, "double", double_activity)
+    replays = []
+
+    def orchestrator(context):
+        replays.append(context.is_replaying)
+        first = yield context.call_activity("double", 1)
+        second = yield context.call_activity("double", first)
+        return second
+
+    runtime.register_orchestrator(OrchestratorSpec("replayed", orchestrator))
+    output = run(runtime.client.run("replayed"))
+    assert output == 4
+    # Episode 1 (start), episode 2 (first completion), episode 3 (second):
+    # the orchestrator body ran at least 3 times.
+    assert len(replays) >= 3
+
+
+def test_fan_out_with_task_all(runtime, run):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        tasks = [context.call_activity("double", item)
+                 for item in context.input]
+        results = yield context.task_all(tasks)
+        return results
+
+    runtime.register_orchestrator(OrchestratorSpec("fanout", orchestrator))
+    output = run(runtime.client.run("fanout", [1, 2, 3, 4, 5]))
+    assert output == [2, 4, 6, 8, 10]
+
+
+def test_task_any_returns_first_completion(runtime, run):
+    def fast(ctx, event):
+        yield from ctx.busy(1.0)
+        return "fast"
+
+    def slow(ctx, event):
+        yield from ctx.busy(60.0)
+        return "slow"
+
+    register_activity(runtime, "fast", fast)
+    register_activity(runtime, "slow", slow)
+
+    def orchestrator(context):
+        fast_task = context.call_activity("fast")
+        slow_task = context.call_activity("slow")
+        winner, value = yield context.task_any([fast_task, slow_task])
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("race", orchestrator))
+    assert run(runtime.client.run("race")) == "fast"
+
+
+def test_sub_orchestration(runtime, run):
+    register_activity(runtime, "double", double_activity)
+
+    def child(context):
+        result = yield context.call_activity("double", context.input)
+        return result
+
+    def parent(context):
+        first = yield context.call_sub_orchestrator("child", 10)
+        second = yield context.call_sub_orchestrator("child", first)
+        return second
+
+    runtime.register_orchestrator(OrchestratorSpec("child", child))
+    runtime.register_orchestrator(OrchestratorSpec("parent", parent))
+    assert run(runtime.client.run("parent")) == 40
+
+
+def test_durable_timer(runtime, run, env):
+    def orchestrator(context):
+        yield context.create_timer(120.0)
+        return "woke"
+
+    runtime.register_orchestrator(OrchestratorSpec("sleeper", orchestrator))
+    assert run(runtime.client.run("sleeper")) == "woke"
+    assert env.now >= 120.0
+
+
+def test_activity_failure_raises_in_orchestrator(runtime, run):
+    def explode(ctx, event):
+        yield from ctx.busy(0.1)
+        raise RuntimeError("activity exploded")
+
+    register_activity(runtime, "explode", explode)
+    caught = []
+
+    def orchestrator(context):
+        from repro.azure.durable import ActivityFailedError
+        try:
+            yield context.call_activity("explode")
+        except ActivityFailedError as error:
+            caught.append(str(error))
+            return "recovered"
+
+    runtime.register_orchestrator(OrchestratorSpec("fragile", orchestrator))
+    assert run(runtime.client.run("fragile")) == "recovered"
+    assert "exploded" in caught[0]
+
+
+def test_unhandled_activity_failure_fails_orchestration(runtime, run):
+    def explode(ctx, event):
+        yield from ctx.busy(0.1)
+        raise RuntimeError("boom")
+
+    register_activity(runtime, "explode", explode)
+
+    def orchestrator(context):
+        yield context.call_activity("explode")
+
+    runtime.register_orchestrator(OrchestratorSpec("doomed", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="boom"):
+        run(runtime.client.run("doomed"))
+
+
+def test_status_transitions_pending_running_completed(runtime, run, env):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        result = yield context.call_activity("double", 1)
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("status", orchestrator))
+
+    def scenario(env):
+        instance_id = yield from runtime.client.start_new("status", None)
+        status = runtime.client.get_status(instance_id)
+        assert status.status == OrchestrationStatus.PENDING
+        yield from runtime.client.wait_for_completion(instance_id)
+        return runtime.client.get_status(instance_id)
+
+    instance = run(scenario(env))
+    assert instance.status == OrchestrationStatus.COMPLETED
+    assert instance.cold_start_delay > 0
+    assert instance.end_to_end_latency > 0
+    assert instance.running_at < instance.completed_at
+
+
+def test_payload_limit_on_activity_input(runtime, run):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        yield context.call_activity("double", "x" * (65 * KB))
+
+    runtime.register_orchestrator(OrchestratorSpec("bloated", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="64|payload|limit"):
+        run(runtime.client.run("bloated"))
+
+
+def test_payload_limit_on_activity_result(runtime, run):
+    def bloater(ctx, event):
+        yield from ctx.busy(0.1)
+        return "x" * (65 * KB)
+
+    register_activity(runtime, "bloater", bloater)
+
+    def orchestrator(context):
+        result = yield context.call_activity("bloater")
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("bloated2", orchestrator))
+    with pytest.raises(OrchestrationFailedError):
+        run(runtime.client.run("bloated2"))
+
+
+def test_history_persisted_to_table(runtime, run, meter):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        result = yield context.call_activity("double", 1)
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("hist", orchestrator))
+    run(runtime.client.run("hist"))
+    # ExecutionStarted, TaskScheduled, TaskCompleted, ExecutionCompleted.
+    inserts = meter.count(service="table", operation="insert")
+    assert inserts >= 4
+    # Each episode reads the partition back.
+    assert meter.count(service="table", operation="query") >= 2
+
+
+def test_replay_episodes_bill_compute(runtime, run, billing):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        first = yield context.call_activity("double", 1)
+        second = yield context.call_activity("double", first)
+        return second
+
+    runtime.register_orchestrator(OrchestratorSpec("billed", orchestrator))
+    run(runtime.client.run("billed"))
+    episodes = billing.execution_count("orchestrator::billed")
+    assert episodes >= 3  # start + 2 completions
+    assert billing.total_gb_s() > 0
+
+
+def test_replay_spans_grow_with_history(runtime, run, telemetry):
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        value = context.input
+        for _ in range(4):
+            value = yield context.call_activity("double", value)
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("growing", orchestrator))
+    run(runtime.client.run("growing", 1))
+    replays = telemetry.find(kind="replay", name="growing")
+    histories = [span.attributes["history_events"] for span in replays]
+    assert histories == sorted(histories)
+    assert histories[-1] > histories[0]
+
+
+def test_idle_polling_accrues_transactions(runtime, run, meter, env):
+    """The pumps keep polling after the workflow is done — billable."""
+    register_activity(runtime, "double", double_activity)
+
+    def orchestrator(context):
+        result = yield context.call_activity("double", 1)
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("idleTest", orchestrator))
+    run(runtime.client.run("idleTest"))
+    polls_at_completion = meter.count(service="queue", operation="poll")
+
+    def idle(env):
+        yield env.timeout(3600.0)
+
+    env.run(until=env.process(idle(env)))
+    polls_after_idle_hour = meter.count(service="queue", operation="poll")
+    # An idle hour at ≤30 s backoff across 5 queues: ≥ 300 more polls.
+    assert polls_after_idle_hour - polls_at_completion > 300
+
+
+def test_nondeterministic_orchestrator_detected(runtime, run):
+    register_activity(runtime, "double", double_activity)
+    flip = []
+
+    def orchestrator(context):
+        flip.append(True)
+        if len(flip) == 1:
+            first = yield context.call_activity("double", 1)
+        else:
+            first = yield context.create_timer(5.0)   # diverges on replay
+        return first
+
+    runtime.register_orchestrator(OrchestratorSpec("evil", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="[Nn]on[Dd]eterminism"):
+        run(runtime.client.run("evil"))

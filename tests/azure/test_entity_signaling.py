@@ -1,0 +1,98 @@
+"""Tests for entity-to-entity signaling (§II-B)."""
+
+import pytest
+
+from repro.azure import EntityId, EntitySpec, OrchestratorSpec
+
+
+def test_entity_signals_another_entity(runtime, run, env):
+    """A counter entity forwards every change to an audit-log entity."""
+
+    def add_op(ctx, state, amount):
+        new_state = (state or 0) + amount
+        yield from ctx.busy(0.05)
+        yield from ctx.service("signal_entity")(
+            EntityId("AuditLog", "main"), "append",
+            {"counter": "c", "value": new_state})
+        return new_state, new_state
+
+    def append_op(ctx, state, entry):
+        yield from ctx.busy(0.01)
+        log = list(state or [])
+        log.append(entry)
+        return log, len(log)
+
+    runtime.register_entity(EntitySpec(
+        name="AuditedCounter", operations={"add": add_op},
+        initial_state=lambda: 0))
+    runtime.register_entity(EntitySpec(
+        name="AuditLog", operations={"append": append_op},
+        initial_state=lambda: []))
+
+    def orchestrator(context):
+        counter = EntityId("AuditedCounter", "c")
+        yield context.call_entity(counter, "add", 5)
+        yield context.call_entity(counter, "add", 7)
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("audited", orchestrator))
+
+    def scenario(env):
+        yield from runtime.client.run("audited")
+        yield env.timeout(60.0)   # let the signals drain
+        log = yield from runtime.client.read_entity_state(
+            EntityId("AuditLog", "main"))
+        return log
+
+    log = run(scenario(env))
+    assert [entry["value"] for entry in log] == [5, 12]
+
+
+def test_entity_signal_respects_payload_limit(runtime, run, env):
+    from repro.storage.payload import KB
+
+    def shout_op(ctx, state, _input):
+        yield from ctx.busy(0.01)
+        yield from ctx.service("signal_entity")(
+            EntityId("Target", "t"), "set", "x" * (65 * KB))
+        return state, None
+
+    runtime.register_entity(EntitySpec(name="Shouter",
+                                       operations={"shout": shout_op}))
+    runtime.register_entity(EntitySpec(name="Target", operations={}))
+
+    def orchestrator(context):
+        yield context.call_entity(EntityId("Shouter", "s"), "shout")
+
+    runtime.register_orchestrator(OrchestratorSpec("shouty", orchestrator))
+    from repro.azure.durable import OrchestrationFailedError
+    with pytest.raises(OrchestrationFailedError):
+        run(runtime.client.run("shouty"))
+
+
+def test_signal_chain_terminates(runtime, run, env):
+    """A bounded relay across three entities completes."""
+
+    def relay_op(ctx, state, hops):
+        yield from ctx.busy(0.01)
+        if hops > 0:
+            yield from ctx.service("signal_entity")(
+                EntityId("Relay", f"hop{hops - 1}"), "relay", hops - 1)
+        return (state or 0) + 1, None
+
+    runtime.register_entity(EntitySpec(
+        name="Relay", operations={"relay": relay_op},
+        initial_state=lambda: 0))
+
+    def scenario(env):
+        yield from runtime.client.signal_entity(
+            EntityId("Relay", "hop3"), "relay", 3)
+        yield env.timeout(120.0)
+        visits = []
+        for hop in range(4):
+            state = yield from runtime.client.read_entity_state(
+                EntityId("Relay", f"hop{hop}"))
+            visits.append(state)
+        return visits
+
+    assert run(scenario(env)) == [1, 1, 1, 1]

@@ -1,0 +1,74 @@
+"""Tests: entity state size affects op latency; chain cold starts."""
+
+import pytest
+
+from repro.azure import EntityId, EntitySpec, OrchestratorSpec, QueueChain
+from repro.platforms.base import FunctionSpec
+from repro.storage.payload import MB
+
+
+def test_large_entity_state_slows_operations(runtime, run, telemetry):
+    """Multi-MB entity state pays its read/write transfer time (§IV-A:
+    'Entities are ... persisted with much larger storage size (few MBs)')."""
+
+    class BigState:
+        payload_size = 5 * MB
+
+    def touch_small(ctx, state, _input):
+        yield from ctx.busy(0.1)
+        return state, "ok"
+
+    def touch_big(ctx, state, _input):
+        yield from ctx.busy(0.1)
+        return state if state is not None else BigState(), "ok"
+
+    runtime.register_entity(EntitySpec(
+        name="Small", operations={"touch": touch_small},
+        initial_state=lambda: 0))
+    runtime.register_entity(EntitySpec(
+        name="Big", operations={"touch": touch_big},
+        initial_state=BigState))
+
+    def orchestrator(context):
+        # Touch twice so the second op pays the full read+write of the
+        # persisted state.
+        yield context.call_entity(EntityId("Small", "s"), "touch")
+        yield context.call_entity(EntityId("Small", "s"), "touch")
+        yield context.call_entity(EntityId("Big", "b"), "touch")
+        yield context.call_entity(EntityId("Big", "b"), "touch")
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("stateful",
+                                                   orchestrator))
+    run(runtime.client.run("stateful"))
+
+    small_ops = telemetry.durations(kind="execution", name="entity::Small")
+    big_ops = telemetry.durations(kind="execution", name="entity::Big")
+    # The second Big op reads and rewrites 5 MB of state.
+    assert max(big_ops) > max(small_ops)
+
+
+def test_queue_chain_pays_queue_trigger_cold_start(env, app, meter, run,
+                                                   calibration):
+    """After a long idle period the chain's first hop goes 10-20 s cold."""
+    def stage(ctx, event):
+        yield from ctx.busy(0.5)
+        return event
+
+    app.register(FunctionSpec(name="s1", handler=stage, memory_mb=1536,
+                              timeout_s=600.0))
+    chain = QueueChain(app, meter, ["s1"], name="coldchain")
+
+    def scenario(env):
+        cold_first = yield from chain.run(1)
+        warm = yield from chain.run(2)            # instances still live
+        # Scale to zero: idle long past the instance timeout.
+        yield env.timeout(calibration.instance_idle_timeout_s * 3)
+        cold_again = yield from chain.run(3)
+        return cold_first, warm, cold_again
+
+    cold_first, warm, cold_again = run(scenario(env))
+    # Cold runs pay the 10-20 s queue-trigger wake (Fig 10) on top of the
+    # ordinary polling delay; the warm run pays only the polling delay.
+    assert cold_first.latency > warm.latency + 8.0
+    assert cold_again.latency > warm.latency + 8.0

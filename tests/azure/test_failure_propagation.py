@@ -1,0 +1,184 @@
+"""Failure-path tests: sub-orchestrations, entities, bad orchestrator code."""
+
+import pytest
+
+from repro.azure import EntityId, EntitySpec, OrchestratorSpec
+from repro.azure.durable import ActivityFailedError, OrchestrationFailedError
+from repro.azure.durable.taskhub import OrchestrationStatus
+from repro.platforms.base import FunctionSpec
+
+
+def register_activity(runtime, name, handler):
+    runtime.register_activity(FunctionSpec(
+        name=name, handler=handler, memory_mb=1536, timeout_s=1800.0))
+
+
+def failing_activity(ctx, event):
+    yield from ctx.busy(0.1)
+    raise RuntimeError("inner failure")
+
+
+def test_sub_orchestration_failure_propagates_to_parent(runtime, run):
+    register_activity(runtime, "boom", failing_activity)
+
+    def child(context):
+        yield context.call_activity("boom")
+
+    def parent(context):
+        result = yield context.call_sub_orchestrator("child")
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("child", child))
+    runtime.register_orchestrator(OrchestratorSpec("parent", parent))
+    with pytest.raises(OrchestrationFailedError, match="inner failure"):
+        run(runtime.client.run("parent"))
+    # Both instances ended Failed.
+    statuses = {instance.orchestrator: instance.status
+                for instance in runtime.taskhub.instances.values()}
+    assert statuses["parent"] == OrchestrationStatus.FAILED
+    assert statuses["child"] == OrchestrationStatus.FAILED
+
+
+def test_parent_can_catch_sub_orchestration_failure(runtime, run):
+    register_activity(runtime, "boom", failing_activity)
+
+    def child(context):
+        yield context.call_activity("boom")
+
+    def parent(context):
+        try:
+            yield context.call_sub_orchestrator("child")
+        except ActivityFailedError:
+            return "handled"
+
+    runtime.register_orchestrator(OrchestratorSpec("child", child))
+    runtime.register_orchestrator(OrchestratorSpec("parent", parent))
+    assert run(runtime.client.run("parent")) == "handled"
+    parent_instance = [i for i in runtime.taskhub.instances.values()
+                       if i.orchestrator == "parent"][0]
+    assert parent_instance.status == OrchestrationStatus.COMPLETED
+
+
+def test_entity_operation_user_error_propagates(runtime, run):
+    def bad_op(ctx, state, _input):
+        yield from ctx.busy(0.1)
+        raise ValueError("entity logic bug")
+
+    runtime.register_entity(EntitySpec(name="Bad",
+                                       operations={"op": bad_op}))
+
+    def orchestrator(context):
+        yield context.call_entity(EntityId("Bad", "k"), "op")
+
+    runtime.register_orchestrator(OrchestratorSpec("uses-bad", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="entity logic bug"):
+        run(runtime.client.run("uses-bad"))
+
+
+def test_entity_failure_does_not_poison_the_key(runtime, run):
+    """After a failed op, the entity keeps serving (state unchanged)."""
+    calls = []
+
+    def fragile_op(ctx, state, flag):
+        yield from ctx.busy(0.05)
+        calls.append(flag)
+        if flag == "fail":
+            raise RuntimeError("whoops")
+        return (state or 0) + 1, (state or 0) + 1
+
+    runtime.register_entity(EntitySpec(name="Fragile",
+                                       operations={"op": fragile_op},
+                                       initial_state=lambda: 0))
+
+    def orchestrator(context):
+        entity = EntityId("Fragile", "k")
+        try:
+            yield context.call_entity(entity, "op", "fail")
+        except ActivityFailedError:
+            pass
+        value = yield context.call_entity(entity, "op", "ok")
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("resilient",
+                                                   orchestrator))
+    assert run(runtime.client.run("resilient")) == 1
+    assert calls == ["fail", "ok"]
+
+
+def test_orchestrator_yielding_garbage_fails_cleanly(runtime, run):
+    def orchestrator(context):
+        yield "not a durable task"
+
+    runtime.register_orchestrator(OrchestratorSpec("garbage", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="only yield"):
+        run(runtime.client.run("garbage"))
+
+
+def test_orchestrator_immediate_exception_fails(runtime, run):
+    def orchestrator(context):
+        raise KeyError("config missing")
+        yield  # pragma: no cover
+
+    runtime.register_orchestrator(OrchestratorSpec("crashy", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="config missing"):
+        run(runtime.client.run("crashy"))
+
+
+def test_failure_in_one_fanout_branch_fails_task_all(runtime, run):
+    def sometimes(ctx, event):
+        yield from ctx.busy(0.1)
+        if event == 2:
+            raise RuntimeError("branch 2 died")
+        return event
+
+    register_activity(runtime, "sometimes", sometimes)
+
+    def orchestrator(context):
+        tasks = [context.call_activity("sometimes", index)
+                 for index in range(4)]
+        results = yield context.task_all(tasks)
+        return results
+
+    runtime.register_orchestrator(OrchestratorSpec("fragile-fan",
+                                                   orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="branch 2 died"):
+        run(runtime.client.run("fragile-fan"))
+
+
+def test_activity_timeout_fails_orchestration(runtime, run):
+    def endless(ctx, event):
+        yield from ctx.busy(10_000.0)
+        return None
+
+    runtime.register_activity(FunctionSpec(
+        name="endless", handler=endless, memory_mb=1536, timeout_s=5.0))
+
+    def orchestrator(context):
+        yield context.call_activity("endless")
+
+    runtime.register_orchestrator(OrchestratorSpec("stuck", orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="exceeded"):
+        run(runtime.client.run("stuck"))
+
+
+def test_wait_for_completion_twice_is_idempotent(runtime, run):
+    def quick(ctx, event):
+        yield from ctx.busy(0.1)
+        return "ok"
+
+    register_activity(runtime, "quick", quick)
+
+    def orchestrator(context):
+        result = yield context.call_activity("quick")
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("idem", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("idem")
+        first = yield from client.wait_for_completion(instance_id)
+        second = yield from client.wait_for_completion(instance_id)
+        return first, second
+
+    assert run(scenario(runtime.env)) == ("ok", "ok")

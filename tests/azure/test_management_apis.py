@@ -1,0 +1,173 @@
+"""Tests for custom status, instance listing, purge, and provisioned
+concurrency (the AWS-side warm-capacity symmetric)."""
+
+import pytest
+
+from repro.azure import OrchestratorSpec
+from repro.azure.durable import OrchestrationFailedError, OrchestrationStatus
+from repro.platforms.base import FunctionSpec
+from repro.storage.payload import KB
+
+
+def register_activity(runtime, name, handler):
+    runtime.register_activity(FunctionSpec(
+        name=name, handler=handler, memory_mb=1536, timeout_s=1800.0))
+
+
+def slow_step(ctx, event):
+    yield from ctx.busy(5.0)
+    return event
+
+
+def test_set_custom_status_visible_mid_flight(runtime, run, env):
+    register_activity(runtime, "step", slow_step)
+
+    def orchestrator(context):
+        context.set_custom_status({"stage": "step-1"})
+        yield context.call_activity("step", 1)
+        context.set_custom_status({"stage": "step-2"})
+        yield context.call_activity("step", 2)
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("status", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("status")
+        yield env.timeout(3.0)   # inside step 1
+        mid = client.get_status(instance_id).custom_status
+        yield from client.wait_for_completion(instance_id)
+        final = client.get_status(instance_id).custom_status
+        return mid, final
+
+    mid, final = run(scenario(env))
+    assert mid == {"stage": "step-1"}
+    assert final == {"stage": "step-2"}
+
+
+def test_custom_status_respects_payload_limit(runtime, run):
+    def orchestrator(context):
+        context.set_custom_status("x" * (65 * KB))
+        yield context.create_timer(1.0)
+        return "done"
+
+    runtime.register_orchestrator(OrchestratorSpec("fat", orchestrator))
+    with pytest.raises(OrchestrationFailedError):
+        run(runtime.client.run("fat"))
+
+
+def test_list_instances_filters_by_status(runtime, run):
+    register_activity(runtime, "step", slow_step)
+
+    def orchestrator(context):
+        yield context.call_activity("step", 1)
+        return "ok"
+
+    runtime.register_orchestrator(OrchestratorSpec("listme", orchestrator))
+    run(runtime.client.run("listme"))
+    run(runtime.client.run("listme"))
+    completed = runtime.client.list_instances(
+        status=OrchestrationStatus.COMPLETED)
+    assert len(completed) == 2
+    assert runtime.client.list_instances(
+        status=OrchestrationStatus.FAILED) == []
+    assert len(runtime.client.list_instances()) == 2
+
+
+def test_purge_removes_history_and_record(runtime, run, meter):
+    register_activity(runtime, "step", slow_step)
+
+    def orchestrator(context):
+        yield context.call_activity("step", 1)
+        return "ok"
+
+    runtime.register_orchestrator(OrchestratorSpec("purgeme", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("purgeme")
+        yield from client.wait_for_completion(instance_id)
+        removed = yield from client.purge_instance_history(instance_id)
+        return instance_id, removed
+
+    instance_id, removed = run(scenario(runtime.env))
+    assert removed >= 4
+    with pytest.raises(KeyError):
+        runtime.client.get_status(instance_id)
+    assert runtime.taskhub.history_table.partition_size(instance_id) == 0
+
+
+def test_purge_refuses_running_instances(runtime, run, env):
+    register_activity(runtime, "step", slow_step)
+
+    def orchestrator(context):
+        yield context.call_activity("step", 1)
+        return "ok"
+
+    runtime.register_orchestrator(OrchestratorSpec("live", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("live")
+        yield env.timeout(1.0)
+        yield from client.purge_instance_history(instance_id)
+
+    with pytest.raises(OrchestrationFailedError, match="running"):
+        run(scenario(env))
+
+
+# -- Lambda provisioned concurrency ---------------------------------------------
+
+def test_provisioned_concurrency_skips_cold_start():
+    from repro.core import Testbed
+    testbed = Testbed(seed=8)
+
+    def echo(ctx, event):
+        yield from ctx.busy(0.5)
+        return event
+
+    testbed.lambdas.register(FunctionSpec(
+        name="hot", handler=echo, memory_mb=1536, timeout_s=60.0))
+    testbed.lambdas.set_provisioned_concurrency("hot", 3)
+    assert testbed.lambdas.provisioned_concurrency("hot") == 3
+
+    result = testbed.run(testbed.lambdas.invoke("hot", 1))
+    assert not result.cold_start
+
+    # Provisioned containers never expire, even across long idle gaps.
+    testbed.advance(7 * 24 * 3600.0)
+    result = testbed.run(testbed.lambdas.invoke("hot", 2))
+    assert not result.cold_start
+
+
+def test_provisioned_concurrency_validation():
+    from repro.core import Testbed
+    testbed = Testbed(seed=8)
+    with pytest.raises(KeyError):
+        testbed.lambdas.set_provisioned_concurrency("ghost", 1)
+
+    def echo(ctx, event):
+        yield from ctx.busy(0.1)
+        return event
+
+    testbed.lambdas.register(FunctionSpec(
+        name="fn", handler=echo, memory_mb=1024, timeout_s=60.0))
+    with pytest.raises(ValueError):
+        testbed.lambdas.set_provisioned_concurrency("fn", -1)
+
+
+def test_provisioned_monthly_cost():
+    from repro.core import Testbed
+    testbed = Testbed(seed=8)
+
+    def echo(ctx, event):
+        yield from ctx.busy(0.1)
+        return event
+
+    testbed.lambdas.register(FunctionSpec(
+        name="fn", handler=echo, memory_mb=2048, timeout_s=60.0))
+    testbed.lambdas.set_provisioned_concurrency("fn", 5)
+    cost = testbed.lambdas.provisioned_monthly_cost(hours=100.0)
+    expected = 5 * 2.0 * testbed.aws_calibration.provisioned_gb_hour_price \
+        * 100.0
+    assert cost == pytest.approx(expected)

@@ -1,0 +1,140 @@
+"""Direct tests for scale-controller mechanics and queue wake semantics."""
+
+import pytest
+
+from repro.azure.app import TRIGGER_DURABLE
+from repro.platforms.base import FunctionSpec
+from repro.sim import Constant
+
+
+def make_spec(name, busy_s, **kwargs):
+    def handler(ctx, event):
+        yield from ctx.busy(busy_s)
+        return event
+
+    kwargs.setdefault("memory_mb", 1536)
+    kwargs.setdefault("timeout_s", 1800.0)
+    return FunctionSpec(name=name, handler=handler, **kwargs)
+
+
+def test_stall_blocks_scale_out(env, telemetry, billing, streams,
+                                calibration):
+    """During a stall the controller adds no instances despite backlog."""
+    from repro.azure import FunctionAppService
+    calibration.scale_stall_probability = 1.0   # always stalled
+    calibration.scale_stall_duration = Constant(10_000.0)
+    app = FunctionAppService(env, telemetry, billing, streams, calibration)
+    app.register(make_spec("slow", 50.0))
+
+    def fan_out(env):
+        processes = [env.process(_invoke(app, "slow", index))
+                     for index in range(10)]
+        yield env.all_of(processes)
+
+    env.run(until=env.process(fan_out(env)))
+    assert app.controller.stalls >= 1
+    assert app.controller.scale_out_events == 0
+    # Only the demand-provisioned first instance ever existed.
+    assert app.live_instance_count == 1
+
+
+def _invoke(app, name, payload):
+    result = yield from app.invoke(name, payload, trigger=TRIGGER_DURABLE)
+    return result
+
+
+def test_no_stalls_when_probability_zero(env, telemetry, billing, streams,
+                                         calibration):
+    from repro.azure import FunctionAppService
+    calibration.scale_stall_probability = 0.0
+    app = FunctionAppService(env, telemetry, billing, streams, calibration)
+    app.register(make_spec("slow", 30.0))
+
+    def fan_out(env):
+        processes = [env.process(_invoke(app, "slow", index))
+                     for index in range(12)]
+        yield env.all_of(processes)
+
+    env.run(until=env.process(fan_out(env)))
+    assert app.controller.stalls == 0
+    assert app.controller.scale_out_events > 0
+
+
+def test_max_instances_cap_respected(env, telemetry, billing, streams,
+                                     calibration):
+    from repro.azure import FunctionAppService
+    calibration.max_instances = 3
+    calibration.scale_stall_probability = 0.0
+    app = FunctionAppService(env, telemetry, billing, streams, calibration)
+    app.register(make_spec("slow", 60.0))
+
+    def fan_out(env):
+        processes = [env.process(_invoke(app, "slow", index))
+                     for index in range(30)]
+        yield env.all_of(processes)
+
+    env.run(until=env.process(fan_out(env)))
+    assert app.live_instance_count <= 3
+
+
+def test_busy_instances_never_reclaimed(env, telemetry, billing, streams,
+                                        calibration):
+    from repro.azure import FunctionAppService
+    calibration.instance_idle_timeout_s = 1.0   # aggressive reclamation
+    app = FunctionAppService(env, telemetry, billing, streams, calibration)
+    app.register(make_spec("long", 500.0))
+
+    def scenario(env):
+        process = env.process(_invoke(app, "long", 0))
+        yield env.timeout(300.0)
+        # Long past the idle timeout, the busy instance must survive.
+        assert app.live_instance_count >= 1
+        yield process
+
+    env.run(until=env.process(scenario(env)))
+
+
+# -- queue wake-on-enqueue ---------------------------------------------------------
+
+def test_queue_receive_wakes_immediately_on_enqueue(env, meter):
+    import numpy as np
+    from repro.storage import CloudQueue
+    queue = CloudQueue(env, meter, np.random.default_rng(0),
+                       min_poll_interval=1.0, max_poll_interval=30.0)
+
+    def consumer(env):
+        # First drain a long idle period so backoff is at its maximum.
+        message = yield from queue.receive(deadline=100.0)
+        assert message is None
+        arrival = {}
+        message = yield from queue.receive()
+        arrival["at"] = env.now
+        return arrival["at"]
+
+    def producer(env):
+        yield env.timeout(150.0)
+        yield from queue.enqueue("wake!")
+        return env.now
+
+    consumer_process = env.process(consumer(env))
+    producer_process = env.process(producer(env))
+    env.run()
+    received_at = consumer_process.value
+    sent_at = producer_process.value
+    # Dispatch happened within a poll round-trip, not a 30 s backoff.
+    assert received_at - sent_at < 1.0
+
+
+def test_idle_polls_continue_despite_wakers(env, meter):
+    import numpy as np
+    from repro.storage import CloudQueue
+    queue = CloudQueue(env, meter, np.random.default_rng(0),
+                       min_poll_interval=1.0, max_poll_interval=5.0)
+
+    def consumer(env):
+        message = yield from queue.receive(deadline=60.0)
+        return message
+
+    env.run(until=env.process(consumer(env)))
+    # An idle minute at ≤5 s backoff: at least 12 billable polls.
+    assert meter.count(service="queue", operation="poll") >= 12

@@ -1,0 +1,106 @@
+"""Tests for arrival processes and the open-loop load generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Testbed, build_ml_inference_deployments
+from repro.core.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    LoadGenerator,
+    PoissonArrivals,
+    UniformArrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+# -- arrival processes -----------------------------------------------------------
+
+def test_poisson_rate_approximation(rng):
+    times = PoissonArrivals(rate_per_s=5.0).schedule(rng, horizon_s=1000.0)
+    assert abs(len(times) / 1000.0 - 5.0) < 0.5
+    assert times == sorted(times)
+    assert all(0 <= t < 1000.0 for t in times)
+
+
+def test_poisson_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        PoissonArrivals(rate_per_s=0.0)
+
+
+def test_uniform_spacing(rng):
+    times = UniformArrivals(rate_per_s=2.0).schedule(rng, horizon_s=10.0)
+    gaps = np.diff(times)
+    assert np.allclose(gaps, 0.5)
+    assert len(times) == 19
+
+
+def test_diurnal_rate_modulates(rng):
+    arrivals = DiurnalArrivals(base_rate_per_s=1.0, amplitude_per_s=9.0,
+                               period_s=100.0)
+    assert arrivals.rate_at(25.0) == pytest.approx(10.0)   # sin peak
+    assert arrivals.rate_at(75.0) == pytest.approx(1.0)    # sin trough
+    times = np.array(arrivals.schedule(rng, horizon_s=1000.0))
+    # More arrivals near peaks than troughs over many periods.
+    phase = (times % 100.0)
+    peak_half = ((phase > 0) & (phase < 50)).sum()
+    trough_half = (phase >= 50).sum()
+    assert peak_half > 1.5 * trough_half
+
+
+def test_bursty_includes_bursts(rng):
+    arrivals = BurstyArrivals(rate_per_s=0.01, burst_size=20,
+                              bursts_per_hour=30.0)
+    times = np.array(arrivals.schedule(rng, horizon_s=3600.0))
+    # Bursts create many exactly-coincident arrivals.
+    _, counts = np.unique(times, return_counts=True)
+    assert counts.max() >= 20
+
+
+@given(rate=st.floats(0.1, 20.0), horizon=st.floats(1.0, 100.0))
+@settings(max_examples=30, deadline=None)
+def test_schedules_are_sorted_and_bounded(rate, horizon):
+    rng = np.random.default_rng(0)
+    for process in (PoissonArrivals(rate), UniformArrivals(rate)):
+        times = process.schedule(rng, horizon)
+        assert times == sorted(times)
+        assert all(0 <= t < horizon for t in times)
+
+
+# -- load generator --------------------------------------------------------------------
+
+def test_load_generator_validates_horizon():
+    with pytest.raises(ValueError):
+        LoadGenerator(PoissonArrivals(1.0), horizon_s=0.0)
+
+
+def test_open_loop_runs_overlap():
+    """Open loop means requests overlap — unlike the closed-loop runner."""
+    testbed = Testbed(seed=9)
+    deployment = build_ml_inference_deployments(testbed, "small")["AWS-Step"]
+    generator = LoadGenerator(UniformArrivals(rate_per_s=1.0),
+                              horizon_s=10.0)
+    campaign = generator.run(deployment)
+    assert len(campaign.runs) == 9
+    # With ~2.5 s runs arriving every second, some must overlap.
+    overlaps = sum(
+        1 for a, b in zip(campaign.runs, campaign.runs[1:])
+        if b.started_at < a.finished_at)
+    assert overlaps > 0
+
+
+def test_load_generator_collects_all_latencies():
+    testbed = Testbed(seed=10)
+    deployment = build_ml_inference_deployments(testbed, "small")["Az-Dorch"]
+    generator = LoadGenerator(PoissonArrivals(rate_per_s=0.1),
+                              horizon_s=60.0)
+    campaign = generator.run(deployment)
+    assert all(run.latency > 0 for run in campaign.runs)
+    assert [run.started_at for run in campaign.runs] == sorted(
+        run.started_at for run in campaign.runs)

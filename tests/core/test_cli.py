@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _variants, _worker_list, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_variants_parsing():
+    assert _variants("AWS-Step, Az-Dorch") == ["AWS-Step", "Az-Dorch"]
+    import argparse
+    with pytest.raises(argparse.ArgumentTypeError, match="unknown"):
+        _variants("GCP-Functions")
+
+
+def test_worker_list_parsing():
+    assert _worker_list("1,5,10") == [1, 5, 10]
+    import argparse
+    with pytest.raises(argparse.ArgumentTypeError):
+        _worker_list("0,5")
+    with pytest.raises(argparse.ArgumentTypeError):
+        _worker_list("a,b")
+
+
+def test_latency_command_runs(capsys):
+    code = main(["latency", "--iterations", "2",
+                 "--variants", "AWS-Lambda,AWS-Step"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "ML training latency" in output
+    assert "AWS-Step" in output
+
+
+def test_inference_command_runs(capsys):
+    code = main(["inference", "--iterations", "2"])
+    assert code == 0
+    assert "ML inference latency" in capsys.readouterr().out
+
+
+def test_coldstart_command_runs(capsys):
+    code = main(["coldstart", "--days", "0.125"])   # 3 hourly requests
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Cold start delay" in output
+    assert "Az-Queue" in output
+
+
+def test_video_command_runs(capsys):
+    code = main(["video", "--workers", "4"])
+    assert code == 0
+    assert "Video processing latency" in capsys.readouterr().out
+
+
+def test_cost_command_runs(capsys):
+    code = main(["cost", "--workers", "4", "--runs-per-month", "10",
+                 "--measured-runs", "2"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Monthly video cost" in output
+    assert "tx share" in output
+
+
+def test_seed_flag_changes_nothing_structural(capsys):
+    assert main(["--seed", "5", "video", "--workers", "2"]) == 0
+
+
+def test_takeaways_command_runs(capsys):
+    code = main(["takeaways", "--iterations", "3"])
+    output = capsys.readouterr().out
+    assert "key takeaways reproduced" in output
+    assert code == 0

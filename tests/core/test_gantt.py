@@ -1,0 +1,64 @@
+"""Tests for the span Gantt renderer."""
+
+import pytest
+
+from repro.core.report import render_gantt
+from repro.sim import Environment
+from repro.telemetry import SpanKind, Telemetry
+
+
+@pytest.fixture
+def telemetry():
+    env = Environment()
+    telemetry = Telemetry(clock=lambda: env.now)
+    telemetry.record("boot", SpanKind.COLD_START, 0.0, 2.0)
+    telemetry.record("work", SpanKind.EXECUTION, 2.0, 10.0)
+    telemetry.record("wait", SpanKind.QUEUE_WAIT, 1.0, 1.5)
+    return telemetry
+
+
+def test_gantt_rows_and_axis(telemetry):
+    text = render_gantt(telemetry.spans, title="G")
+    lines = text.splitlines()
+    assert lines[0] == "G"
+    assert "0.00s" in lines[1] and "10.00s" in lines[1]
+    assert len(lines) == 2 + 3          # title + axis + three spans
+    # Rows sorted by start time.
+    assert "cold_start:boot" in lines[2]
+    assert "queue_wait:wait" in lines[3]
+    assert "execution:work" in lines[4]
+
+
+def test_gantt_bar_lengths_proportional(telemetry):
+    text = render_gantt(telemetry.spans, width=50)
+    rows = {line.split()[0]: line for line in text.splitlines()[1:]}
+    long_bar = rows["execution:work"].count("#")
+    short_bar = rows["queue_wait:wait"].count("#")
+    assert long_bar > 5 * short_bar
+
+
+def test_gantt_window_filter(telemetry):
+    text = render_gantt(telemetry.spans, since=1.5)
+    assert "cold_start:boot" not in text
+    assert "execution:work" in text
+
+
+def test_gantt_empty_window_raises(telemetry):
+    with pytest.raises(ValueError):
+        render_gantt(telemetry.spans, since=100.0)
+
+
+def test_gantt_caps_rows(telemetry):
+    for index in range(100):
+        telemetry.record(f"s{index}", SpanKind.EXECUTION, 0.0, 1.0)
+    text = render_gantt(telemetry.spans, max_rows=10)
+    assert len(text.splitlines()) == 11   # axis + 10 rows
+
+
+def test_gantt_open_spans_excluded():
+    env = Environment()
+    telemetry = Telemetry(clock=lambda: env.now)
+    telemetry.start_span("open", SpanKind.EXECUTION)
+    telemetry.record("closed", SpanKind.EXECUTION, 0.0, 1.0)
+    text = render_gantt(telemetry.spans)
+    assert "open" not in text

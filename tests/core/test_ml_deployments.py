@@ -1,0 +1,134 @@
+"""Integration tests: every Table II ML variant end-to-end on the testbed."""
+
+import pytest
+
+from repro.core import (
+    Testbed,
+    build_ml_inference_deployments,
+    build_ml_training_deployments,
+)
+from repro.core.deployments.ml import ml_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Small-scale workload; real training happens once per process."""
+    return ml_workload("small", seed=0)
+
+
+def fresh_testbed():
+    return Testbed(seed=42)
+
+
+def run_one(name):
+    testbed = fresh_testbed()
+    deployments = build_ml_training_deployments(testbed, "small")
+    deployment = deployments[name]
+    deployment.deploy()
+    return deployment, testbed.run(deployment.invoke())
+
+
+@pytest.mark.parametrize("name", ["AWS-Lambda", "AWS-Step", "Az-Func",
+                                  "Az-Queue", "Az-Dorch", "Az-Dent"])
+def test_training_variant_completes(name, workload):
+    deployment, result = run_one(name)
+    assert result.deployment == name
+    assert result.latency > 0
+    assert result.value is not None
+
+
+def test_all_variants_agree_on_best_model(workload):
+    best_names = set()
+    for name in ["AWS-Lambda", "AWS-Step", "Az-Func", "Az-Dorch", "Az-Dent"]:
+        _, result = run_one(name)
+        value = result.value
+        best = value.get("best", value.get("name"))
+        if isinstance(best, dict):
+            best = best.get("name")
+        best_names.add(best)
+    # Same dataset, same candidates, same real training → same winner.
+    assert len(best_names) == 1
+    assert best_names.pop() == workload.trained.best.candidate.name
+
+
+def test_aws_step_records_transitions(workload):
+    testbed = fresh_testbed()
+    deployment = build_ml_training_deployments(testbed, "small")["AWS-Step"]
+    deployment.deploy()
+    testbed.run(deployment.invoke())
+    transitions = testbed.aws.meter.count(service="stepfunctions",
+                                          operation="transition")
+    assert transitions == 4  # Prepare, Reduce, Train, Select
+
+
+def test_azure_durable_bills_replay_gbs(workload):
+    testbed = fresh_testbed()
+    deployment = build_ml_training_deployments(testbed, "small")["Az-Dorch"]
+    deployment.deploy()
+    testbed.run(deployment.invoke())
+    orchestrator_gb_s = sum(
+        charge.gb_s for charge in testbed.azure.billing.compute
+        if charge.function_name.startswith("orchestrator::"))
+    assert orchestrator_gb_s > 0
+
+
+def test_stateless_variants_record_no_stateful_transactions(workload):
+    testbed = fresh_testbed()
+    deployment = build_ml_training_deployments(testbed, "small")["AWS-Lambda"]
+    deployment.deploy()
+    testbed.run(deployment.invoke())
+    assert testbed.aws.meter.count(service="stepfunctions") == 0
+
+
+def test_cold_start_reported_for_first_run(workload):
+    for name in ["AWS-Step", "Az-Dorch", "Az-Dent", "Az-Queue"]:
+        _, result = run_one(name)
+        assert result.cold_start_delay is not None, name
+        assert result.cold_start_delay > 0, name
+
+
+def test_queue_chain_cold_start_slowest(workload):
+    """Fig 10's ordering: Az-Queue ≫ AWS-Step > durable variants."""
+    delays = {}
+    for name in ["AWS-Step", "Az-Dorch", "Az-Dent", "Az-Queue"]:
+        _, result = run_one(name)
+        delays[name] = result.cold_start_delay
+    assert delays["Az-Queue"] > delays["AWS-Step"]
+    assert delays["Az-Queue"] > delays["Az-Dorch"]
+    assert delays["Az-Dorch"] < 3.0
+    assert delays["Az-Dent"] < 3.0
+
+
+@pytest.mark.parametrize("name", ["AWS-Step", "Az-Dorch", "Az-Dent"])
+def test_inference_variant_completes(name, workload):
+    testbed = fresh_testbed()
+    deployments = build_ml_inference_deployments(testbed, "small")
+    deployment = deployments[name]
+    deployment.deploy()
+    result = testbed.run(deployment.invoke())
+    assert result.latency > 0
+    value = result.value
+    assert value["n_predictions"] == workload.test_dataset.n_rows
+
+
+def test_inference_dent_slower_than_dorch(workload):
+    """Fig 9: entity-op inference (Az-Dent) is slower than Az-Dorch.
+
+    The Azure-vs-AWS 2× comparison only manifests at the large scale
+    (the AWS penalty is model re-hydration, and the small-scale model is
+    tiny); the large-scale comparison lives in the Fig 9 benchmark.
+    """
+    latencies = {}
+    for name in ["Az-Dorch", "Az-Dent"]:
+        testbed = fresh_testbed()
+        deployment = build_ml_inference_deployments(testbed, "small")[name]
+        deployment.deploy()
+        # Warm run, then the median of several measured runs.
+        testbed.run(deployment.invoke())
+        runs = []
+        for _ in range(5):
+            runs.append(testbed.run(deployment.invoke()).latency)
+            testbed.advance(30.0)
+        runs.sort()
+        latencies[name] = runs[len(runs) // 2]
+    assert latencies["Az-Dent"] > latencies["Az-Dorch"]

@@ -1,0 +1,93 @@
+"""Tests for JSON persistence of campaigns and cost reports."""
+
+import json
+
+import pytest
+
+from repro.core import Testbed, build_ml_training_deployments, cost_report
+from repro.core.costs import CostReport
+from repro.core.experiment import ExperimentRunner
+from repro.core.persistence import (
+    campaign_from_dict,
+    campaign_to_dict,
+    cost_report_from_dict,
+    cost_report_to_dict,
+    load_results,
+    save_results,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_and_report():
+    testbed = Testbed(seed=2)
+    deployment = build_ml_training_deployments(testbed, "small")["AWS-Step"]
+    runner = ExperimentRunner(think_time_s=10.0, settle_time_s=2.0)
+    campaign = runner.run_campaign(deployment, iterations=4, warmup=0)
+    return campaign, cost_report(deployment, per_runs=4)
+
+
+def test_campaign_roundtrip(campaign_and_report):
+    campaign, _ = campaign_and_report
+    restored = campaign_from_dict(campaign_to_dict(campaign))
+    assert restored.deployment == campaign.deployment
+    assert restored.latencies == campaign.latencies
+    assert restored.stats() == campaign.stats()
+    assert len(restored.breakdowns) == len(campaign.breakdowns)
+
+
+def test_cost_report_roundtrip(campaign_and_report):
+    _, report = campaign_and_report
+    restored = cost_report_from_dict(cost_report_to_dict(report))
+    assert restored == report
+
+
+def test_save_and_load_results_file(tmp_path, campaign_and_report):
+    campaign, report = campaign_and_report
+    path = save_results(tmp_path / "nested" / "results.json",
+                        campaigns=[campaign], cost_reports=[report],
+                        metadata={"scale": "small", "seed": 2})
+    assert path.exists()
+    loaded = load_results(path)
+    assert loaded["metadata"]["scale"] == "small"
+    assert loaded["campaigns"][0].latencies == campaign.latencies
+    assert loaded["cost_reports"][0] == report
+
+
+def test_saved_file_is_plain_json(tmp_path, campaign_and_report):
+    campaign, _ = campaign_and_report
+    path = save_results(tmp_path / "r.json", campaigns=[campaign])
+    data = json.loads(path.read_text())
+    assert data["kind"] == "results"
+    assert data["format_version"] == 1
+
+
+def test_kind_mismatch_rejected(campaign_and_report):
+    campaign, report = campaign_and_report
+    with pytest.raises(ValueError, match="expected"):
+        campaign_from_dict(cost_report_to_dict(report))
+    with pytest.raises(ValueError, match="expected"):
+        cost_report_from_dict(campaign_to_dict(campaign))
+
+
+def test_version_mismatch_rejected(campaign_and_report):
+    campaign, _ = campaign_and_report
+    data = campaign_to_dict(campaign)
+    data["format_version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        campaign_from_dict(data)
+
+
+def test_exotic_run_values_stringified(tmp_path):
+    from repro.core.deployments.base import RunResult
+    from repro.core.experiment import CampaignResult
+
+    class Exotic:
+        def __repr__(self):
+            return "Exotic()"
+
+    campaign = CampaignResult(deployment="x")
+    campaign.runs.append(RunResult(
+        deployment="x", started_at=0.0, finished_at=1.0, value=Exotic()))
+    path = save_results(tmp_path / "r.json", campaigns=[campaign])
+    loaded = load_results(path)
+    assert loaded["campaigns"][0].runs[0].value == "Exotic()"

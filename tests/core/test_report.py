@@ -1,0 +1,107 @@
+"""Tests for the table/figure text renderers."""
+
+import pytest
+
+from repro.core.report import (
+    render_bars,
+    render_breakdown,
+    render_cdf,
+    render_grouped_bars,
+    render_table,
+)
+
+
+def test_render_table_aligns_columns():
+    text = render_table(["name", "value"], [["a", 1], ["longer", 22.5]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    # All data rows have the same width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_render_table_float_formatting():
+    text = render_table(["v"], [[0.00012345], [12.3456], [1234567.0], [0]])
+    assert "0.0001234" in text
+    assert "12.35" in text
+    assert "1,234,567" in text
+
+
+def test_render_bars_scales_to_peak():
+    text = render_bars({"a": 10.0, "bb": 50.0}, unit="s", width=10)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 10           # the peak fills the width
+    assert lines[0].count("#") == 2            # 10/50 of the width
+    assert "50.00s" in lines[1]
+    assert lines[0].startswith("a ")           # labels aligned
+
+
+def test_render_bars_rejects_empty():
+    with pytest.raises(ValueError):
+        render_bars({})
+
+
+def test_render_bars_zero_values_safe():
+    text = render_bars({"a": 0.0})
+    assert "#" in text   # minimum one mark, no division by zero
+
+
+def test_render_grouped_bars_sections():
+    text = render_grouped_bars({"g1": {"a": 1.0}, "g2": {"b": 2.0}},
+                               title="G")
+    assert text.splitlines()[0] == "G"
+    assert "-- g1" in text and "-- g2" in text
+
+
+def test_render_cdf_quantile_table():
+    points = [(float(i), i / 100.0) for i in range(1, 101)]
+    text = render_cdf({"series": points}, quantiles=(0.5, 0.9))
+    assert "0.50" in text and "0.90" in text
+    lines = text.splitlines()
+    assert "series" in lines[0]
+
+
+def test_render_cdf_value_at_fraction_clamps():
+    points = [(1.0, 0.5), (2.0, 1.0)]
+    text = render_cdf({"s": points}, quantiles=(0.25, 0.99))
+    # 0.25 resolves to the first point; 0.99 to the last.
+    assert "1.00" in text and "2.00" in text
+
+
+def test_render_breakdown_totals():
+    text = render_breakdown({"impl": (2.0, 3.0)})
+    assert "5.00" in text
+    assert "queue time" in text
+
+
+def test_render_timeseries_sparkline():
+    from repro.core.report import render_timeseries
+    points = [(float(index * 60), float(index % 5)) for index in range(10)]
+    text = render_timeseries(points, title="T", unit="s")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("[") and lines[1].endswith("]")
+    assert "min=0.00s" in lines[2]
+    assert "max=4.00s" in lines[2]
+
+
+def test_render_timeseries_downsamples():
+    from repro.core.report import render_timeseries
+    points = [(float(index), float(index)) for index in range(500)]
+    text = render_timeseries(points, width=40)
+    spark = text.splitlines()[0]
+    assert len(spark) <= 42  # brackets + at most `width` marks
+
+
+def test_render_timeseries_flat_series():
+    from repro.core.report import render_timeseries
+    text = render_timeseries([(0.0, 5.0), (1.0, 5.0)])
+    assert "min=5.00" in text and "max=5.00" in text
+
+
+def test_render_timeseries_empty_raises():
+    from repro.core.report import render_timeseries
+    with pytest.raises(ValueError):
+        render_timeseries([])

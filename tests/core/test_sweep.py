@@ -1,0 +1,81 @@
+"""Tests for the calibration sweep utilities."""
+
+import pytest
+
+from repro.core import Testbed, build_video_deployments
+from repro.core.sweep import CalibrationSweep, GridSweep, SweepPoint, tabulate
+
+
+def test_sweep_validates_platform_and_parameter():
+    with pytest.raises(ValueError, match="platform"):
+        CalibrationSweep("gcp", "scale_interval_s", [1.0])
+    with pytest.raises(AttributeError, match="no field"):
+        CalibrationSweep("azure", "warp_factor", [1.0])
+    with pytest.raises(ValueError, match="at least one"):
+        CalibrationSweep("azure", "scale_interval_s", [])
+
+
+def test_sweep_points_carry_overrides():
+    sweep = CalibrationSweep("aws", "keep_alive_s", [60.0, 120.0])
+    points = sweep.points()
+    assert [point.overrides for point in points] == [
+        {"keep_alive_s": 60.0}, {"keep_alive_s": 120.0}]
+
+
+def test_sweep_run_applies_override():
+    sweep = CalibrationSweep("azure", "scale_interval_s", [7.0, 14.0])
+    results = sweep.run(
+        lambda testbed: testbed.azure_calibration.scale_interval_s)
+    assert [point.value for point in results] == [7.0, 14.0]
+
+
+def test_sweep_measures_real_behaviour():
+    """Sensitivity smoke test: slower controller → slower fan-out."""
+    def fanout_latency(testbed):
+        deployment = build_video_deployments(testbed, n_workers=24)[
+            "Az-Dorch"]
+        deployment.deploy()
+        return testbed.run(deployment.invoke(n_workers=24)).latency
+
+    sweep = CalibrationSweep("azure", "scale_interval_s",
+                             [2.0, 40.0], seed=3)
+    results = sweep.run(fanout_latency)
+    fast, slow = results[0].value, results[1].value
+    assert slow > fast
+
+
+def test_grid_sweep_cartesian_product():
+    grid = GridSweep({"aws.keep_alive_s": [1.0, 2.0],
+                      "azure.scale_interval_s": [5.0, 10.0, 20.0]})
+    points = grid.points()
+    assert len(points) == 6
+    # Every combination appears exactly once.
+    combos = {(point.overrides["aws.keep_alive_s"],
+               point.overrides["azure.scale_interval_s"])
+              for point in points}
+    assert len(combos) == 6
+
+
+def test_grid_sweep_validates_keys():
+    with pytest.raises(ValueError, match="grid keys"):
+        GridSweep({"keep_alive_s": [1.0]})
+    with pytest.raises(AttributeError):
+        GridSweep({"aws.warp": [1.0]})
+    with pytest.raises(ValueError):
+        GridSweep({})
+
+
+def test_grid_sweep_run_applies_both_platforms():
+    grid = GridSweep({"aws.keep_alive_s": [42.0],
+                      "azure.cpu_slowdown": [2.0]})
+    results = grid.run(lambda testbed: (
+        testbed.aws_calibration.keep_alive_s,
+        testbed.azure_calibration.cpu_slowdown))
+    assert results[0].value == (42.0, 2.0)
+
+
+def test_tabulate_rows():
+    points = [SweepPoint(overrides={"a": 1, "b": 2}, value=9.0)]
+    assert tabulate(points) == [[1, 2, 9.0]]
+    with pytest.raises(ValueError):
+        tabulate([])

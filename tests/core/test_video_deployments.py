@@ -1,0 +1,79 @@
+"""Integration tests: video variants end-to-end + the Fig 12 mechanism."""
+
+import pytest
+
+from repro.core import Testbed, build_video_deployments
+
+
+def fresh(n_workers=8):
+    testbed = Testbed(seed=7)
+    return testbed, build_video_deployments(testbed, n_workers=n_workers)
+
+
+@pytest.mark.parametrize("name", ["AWS-Lambda", "AWS-Step", "Az-Func",
+                                  "Az-Dorch"])
+def test_video_variant_completes(name):
+    testbed, deployments = fresh()
+    deployment = deployments[name]
+    deployment.deploy()
+    result = testbed.run(deployment.invoke())
+    assert result.latency > 0
+    assert result.value is not None
+
+
+def test_detection_counts_agree_across_platforms():
+    counts = {}
+    for name in ["AWS-Step", "Az-Dorch"]:
+        testbed, deployments = fresh()
+        deployment = deployments[name]
+        deployment.deploy()
+        result = testbed.run(deployment.invoke())
+        counts[name] = result.value["n_detections"]
+    assert counts["AWS-Step"] == counts["Az-Dorch"]
+    assert counts["AWS-Step"] > 0
+
+
+def test_aws_step_parallelism_beats_monolith():
+    """Fig 12 left half: AWS fan-out cuts latency vs the single Lambda."""
+    testbed, deployments = fresh(n_workers=16)
+    mono = deployments["AWS-Lambda"]
+    step = deployments["AWS-Step"]
+    mono.deploy()
+    step.deploy()
+    mono_result = testbed.run(mono.invoke())
+    step_result = testbed.run(step.invoke(n_workers=16))
+    assert step_result.latency < mono_result.latency * 0.5
+
+
+def test_azure_fanout_stalls_behind_scale_controller():
+    """Fig 12 right half: more Azure workers ≠ proportional speedup."""
+    testbed, deployments = fresh(n_workers=4)
+    dorch = deployments["Az-Dorch"]
+    dorch.deploy()
+    few = testbed.run(dorch.invoke(n_workers=4))
+    many = testbed.run(dorch.invoke(n_workers=32))
+    # 8× the workers comes nowhere near 8× the speedup.
+    assert many.latency > few.latency / 4
+
+
+def test_aws_map_transitions_scale_with_workers():
+    testbed, deployments = fresh(n_workers=4)
+    step = deployments["AWS-Step"]
+    step.deploy()
+    testbed.run(step.invoke(n_workers=4))
+    first = testbed.aws.meter.count(service="stepfunctions",
+                                    operation="transition")
+    testbed.run(step.invoke(n_workers=8))
+    second = testbed.aws.meter.count(service="stepfunctions",
+                                     operation="transition") - first
+    assert second == first + 4  # one extra transition per extra worker
+
+
+def test_video_chunks_fit_payload_limits():
+    testbed, deployments = fresh(n_workers=8)
+    step = deployments["AWS-Step"]
+    step.deploy()
+    result = testbed.run(step.invoke())
+    # The Map items (chunk references) crossed the 256 KB boundary check,
+    # so the execution succeeded rather than failing on DataLimitExceeded.
+    assert result.value["n_chunks"] == 8

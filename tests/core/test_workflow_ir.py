@@ -1,0 +1,174 @@
+"""Tests for the platform-neutral workflow IR and its two compilers."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.core.workflow import (
+    MapNode,
+    ParallelNode,
+    SequenceNode,
+    TaskNode,
+    Workflow,
+    map_over,
+    parallel,
+    sequence,
+    task,
+)
+from repro.platforms.base import FunctionSpec
+
+
+# -- node validation --------------------------------------------------------------
+
+def test_node_validation():
+    with pytest.raises(ValueError):
+        TaskNode(function="")
+    with pytest.raises(ValueError):
+        SequenceNode(steps=[])
+    with pytest.raises(ValueError):
+        ParallelNode(branches=[])
+    with pytest.raises(ValueError):
+        MapNode(items_path="items", iterator=task("f"))
+    with pytest.raises(ValueError):
+        MapNode(items_path="$.items", iterator=task("f"),
+                max_concurrency=-1)
+
+
+def test_workflow_validation():
+    with pytest.raises(ValueError):
+        Workflow("", task("f"))
+    with pytest.raises(TypeError):
+        Workflow("wf", "not-a-node")
+
+
+def test_functions_deduplicated_in_order():
+    wf = Workflow("wf", sequence(
+        task("a"), parallel(task("b"), task("a")),
+        map_over("$.items", task("c"))))
+    assert wf.functions() == ["a", "b", "c"]
+
+
+# -- ASL compilation ------------------------------------------------------------------
+
+def test_to_asl_sequence_chains_states():
+    wf = Workflow("etl", sequence(task("extract"), task("transform"),
+                                  task("load")))
+    definition = wf.to_asl()
+    from repro.aws import parse_state_machine
+    machine = parse_state_machine(definition)    # must validate
+    assert machine.state_count() == 3
+    # Walk the chain: extract → transform → load → end.
+    state = machine.state(machine.start_at)
+    assert state.resource == "extract"
+    state = machine.state(state.next_state)
+    assert state.resource == "transform"
+    state = machine.state(state.next_state)
+    assert state.resource == "load"
+    assert state.end
+
+
+def test_to_asl_parallel_and_map_validate():
+    wf = Workflow("wide", sequence(
+        parallel(task("a"), sequence(task("b"), task("c"))),
+        map_over("$.items", task("d"), max_concurrency=3)))
+    from repro.aws import parse_state_machine
+    machine = parse_state_machine(wf.to_asl())
+    assert machine.state_count() > 4
+
+
+# -- end-to-end on both platforms ----------------------------------------------------------
+
+def make_handlers(testbed):
+    def double(ctx, event):
+        yield from ctx.busy(0.2)
+        return event * 2
+
+    def tag(ctx, event):
+        yield from ctx.busy(0.1)
+        return {"value": event, "items": [1, 2, 3]}
+
+    def inc(ctx, event):
+        yield from ctx.busy(0.1)
+        return event + 1
+
+    for name, handler in [("double", double), ("tag", tag), ("inc", inc)]:
+        testbed.lambdas.register(FunctionSpec(
+            name=name, handler=handler, memory_mb=512, timeout_s=60.0))
+        testbed.app.register(FunctionSpec(
+            name=name, handler=handler, memory_mb=1536, timeout_s=60.0))
+
+
+WORKFLOW = Workflow("both", sequence(
+    task("double"),
+    task("tag"),
+    map_over("$.items", task("inc")),
+))
+
+
+def test_same_workflow_same_result_on_both_clouds():
+    testbed = Testbed(seed=3)
+    make_handlers(testbed)
+    WORKFLOW.deploy_aws(testbed)
+    WORKFLOW.deploy_azure(testbed)
+
+    record = testbed.run(testbed.stepfunctions.start_execution("both", 5))
+    assert record.status == "SUCCEEDED"
+
+    azure_output = testbed.run(testbed.durable.client.run("both", 5))
+    assert record.output == azure_output == [2, 3, 4]
+
+
+def test_parallel_fanout_on_both_clouds():
+    wf = Workflow("fan", parallel(task("double"), task("inc")))
+    testbed = Testbed(seed=4)
+    make_handlers(testbed)
+    wf.deploy_aws(testbed)
+    wf.deploy_azure(testbed)
+    record = testbed.run(testbed.stepfunctions.start_execution("fan", 10))
+    azure_output = testbed.run(testbed.durable.client.run("fan", 10))
+    assert record.output == azure_output == [20, 11]
+
+
+def test_deploy_fails_fast_on_missing_function():
+    wf = Workflow("ghostly", task("ghost"))
+    testbed = Testbed(seed=5)
+    with pytest.raises(KeyError):
+        wf.deploy_aws(testbed)
+    with pytest.raises(KeyError):
+        wf.deploy_azure(testbed)
+
+
+def test_map_over_non_list_fails_azure():
+    from repro.azure.durable import OrchestrationFailedError
+    wf = Workflow("badmap", map_over("$.value", task("inc")))
+    testbed = Testbed(seed=6)
+    make_handlers(testbed)
+    wf.deploy_azure(testbed)
+
+    with pytest.raises(OrchestrationFailedError):
+        testbed.run(testbed.durable.client.run("badmap", {"value": 7}))
+
+
+def test_nested_sequence_inside_map():
+    wf = Workflow("nested", sequence(
+        task("tag"),
+        map_over("$.items", sequence(task("inc"), task("double")))))
+    testbed = Testbed(seed=7)
+    make_handlers(testbed)
+    wf.deploy_aws(testbed)
+    wf.deploy_azure(testbed)
+    record = testbed.run(testbed.stepfunctions.start_execution("nested", 0))
+    azure_output = testbed.run(testbed.durable.client.run("nested", 0))
+    assert record.output == azure_output == [4, 6, 8]
+
+
+def test_deploy_aws_express_workflow():
+    from repro.aws.stepfunctions import EXPRESS
+    wf = Workflow("fastlane", task("double"))
+    testbed = Testbed(seed=8)
+    make_handlers(testbed)
+    wf.deploy_aws(testbed, workflow_type=EXPRESS)
+    assert testbed.stepfunctions.workflow_type_of("fastlane") == EXPRESS
+    record = testbed.run(testbed.stepfunctions.start_execution(
+        "fastlane", 4))
+    assert record.output == 8
+    assert testbed.aws.meter.count(service="stepfunctions-express") > 0

@@ -1,0 +1,187 @@
+"""Tests for the shared platform base: specs, context, limits, billing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms.base import (
+    FunctionContext,
+    FunctionSpec,
+    PayloadLimitExceeded,
+    WorkModel,
+    enforce_payload_limit,
+    round_up,
+)
+from repro.platforms.billing import BillingMeter
+from repro.platforms.calibration import AWSCalibration
+from repro.sim import Constant, Environment
+
+
+def dummy_handler(ctx, event):
+    yield from ctx.busy(0.0)
+    return event
+
+
+# -- FunctionSpec ----------------------------------------------------------------
+
+def test_spec_validates_memory_and_timeout():
+    with pytest.raises(ValueError):
+        FunctionSpec("f", dummy_handler, memory_mb=0)
+    with pytest.raises(ValueError):
+        FunctionSpec("f", dummy_handler, timeout_s=0)
+
+
+def test_spec_billing_memory_prefers_measured():
+    spec = FunctionSpec("f", dummy_handler, memory_mb=1536,
+                        measured_memory_mb=700)
+    assert spec.billing_memory_mb == 700
+    assert FunctionSpec("g", dummy_handler,
+                        memory_mb=1024).billing_memory_mb == 1024
+    assert spec.memory_gb == 1.5
+
+
+# -- round_up / payload limits -----------------------------------------------------
+
+def test_round_up_billing_granularity():
+    assert round_up(0.001, 0.1) == pytest.approx(0.1)
+    assert round_up(0.100, 0.1) == pytest.approx(0.1)
+    assert round_up(0.101, 0.1) == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        round_up(1.0, 0.0)
+
+
+@given(st.floats(0.0001, 10_000), st.sampled_from([0.001, 0.1, 1.0]))
+@settings(max_examples=100, deadline=None)
+def test_round_up_properties(value, granularity):
+    rounded = round_up(value, granularity)
+    assert rounded >= value - 1e-9
+    assert rounded - value < granularity + 1e-9
+
+
+def test_enforce_payload_limit():
+    assert enforce_payload_limit("abc", 10, "here") == 3
+    with pytest.raises(PayloadLimitExceeded) as excinfo:
+        enforce_payload_limit("x" * 100, 10, "there")
+    assert excinfo.value.limit == 10
+    assert "there" in str(excinfo.value)
+
+
+# -- WorkModel -------------------------------------------------------------------------
+
+def test_work_model_duration_combines_base_and_units():
+    model = WorkModel(base=Constant(2.0), per_unit=0.5)
+    rng = np.random.default_rng(0)
+    assert model.duration(rng, units=4) == pytest.approx(4.0)
+    assert model.duration(rng) == pytest.approx(2.5)
+
+
+def test_work_model_never_negative():
+    model = WorkModel(base=Constant(-5.0), per_unit=0.0)
+    rng = np.random.default_rng(0)
+    assert model.duration(rng) == 0.0
+
+
+# -- FunctionContext ----------------------------------------------------------------------
+
+@pytest.fixture
+def context():
+    env = Environment()
+    spec = FunctionSpec("f", dummy_handler,
+                        work_models={"step": WorkModel(base=Constant(1.0))})
+    return env, FunctionContext(env, spec, np.random.default_rng(0),
+                                services={"blob": "fake-blob"})
+
+
+def test_context_busy_accumulates(context):
+    env, ctx = context
+
+    def process(env):
+        yield from ctx.busy(2.0)
+        yield from ctx.busy(3.0)
+        return ctx.busy_time
+
+    assert env.run(until=env.process(process(env))) == 5.0
+    assert env.now == 5.0
+
+
+def test_context_busy_rejects_negative(context):
+    env, ctx = context
+
+    def process(env):
+        yield from ctx.busy(-1.0)
+
+    with pytest.raises(ValueError):
+        env.run(until=env.process(process(env)))
+
+
+def test_context_cpu_factor_scales_busy():
+    env = Environment()
+    spec = FunctionSpec("f", dummy_handler)
+    ctx = FunctionContext(env, spec, np.random.default_rng(0),
+                          cpu_factor=2.0)
+
+    def process(env):
+        yield from ctx.busy(3.0)
+
+    env.run(until=env.process(process(env)))
+    assert env.now == 6.0
+
+
+def test_context_rejects_nonpositive_cpu_factor():
+    env = Environment()
+    spec = FunctionSpec("f", dummy_handler)
+    with pytest.raises(ValueError):
+        FunctionContext(env, spec, np.random.default_rng(0), cpu_factor=0.0)
+
+
+def test_context_jitter_scales_busy():
+    env = Environment()
+    spec = FunctionSpec("f", dummy_handler)
+    ctx = FunctionContext(env, spec, np.random.default_rng(0),
+                          jitter=Constant(1.5))
+
+    def process(env):
+        yield from ctx.busy(2.0)
+
+    env.run(until=env.process(process(env)))
+    assert env.now == 3.0
+
+
+def test_context_service_lookup(context):
+    _, ctx = context
+    assert ctx.blob == "fake-blob"
+    assert ctx.service("blob") == "fake-blob"
+    with pytest.raises(KeyError):
+        ctx.service("queue")
+
+
+# -- AWS cpu factor ---------------------------------------------------------------------------
+
+def test_aws_cpu_factor_scaling():
+    calibration = AWSCalibration()
+    assert calibration.cpu_factor(1769) == pytest.approx(1.0, rel=0.01)
+    assert calibration.cpu_factor(885) == pytest.approx(2.0, rel=0.01)
+    # Clamped at both extremes.
+    assert calibration.cpu_factor(128) == 3.0
+    assert calibration.cpu_factor(10_240) == 0.5
+
+
+# -- billing meter ------------------------------------------------------------------------------
+
+def test_billing_meter_aggregation():
+    billing = BillingMeter()
+    billing.charge_compute("f", raw_duration=1.0, billed_duration=1.0,
+                           memory_mb=1024)
+    billing.charge_compute("g", raw_duration=0.5, billed_duration=0.5,
+                           memory_mb=2048, replay=True)
+    billing.charge_request("f")
+    assert billing.total_gb_s() == pytest.approx(2.0)
+    assert billing.total_gb_s(replay=True) == pytest.approx(1.0)
+    assert billing.total_gb_s(replay=False) == pytest.approx(1.0)
+    assert billing.total_requests() == 1
+    assert billing.gb_s_by_function() == {"f": 1.0, "g": 1.0}
+    assert billing.execution_count() == 2
+    assert billing.execution_count("f") == 1
+    billing.reset()
+    assert billing.total_gb_s() == 0.0

@@ -1,0 +1,150 @@
+"""Tests for latency distributions, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    Pareto,
+    Shifted,
+    Uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_constant_always_returns_value(rng):
+    dist = Constant(3.5)
+    assert dist.sample(rng) == 3.5
+    assert (dist.sample_many(rng, 10) == 3.5).all()
+    assert dist.mean() == 3.5
+
+
+def test_uniform_bounds_and_mean(rng):
+    dist = Uniform(2.0, 4.0)
+    draws = dist.sample_many(rng, 2000)
+    assert draws.min() >= 2.0 and draws.max() <= 4.0
+    assert abs(draws.mean() - 3.0) < 0.1
+    assert dist.mean() == 3.0
+
+
+def test_uniform_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        Uniform(4.0, 2.0)
+
+
+def test_exponential_mean(rng):
+    dist = Exponential(mean=5.0)
+    draws = dist.sample_many(rng, 5000)
+    assert abs(draws.mean() - 5.0) < 0.3
+    assert dist.mean() == 5.0
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Exponential(0.0)
+
+
+def test_normal_truncates_at_zero(rng):
+    dist = Normal(mu=0.1, sigma=2.0)
+    draws = dist.sample_many(rng, 1000)
+    assert (draws >= 0).all()
+
+
+def test_lognormal_median_is_linear_space(rng):
+    dist = LogNormal(median=40.0, sigma=1.0)
+    draws = dist.sample_many(rng, 20000)
+    assert abs(np.median(draws) - 40.0) < 2.0
+
+
+def test_lognormal_percentile_analytic():
+    dist = LogNormal(median=40.0, sigma=1.0)
+    assert abs(dist.percentile(50) - 40.0) < 1e-9
+    assert dist.percentile(95) > dist.percentile(50)
+
+
+def test_pareto_heavy_tail(rng):
+    dist = Pareto(xm=1.0, alpha=1.5)
+    draws = dist.sample_many(rng, 10000)
+    assert (draws >= 1.0).all()
+    # Heavy tail: the max should dwarf the median.
+    assert draws.max() > 10 * np.median(draws)
+
+
+def test_pareto_infinite_mean_for_alpha_below_one():
+    assert Pareto(xm=1.0, alpha=0.9).mean() == float("inf")
+
+
+def test_shifted_adds_offset(rng):
+    dist = Shifted(Constant(2.0), offset=3.0)
+    assert dist.sample(rng) == 5.0
+    assert dist.mean() == 5.0
+
+
+def test_mixture_mean_is_weighted(rng):
+    dist = Mixture([(1.0, Constant(0.0)), (1.0, Constant(10.0))])
+    assert dist.mean() == 5.0
+    draws = dist.sample_many(rng, 4000)
+    assert abs(draws.mean() - 5.0) < 0.5
+
+
+def test_mixture_normalises_weights():
+    dist = Mixture([(2.0, Constant(1.0)), (6.0, Constant(2.0))])
+    assert abs(dist.mean() - 1.75) < 1e-12
+
+
+def test_mixture_rejects_empty_and_zero_weight():
+    with pytest.raises(ValueError):
+        Mixture([])
+    with pytest.raises(ValueError):
+        Mixture([(0.0, Constant(1.0))])
+
+
+def test_empirical_resamples_observed_values(rng):
+    dist = Empirical([1.0, 2.0, 3.0])
+    draws = set(dist.sample_many(rng, 200).tolist())
+    assert draws <= {1.0, 2.0, 3.0}
+    assert dist.mean() == 2.0
+
+
+def test_empirical_rejects_empty():
+    with pytest.raises(ValueError):
+        Empirical([])
+
+
+# -- property-based invariants ------------------------------------------------
+
+@given(median=st.floats(0.001, 1000), sigma=st.floats(0.0, 3.0))
+@settings(max_examples=50, deadline=None)
+def test_lognormal_samples_are_positive(median, sigma):
+    dist = LogNormal(median=median, sigma=sigma)
+    rng = np.random.default_rng(0)
+    assert (dist.sample_many(rng, 50) > 0).all()
+
+
+@given(low=st.floats(0, 100), width=st.floats(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_uniform_samples_stay_in_bounds(low, width):
+    dist = Uniform(low, low + width)
+    rng = np.random.default_rng(0)
+    draws = dist.sample_many(rng, 50)
+    assert (draws >= low).all() and (draws <= low + width).all()
+
+
+@given(st.lists(st.tuples(st.floats(0.1, 10), st.floats(0, 50)), min_size=1,
+                max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_mixture_samples_are_nonnegative(components):
+    dist = Mixture([(w, Constant(v)) for w, v in components])
+    rng = np.random.default_rng(0)
+    assert (dist.sample_many(rng, 20) >= 0).all()

@@ -1,0 +1,106 @@
+"""Property-based invariants of the DES kernel and the cloud queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.sim import Environment
+from repro.storage import CloudQueue, TransactionMeter
+
+
+@given(delays=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(0.1, 100.0), min_size=2, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_all_of_completes_at_max_any_of_at_min(delays):
+    env = Environment()
+    moments = {}
+
+    def waiter(env):
+        events = [env.timeout(delay) for delay in delays]
+        yield env.any_of(list(events))
+        moments["any"] = env.now
+        yield env.all_of(list(events))
+        moments["all"] = env.now
+
+    env.process(waiter(env))
+    env.run()
+    assert moments["any"] == min(delays)
+    assert moments["all"] == max(delays)
+
+
+@given(payloads=st.lists(st.integers(0, 10_000), min_size=1, max_size=30),
+       seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_queue_is_fifo_under_any_interleaving(payloads, seed):
+    """Whatever the producer/consumer timing, delivery order == send order."""
+    env = Environment()
+    meter = TransactionMeter(clock=lambda: env.now)
+    rng = np.random.default_rng(seed)
+    queue = CloudQueue(env, meter, rng, min_poll_interval=0.05,
+                       max_poll_interval=2.0)
+    pacing = np.random.default_rng(seed + 1)
+
+    def producer(env):
+        for payload in payloads:
+            yield env.timeout(float(pacing.uniform(0, 3.0)))
+            yield from queue.enqueue(payload)
+
+    received = []
+
+    def consumer(env):
+        for _ in payloads:
+            message = yield from queue.receive()
+            received.append(message.value)
+            yield from queue.delete(message)
+
+    env.process(producer(env))
+    consumer_process = env.process(consumer(env))
+    env.run(until=consumer_process)
+    assert received == payloads
+
+
+@given(n=st.integers(1, 40), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_queue_conserves_messages(n, seed):
+    """No message is lost or duplicated when consumers ack promptly."""
+    env = Environment()
+    meter = TransactionMeter(clock=lambda: env.now)
+    queue = CloudQueue(env, meter, np.random.default_rng(seed),
+                       visibility_timeout=10_000.0)
+
+    def producer(env):
+        for index in range(n):
+            yield from queue.enqueue(index)
+
+    seen = set()
+
+    def consumer(env):
+        for _ in range(n):
+            message = yield from queue.receive()
+            assert message.value not in seen
+            seen.add(message.value)
+            yield from queue.delete(message)
+
+    env.process(producer(env))
+    consumer_process = env.process(consumer(env))
+    env.run(until=consumer_process)
+    assert seen == set(range(n))
+    assert len(queue) == 0

@@ -1,0 +1,212 @@
+"""Unit tests for Resource, PriorityResource, Container and Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    grants = []
+
+    def worker(env, name):
+        with resource.request() as request:
+            yield request
+            grants.append((env.now, name))
+            yield env.timeout(5.0)
+
+    for name in ("a", "b", "c"):
+        env.process(worker(env, name))
+    env.run()
+    assert grants == [(0.0, "a"), (0.0, "b"), (5.0, "c")]
+
+
+def test_resource_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        Resource(Environment(), capacity=0)
+
+
+def test_resource_count_tracks_holders():
+    env = Environment()
+    resource = Resource(env, capacity=3)
+    observed = []
+
+    def worker(env):
+        with resource.request() as request:
+            yield request
+            observed.append(resource.count)
+            yield env.timeout(1.0)
+
+    env.process(worker(env))
+    env.process(worker(env))
+    env.run()
+    # Both requests are granted before either process resumes, so each
+    # observes both holders; all slots are returned by the end.
+    assert observed == [2, 2]
+    assert resource.count == 0
+
+
+def test_release_unqueued_request_is_safe():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    holder = resource.request()
+    waiter = resource.request()
+    resource.release(waiter)  # never granted; must just leave the queue
+    assert holder.triggered
+    assert not waiter.triggered
+    assert resource.queue == []
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def worker(env, name, priority, arrive):
+        yield env.timeout(arrive)
+        request = resource.request(priority=priority)
+        yield request
+        order.append(name)
+        yield env.timeout(10.0)
+        resource.release(request)
+
+    env.process(worker(env, "low", 5, 0.0))
+    env.process(worker(env, "mid", 3, 1.0))
+    env.process(worker(env, "high", 1, 2.0))
+    env.run()
+    assert order == ["low", "high", "mid"]
+
+
+def test_container_get_blocks_until_level_suffices():
+    env = Environment()
+    container = Container(env, capacity=10, init=0)
+    got = []
+
+    def consumer(env):
+        yield container.get(4)
+        got.append(env.now)
+
+    def producer(env):
+        yield env.timeout(2.0)
+        yield container.put(3)
+        yield env.timeout(2.0)
+        yield container.put(3)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [4.0]
+    assert container.level == 2
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    container = Container(env, capacity=5, init=5)
+    done = []
+
+    def producer(env):
+        yield container.put(2)
+        done.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(3.0)
+        yield container.get(4)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert done == [3.0]
+
+
+def test_container_validates_arguments():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    container = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        container.put(0)
+    with pytest.raises(ValueError):
+        container.get(-1)
+
+
+def test_store_is_fifo():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in ("first", "second", "third"):
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == ["first", "second", "third"]
+
+
+def test_store_get_blocks_until_item_arrives():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer(env):
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(7.0)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert log == [(7.0, "late")]
+
+
+def test_store_capacity_blocks_putters():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("put1", 0.0), ("put2", 5.0)]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in (1, 2, 3, 4):
+            yield store.put(item)
+
+    def consumer(env):
+        even = yield store.get(lambda item: item % 2 == 0)
+        received.append(even)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == [2]
+    assert store.items == [1, 3, 4]

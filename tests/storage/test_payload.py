@@ -1,0 +1,89 @@
+"""Tests for payload size estimation and wrapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Payload, estimate_size
+from repro.storage.payload import KB, MB, SizedObject, human_size, total_size
+
+
+def test_scalar_sizes():
+    assert estimate_size(None) == 4
+    assert estimate_size(True) == 5
+    assert estimate_size(7) == 8
+    assert estimate_size(3.14) == 8
+
+
+def test_string_size_is_utf8_length():
+    assert estimate_size("abc") == 3
+    assert estimate_size("é") == 2
+
+
+def test_bytes_size_is_length():
+    assert estimate_size(b"\x00" * 100) == 100
+    assert estimate_size(bytearray(50)) == 50
+
+
+def test_numpy_array_counts_buffer():
+    array = np.zeros(1000, dtype=np.float64)
+    assert estimate_size(array) == 8000 + 96
+
+
+def test_container_sizes_sum_members():
+    assert estimate_size([1, 2, 3]) == 3 * (8 + 1) + 2
+    assert estimate_size({"a": 1}) == 1 + 8 + 2 + 2
+
+
+def test_payload_size_hint_attribute_wins():
+    class Model(SizedObject):
+        pass
+
+    model = Model(payload_size=5 * MB)
+    assert estimate_size(model) == 5 * MB
+
+
+def test_opaque_object_gets_flat_charge():
+    class Opaque:
+        pass
+
+    assert estimate_size(Opaque()) == 256
+
+
+def test_payload_explicit_size_overrides_estimate():
+    payload = Payload("tiny", size=10 * KB)
+    assert payload.size == 10 * KB
+
+
+def test_payload_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Payload("x", size=-1)
+
+
+def test_payload_wrap_is_idempotent():
+    payload = Payload(1)
+    assert Payload.wrap(payload) is payload
+    assert estimate_size(payload) == payload.size
+
+
+def test_total_size_sums():
+    assert total_size([1, 2.0]) == 16
+
+
+def test_human_size_formatting():
+    assert human_size(512) == "512B"
+    assert human_size(2048) == "2.0KB"
+    assert human_size(int(5.2 * MB)) == "5.2MB"
+    assert human_size(3 * 1024 ** 3) == "3.0GB"
+
+
+@given(st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=5), children, max_size=5),
+    max_leaves=20))
+@settings(max_examples=100, deadline=None)
+def test_estimate_size_is_nonnegative_for_json_like_values(value):
+    assert estimate_size(value) >= 0

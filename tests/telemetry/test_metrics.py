@@ -1,0 +1,101 @@
+"""Tests for metric timeseries aggregation."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.telemetry import SpanKind, Telemetry
+from repro.telemetry.metrics import (
+    MetricSeries,
+    MetricsRegistry,
+    series_from_spans,
+)
+
+
+@pytest.fixture
+def clock():
+    state = {"now": 0.0}
+
+    def now():
+        return state["now"]
+
+    now.state = state
+    return now
+
+
+def test_record_uses_clock(clock):
+    series = MetricSeries("lat", clock)
+    series.record(1.0)
+    clock.state["now"] = 30.0
+    series.record(2.0)
+    assert series.samples == [(0.0, 1.0), (30.0, 2.0)]
+    assert len(series) == 2
+
+
+def test_aggregate_periods(clock):
+    series = MetricSeries("lat", clock)
+    for time, value in [(0.0, 1.0), (10.0, 3.0), (65.0, 5.0)]:
+        series.record_at(time, value)
+    stats = series.aggregate(period_s=60.0)
+    assert len(stats) == 2
+    first, second = stats
+    assert first.count == 2 and first.total == 4.0
+    assert first.minimum == 1.0 and first.maximum == 3.0
+    assert first.average == 2.0
+    assert second.count == 1 and second.total == 5.0
+
+
+def test_aggregate_includes_empty_gap_periods(clock):
+    series = MetricSeries("lat", clock)
+    series.record_at(0.0, 1.0)
+    series.record_at(150.0, 2.0)
+    stats = series.aggregate(period_s=60.0)
+    assert len(stats) == 3
+    assert stats[1].count == 0
+    assert stats[1].average == 0.0
+
+
+def test_aggregate_window_filter(clock):
+    series = MetricSeries("lat", clock)
+    for time in (0.0, 100.0, 200.0):
+        series.record_at(time, 1.0)
+    stats = series.aggregate(period_s=60.0, since=90.0, until=190.0)
+    assert sum(stat.count for stat in stats) == 1
+
+
+def test_aggregate_empty_and_validation(clock):
+    series = MetricSeries("lat", clock)
+    assert series.aggregate(60.0) == []
+    with pytest.raises(ValueError):
+        series.aggregate(0.0)
+
+
+def test_percentile_per_period(clock):
+    series = MetricSeries("lat", clock)
+    for index in range(100):
+        series.record_at(5.0, float(index))
+    points = series.percentile_per_period(period_s=60.0, q=99)
+    assert len(points) == 1
+    assert points[0][1] == pytest.approx(98.01)
+    with pytest.raises(ValueError):
+        series.percentile_per_period(60.0, 150)
+
+
+def test_registry_creates_and_caches(clock):
+    registry = MetricsRegistry(clock)
+    series = registry.series("invocations")
+    assert registry.series("invocations") is series
+    registry.series("errors")
+    assert registry.names() == ["errors", "invocations"]
+
+
+def test_series_from_spans(clock):
+    env = Environment()
+    telemetry = Telemetry(clock=lambda: env.now)
+    telemetry.record("w", SpanKind.SCHEDULING, 0.0, 4.0)
+    telemetry.record("w", SpanKind.SCHEDULING, 70.0, 72.0)
+    telemetry.record("x", SpanKind.EXECUTION, 0.0, 1.0)   # other kind
+    series = series_from_spans(telemetry, SpanKind.SCHEDULING, clock)
+    assert len(series) == 2
+    stats = series.aggregate(60.0)
+    assert stats[0].maximum == 4.0
+    assert stats[1].maximum == 2.0

@@ -1,0 +1,126 @@
+"""Tests for the telemetry span collector and timeline."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.telemetry import SpanKind, Telemetry, Timeline
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def telemetry(env):
+    return Telemetry(clock=lambda: env.now)
+
+
+def advance(env, seconds):
+    def sleeper(env):
+        yield env.timeout(seconds)
+    env.run(until=env.process(sleeper(env)))
+
+
+def test_span_lifecycle(env, telemetry):
+    span = telemetry.start_span("invoke", SpanKind.EXECUTION, memory=512)
+    assert not span.closed
+    with pytest.raises(ValueError):
+        span.duration
+    advance(env, 3.0)
+    telemetry.end_span(span, status="ok")
+    assert span.closed
+    assert span.duration == 3.0
+    assert span.attributes == {"memory": 512, "status": "ok"}
+
+
+def test_span_cannot_close_twice(env, telemetry):
+    span = telemetry.start_span("x", SpanKind.EXECUTION)
+    telemetry.end_span(span)
+    with pytest.raises(ValueError, match="already closed"):
+        telemetry.end_span(span)
+
+
+def test_record_completed_interval(telemetry):
+    span = telemetry.record("storage", SpanKind.STORAGE, start=1.0, end=2.5)
+    assert span.duration == 1.5
+
+
+def test_record_rejects_inverted_interval(telemetry):
+    with pytest.raises(ValueError, match="before"):
+        telemetry.record("x", SpanKind.STORAGE, start=2.0, end=1.0)
+
+
+def test_find_filters_by_kind_name_attributes(env, telemetry):
+    a = telemetry.start_span("f", SpanKind.EXECUTION, cold=True)
+    b = telemetry.start_span("f", SpanKind.EXECUTION, cold=False)
+    c = telemetry.start_span("g", SpanKind.COLD_START)
+    for span in (a, b, c):
+        telemetry.end_span(span)
+    assert len(telemetry.find(kind=SpanKind.EXECUTION)) == 2
+    assert len(telemetry.find(name="f", cold=True)) == 1
+    assert len(telemetry.find(kind=SpanKind.COLD_START)) == 1
+
+
+def test_find_excludes_open_spans(telemetry):
+    telemetry.start_span("open", SpanKind.EXECUTION)
+    assert telemetry.find(name="open") == []
+
+
+def test_durations_and_total_time(env, telemetry):
+    first = telemetry.start_span("q", SpanKind.QUEUE_WAIT)
+    advance(env, 2.0)
+    telemetry.end_span(first)
+    second = telemetry.start_span("q", SpanKind.QUEUE_WAIT)
+    advance(env, 3.0)
+    telemetry.end_span(second)
+    assert telemetry.durations(kind=SpanKind.QUEUE_WAIT) == [2.0, 3.0]
+    assert telemetry.total_time(kind=SpanKind.QUEUE_WAIT) == 5.0
+
+
+def test_parent_child_links(env, telemetry):
+    parent = telemetry.start_span("workflow", SpanKind.WORKFLOW)
+    child = telemetry.start_span("task", SpanKind.EXECUTION, parent=parent)
+    telemetry.end_span(child)
+    telemetry.end_span(parent)
+    assert telemetry.children_of(parent) == [child]
+    assert child.parent_id == parent.span_id
+
+
+def test_merge_combines_and_sorts(env, telemetry):
+    other = Telemetry(clock=lambda: env.now)
+    late = telemetry.record("late", SpanKind.EXECUTION, 5.0, 6.0)
+    early = other.record("early", SpanKind.EXECUTION, 1.0, 2.0)
+    merged = telemetry.merge([other])
+    assert [span.name for span in merged.spans] == ["early", "late"]
+    assert len(telemetry) == 1  # originals untouched
+
+
+def test_reset_clears(telemetry):
+    telemetry.record("x", SpanKind.EXECUTION, 0.0, 1.0)
+    telemetry.reset()
+    assert len(telemetry) == 0
+
+
+# -- timeline ------------------------------------------------------------------
+
+def test_timeline_logs_with_clock(env):
+    timeline = Timeline(clock=lambda: env.now)
+    timeline.log("deploy", "registered function", name="f")
+    advance(env, 10.0)
+    timeline.log("invoke", "started")
+    assert len(timeline) == 2
+    assert timeline.events[1].time == 10.0
+
+
+def test_timeline_filter_by_category_and_window(env):
+    timeline = Timeline(clock=lambda: env.now)
+    timeline.log("a", "first")
+    advance(env, 5.0)
+    timeline.log("b", "second")
+    advance(env, 5.0)
+    timeline.log("a", "third")
+    assert len(timeline.filter(category="a")) == 2
+    assert len(timeline.filter(since=4.0, until=9.0)) == 1
+    assert timeline.last(category="a").message == "third"
+    assert timeline.last(category="zzz") is None

@@ -1,0 +1,86 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's front door; they must not rot.  Each is
+executed in-process (same interpreter, fresh module namespace) and its
+stdout sanity-checked.  The heavyweight ML/video sweeps are exercised
+with reduced parameters where the module exposes them.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_module(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(name, *args):
+    module = load_module(name)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main(*args)
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    output = run_main("quickstart")
+    assert "AWS Step Functions" in output
+    assert "Azure Durable" in output
+    assert "A-1001" in output
+
+
+def test_cross_cloud_workflow():
+    output = run_main("cross_cloud_workflow")
+    assert "identical results" in output
+
+
+def test_durable_entities_counter():
+    output = run_main("durable_entities_counter")
+    assert "pricing" in output
+    assert "billable" in output
+
+
+def test_approval_workflow():
+    output = run_main("approval_workflow")
+    assert "booked" in output
+    assert "escalated" in output
+
+
+def test_observability():
+    output = run_main("observability")
+    assert "Gantt" in output
+    assert "scheduling delay" in output
+
+
+def test_cost_explorer():
+    output = run_main("cost_explorer")
+    assert "runs/month" in output
+    assert "cheaper" in output
+
+
+def test_ml_training_pipeline_small():
+    output = run_main("ml_training_pipeline", "small")
+    assert "best fit" in output
+    assert "Az-Dent" in output
+
+
+def test_video_fanout():
+    # Trim the sweep for test runtime.
+    module = load_module("video_fanout")
+    module.WORKER_COUNTS = [1, 8]
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert "AWS-Step" in output and "Az-Dorch" in output

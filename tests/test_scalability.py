@@ -1,0 +1,60 @@
+"""Scalability guards: big simulations stay cheap in wall time.
+
+These bound the event-loop's cost so that performance regressions (e.g.
+accidental per-event table scans) show up as test failures rather than
+as benchmark suites that silently take an hour.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ColdStartCampaign, Testbed, build_ml_training_deployments, \
+    build_video_deployments
+
+
+def test_500_worker_fanout_wall_time():
+    testbed = Testbed(seed=44)
+    deployment = build_video_deployments(testbed, n_workers=500)["AWS-Step"]
+    deployment.deploy()
+    started = time.perf_counter()
+    run = testbed.run(deployment.invoke(n_workers=500))
+    elapsed = time.perf_counter() - started
+    assert run.value["n_chunks"] == 500
+    assert elapsed < 20.0, f"500-worker AWS fan-out took {elapsed:.1f}s"
+
+
+def test_200_worker_azure_fanout_wall_time():
+    testbed = Testbed(seed=45)
+    deployment = build_video_deployments(testbed, n_workers=200)["Az-Dorch"]
+    deployment.deploy()
+    started = time.perf_counter()
+    result = testbed.run(deployment.invoke(n_workers=200))
+    elapsed = time.perf_counter() - started
+    assert result.value["n_chunks"] == 200
+    assert elapsed < 30.0, f"200-worker Azure fan-out took {elapsed:.1f}s"
+
+
+def test_four_day_cold_start_campaign_wall_time():
+    testbed = Testbed(seed=46)
+    deployment = build_ml_training_deployments(testbed, "small")["Az-Dorch"]
+    campaign = ColdStartCampaign(interval_s=3600.0, days=4.0)
+    started = time.perf_counter()
+    result = campaign.run(deployment)
+    elapsed = time.perf_counter() - started
+    assert len(result.runs) == 96
+    assert elapsed < 30.0, f"4-day campaign took {elapsed:.1f}s"
+
+
+def test_week_of_idle_polling_wall_time():
+    """Idle time is nearly free thanks to batched metering."""
+    testbed = Testbed(seed=47)
+    deployment = build_ml_training_deployments(testbed, "small")["Az-Dorch"]
+    deployment.deploy()
+    testbed.run(deployment.invoke())
+    started = time.perf_counter()
+    testbed.advance(7 * 24 * 3600.0)
+    elapsed = time.perf_counter() - started
+    assert elapsed < 15.0, f"idle week took {elapsed:.1f}s"
+    # And the idle week was billed.
+    assert len(testbed.azure.meter) > 100_000

@@ -1,0 +1,75 @@
+"""Tests for the hyper-parameter grid search."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ml.gridsearch import (
+    GridSearch,
+    ParameterGrid,
+    grid_candidates,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(3)
+    features = rng.normal(size=(240, 5))
+    targets = features @ np.array([2.0, -1.0, 0.5, 0.0, 3.0]) \
+        + rng.normal(0, 0.1, 240)
+    return (features[:180], targets[:180], features[180:], targets[180:])
+
+
+def test_parameter_grid_product():
+    grid = ParameterGrid({"a": [1, 2, 3], "b": [True, False]})
+    assert len(grid) == 6
+    points = list(grid)
+    assert len(points) == 6
+    assert {frozenset(point.items()) for point in points} == {
+        frozenset({"a": a, "b": b}.items())
+        for a in (1, 2, 3) for b in (True, False)}
+
+
+def test_parameter_grid_validation():
+    with pytest.raises(ValueError):
+        ParameterGrid({})
+    with pytest.raises(ValueError):
+        ParameterGrid({"a": []})
+    with pytest.raises(ValueError):
+        ParameterGrid({"a": 5})
+
+
+def test_grid_candidates_naming_and_heaviness():
+    candidates = grid_candidates("random_forest",
+                                 {"n_estimators": [5, 10]})
+    assert len(candidates) == 2
+    assert all(candidate.heavy for candidate in candidates)
+    assert candidates[0].name.startswith("random_forest[")
+    light = grid_candidates("lasso", {"alpha": [0.1]})
+    assert not light[0].heavy
+
+
+def test_grid_search_fits_and_ranks(problem):
+    train_x, train_y, val_x, val_y = problem
+    search = GridSearch({
+        "lasso": {"alpha": [0.01, 10_000.0]},
+        "kneighbors": {"n_neighbors": [3]},
+    }).fit(train_x, train_y, val_x, val_y)
+    assert len(search.results_) == 3
+    board = search.leaderboard()
+    assert board[0].error <= board[-1].error
+    assert search.best_ is board[0]
+    # On a linear problem, the barely-regularised lasso must win, and the
+    # absurdly-regularised one must come last.
+    assert search.best_.candidate.params == {"alpha": 0.01}
+    assert board[-1].candidate.params == {"alpha": 10_000.0}
+
+
+def test_grid_search_requires_fit_before_leaderboard():
+    search = GridSearch({"lasso": {"alpha": [0.1]}})
+    with pytest.raises(RuntimeError):
+        search.leaderboard()
+
+
+def test_grid_search_validates_input():
+    with pytest.raises(ValueError):
+        GridSearch({})

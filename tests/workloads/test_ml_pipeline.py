@@ -1,0 +1,135 @@
+"""Tests for the end-to-end ML pipeline and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ml import (
+    default_candidates,
+    make_car_pricing_dataset,
+    r2_score,
+    select_best,
+    train_test_split,
+)
+from repro.workloads.ml.pipeline import (
+    MLPipeline,
+    apply_preparation,
+    prepare_data,
+    reduce_dimensions,
+    run_inference,
+    run_training_pipeline,
+)
+from repro.workloads.ml.selection import (
+    BestFitCollector,
+    CandidateResult,
+    ModelCandidate,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_car_pricing_dataset(600, seed=11)
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    return train_test_split(dataset, test_fraction=0.25, seed=1)
+
+
+def test_prepare_data_concatenates_scaled_and_encoded(dataset):
+    prepared = prepare_data(dataset)
+    n_categories = prepared.encoder.n_output_features
+    assert prepared.matrix.shape == (600, 14 + n_categories)
+    assert prepared.matrix.min() >= 0.0
+    assert prepared.matrix.max() <= 1.0 + 1e-12
+
+
+def test_reduce_dimensions_caps_components(dataset):
+    prepared = prepare_data(dataset)
+    reduced = reduce_dimensions(prepared.matrix, n_components=40)
+    assert reduced.matrix.shape == (600, 40)
+
+
+def test_training_pipeline_produces_useful_model(split):
+    train, test = split
+    trained = run_training_pipeline(train, seed=0)
+    assert len(trained.results) == 3
+    assert trained.best in trained.results
+    predictions = run_inference(test, trained)
+    assert r2_score(test.prices, predictions) > 0.5
+
+
+def test_best_model_has_lowest_error(split):
+    train, _ = split
+    trained = run_training_pipeline(train, seed=0)
+    errors = [result.error for result in trained.results]
+    assert trained.best.error == min(errors)
+
+
+def test_apply_preparation_matches_training_path(dataset):
+    prepared = prepare_data(dataset)
+    reapplied = apply_preparation(dataset, prepared.encoder, prepared.scaler)
+    assert np.allclose(prepared.matrix, reapplied)
+
+
+def test_model_candidate_build_unknown_algorithm():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        ModelCandidate("x", "svm").build()
+
+
+def test_default_candidates_cover_all_three_algorithms():
+    algorithms = {candidate.algorithm for candidate in default_candidates()}
+    assert algorithms == {"random_forest", "kneighbors", "lasso"}
+    heavy = [candidate for candidate in default_candidates()
+             if candidate.heavy]
+    assert all(candidate.algorithm == "random_forest" for candidate in heavy)
+
+
+def test_select_best_empty_raises():
+    with pytest.raises(ValueError):
+        select_best([])
+
+
+def test_best_fit_collector_keeps_minimum():
+    collector = BestFitCollector()
+    first = CandidateResult(ModelCandidate("a", "lasso"), None, 10.0)
+    better = CandidateResult(ModelCandidate("b", "lasso"), None, 5.0)
+    worse = CandidateResult(ModelCandidate("c", "lasso"), None, 7.0)
+    assert collector.report(first) is True
+    assert collector.report(better) is True
+    assert collector.report(worse) is False
+    assert collector.best is better
+    assert collector.reports == 3
+
+
+def test_pipeline_memoizes_training(split):
+    train, test = split
+    pipeline = MLPipeline(seed=0)
+    first = pipeline.train(train)
+    second = pipeline.train(train)
+    assert first is second  # cache hit, same object
+
+
+def test_pipeline_memoizes_inference(split):
+    train, test = split
+    pipeline = MLPipeline(seed=0)
+    first = pipeline.infer(train, test)
+    second = pipeline.infer(train, test)
+    assert first is second
+
+
+def test_pipeline_distinct_datasets_are_distinct_entries(split):
+    train, _ = split
+    other = make_car_pricing_dataset(80, seed=99)
+    pipeline = MLPipeline(seed=0)
+    assert pipeline.train(train) is not pipeline.train(other)
+
+
+def test_trained_model_payload_sizes_span_paper_range(split):
+    """Model sizes should span ~100 KB (linear) to multi-MB (KNN/forest)."""
+    train, _ = split
+    trained = run_training_pipeline(train, seed=0)
+    sizes = {result.candidate.algorithm: result.payload_size
+             for result in trained.results}
+    assert sizes["lasso"] < 10_000
+    assert sizes["kneighbors"] > 30_000
+    assert sizes["random_forest"] > 10_000
