@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test bench examples takeaways paper clean
+.PHONY: install test test-fast bench bench-kernel examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,8 +8,18 @@ install:
 test:
 	pytest tests/ -q
 
+# Parallel test run; falls back to the serial suite when pytest-xdist
+# (the `dev` extra) is not installed.
+test-fast:
+	pytest tests/ -q -n auto || pytest tests/ -q
+
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Kernel hot-path microbenchmark: seed vs optimized events/sec, written
+# to BENCH_kernel.json at the repo root.
+bench-kernel:
+	PYTHONPATH=src python benchmarks/test_kernel_throughput.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,39 +1,20 @@
-"""Core event loop for the discrete-event simulation kernel.
+"""Frozen copy of the pre-optimization simulation kernel.
 
-The design follows the classic process-interaction style: simulation
-processes are generator functions that yield :class:`Event` objects.  The
-:class:`Environment` keeps a priority queue of scheduled events ordered by
-``(time, priority, sequence)`` and resumes each waiting process when the
-event it yielded is triggered.
-
-Only virtual time exists here; nothing sleeps on the wall clock.  A four-day
-cold-start campaign therefore costs only as many event dispatches as it
-schedules.
-
-This module is the hot path of every campaign, so it trades a little
-repetition for dispatch rate: all classes carry ``__slots__``, the
-frequent constructors (:class:`Timeout`, :class:`Initialize`) and
-triggers push onto the queue directly instead of going through
-:meth:`Environment.schedule`, and queue entries are ``(time, order,
-event)`` 3-tuples where ``order`` packs ``(priority, sequence)`` into one
-integer.  ``benchmarks/test_kernel_throughput.py`` tracks the events/sec
-budget against the frozen seed kernel.
+This is the seed revision of ``repro/sim/kernel.py``, kept verbatim as
+the *baseline* side of ``test_kernel_throughput.py``: the microbenchmark
+drives the same workload through this module and through the live kernel
+and reports the events/sec ratio.  Do not optimize this file.
 """
+
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Event scheduling priorities.  Lower sorts earlier at equal times.
 URGENT = 0
 NORMAL = 1
-
-#: Queue entries order by ``priority * _PRIORITY_STRIDE + sequence`` so a
-#: single integer comparison replaces the old (priority, sequence) pair.
-#: 2**53 keeps every sequence number exactly representable and leaves
-#: priorities dominant.
-_PRIORITY_STRIDE = 2 ** 53
 
 
 class SimulationError(Exception):
@@ -59,8 +40,6 @@ class Event:
     and *processed* (callbacks have run).  A process that yields a
     triggered-or-processed event resumes immediately on the next dispatch.
     """
-
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -100,11 +79,7 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        env = self.env
-        sequence = env._sequence
-        heappush(env._queue,
-                 (env._now, _PRIORITY_STRIDE + sequence, self))
-        env._sequence = sequence + 1
+        self.env.schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -146,37 +121,24 @@ class Event:
 class Timeout(Event):
     """An event that triggers after ``delay`` units of simulated time."""
 
-    __slots__ = ("delay",)
-
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        self.env = env
-        self.callbacks = []
-        self._value = value
-        self._ok = True
-        self._defused = False
+        super().__init__(env)
         self.delay = delay
-        sequence = env._sequence
-        heappush(env._queue,
-                 (env._now + delay, _PRIORITY_STRIDE + sequence, self))
-        env._sequence = sequence + 1
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
 
 
 class Initialize(Event):
     """Internal event that starts a newly created process."""
 
-    __slots__ = ()
-
     def __init__(self, env: "Environment", process: "Process"):
-        self.env = env
-        self.callbacks = [process._resume]
-        self._value = None
+        super().__init__(env)
+        self.callbacks.append(process._resume)
         self._ok = True
-        self._defused = False
-        sequence = env._sequence
-        heappush(env._queue, (env._now, sequence, self))   # URGENT
-        env._sequence = sequence + 1
+        env.schedule(self, priority=URGENT)
 
 
 class Process(Event):
@@ -185,8 +147,6 @@ class Process(Event):
     A process is itself an event that triggers when the generator returns
     (successfully, with the ``StopIteration`` value) or raises.
     """
-
-    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -230,11 +190,10 @@ class Process(Event):
         """Advance the generator with the value of the triggered event."""
         env = self.env
         env._active_process = self
-        send = self._generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = send(event._value)
+                    next_event = self._generator.send(event._value)
                 else:
                     event._defused = True
                     next_event = self._generator.throw(event._value)
@@ -257,10 +216,9 @@ class Process(Event):
                 env.schedule(self)
                 break
 
-            callbacks = next_event.callbacks
-            if callbacks is not None:
+            if next_event.callbacks is not None:
                 # Event is pending or triggered-but-unprocessed: wait for it.
-                callbacks.append(self._resume)
+                next_event.callbacks.append(self._resume)
                 self._target = next_event
                 break
             # Event already processed: resume immediately with its value.
@@ -271,8 +229,6 @@ class Process(Event):
 
 class ConditionValue:
     """Mapping from events to values for :class:`AllOf`/:class:`AnyOf`."""
-
-    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[Event]):
         self.events = list(events)
@@ -302,39 +258,26 @@ class Condition(Event):
     sub-events propagate their exception to the condition.
     """
 
-    __slots__ = ("_events", "_evaluate", "_done")
-
     def __init__(self, env: "Environment",
                  evaluate: Callable[[list, int], bool],
                  events: Iterable[Event]):
-        self.env = env
-        self.callbacks = []
-        self._value = None
-        self._ok = None
-        self._defused = False
-        self._events = events = list(events)
+        super().__init__(env)
+        self._events = list(events)
         self._evaluate = evaluate
         self._done = 0
-        for event in events:
+        for event in self._events:
             if event.env is not env:
                 raise SimulationError("events from different environments")
 
-        if not events:
+        if not self._events:
             self.succeed(ConditionValue([]))
             return
 
-        # One bound method for every subscription instead of one per
-        # sub-event.
-        check = self._check
-        for event in events:
+        for event in self._events:
             if event.callbacks is None:
-                check(event)
+                self._check(event)
             else:
-                event.callbacks.append(check)
-
-    def _succeed_with_done(self) -> None:
-        done = [e for e in self._events if e._ok is not None and e._ok]
-        self.succeed(ConditionValue(done))
+                event.callbacks.append(self._check)
 
     def _check(self, event: Event) -> None:
         if self._ok is not None:
@@ -344,63 +287,26 @@ class Condition(Event):
             event._defused = True
             self.fail(event._value)
         elif self._evaluate(self._events, self._done):
-            self._succeed_with_done()
-
-
-def _all_done(events: list, done: int) -> bool:
-    return done == len(events)
-
-
-def _any_done(events: list, done: int) -> bool:
-    return done >= 1
+            done = [e for e in self._events if e._ok is not None and e._ok]
+            self.succeed(ConditionValue(done))
 
 
 class AllOf(Condition):
     """Condition that triggers once *all* sub-events have triggered."""
 
-    __slots__ = ()
-
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, _all_done, events)
-
-    def _check(self, event: Event) -> None:
-        # Specialized: count-complete test without the evaluate() call.
-        if self._ok is not None:
-            return
-        done = self._done = self._done + 1
-        if not event._ok:
-            event._defused = True
-            self.fail(event._value)
-        elif done == len(self._events):
-            # Every sub-event checked in without failing, so all are ok:
-            # skip _succeed_with_done()'s per-event filtering.
-            self.succeed(ConditionValue(self._events))
+        super().__init__(env, lambda events, done: done == len(events), events)
 
 
 class AnyOf(Condition):
     """Condition that triggers once *any* sub-event has triggered."""
 
-    __slots__ = ()
-
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, _any_done, events)
-
-    def _check(self, event: Event) -> None:
-        # Specialized: the first sub-event settles the condition.
-        if self._ok is not None:
-            return
-        self._done += 1
-        if not event._ok:
-            event._defused = True
-            self.fail(event._value)
-        else:
-            self._succeed_with_done()
+        super().__init__(env, lambda events, done: done >= 1, events)
 
 
 class Environment:
     """The simulation environment: virtual clock plus event queue."""
-
-    __slots__ = ("_now", "_queue", "_sequence", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -421,10 +327,9 @@ class Environment:
     def schedule(self, event: Event, priority: int = NORMAL,
                  delay: float = 0.0) -> None:
         """Place ``event`` on the queue ``delay`` time units from now."""
-        sequence = self._sequence
-        heappush(self._queue, (self._now + delay,
-                               priority * _PRIORITY_STRIDE + sequence, event))
-        self._sequence = sequence + 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from ``generator`` and return it."""
@@ -432,34 +337,11 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event that triggers ``delay`` time units from now."""
-        # Inlined Timeout.__init__ (keep in sync): this is the single
-        # hottest constructor, and skipping the __init__ frame is worth
-        # the duplication.
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
-        event = Timeout.__new__(Timeout)
-        event.env = self
-        event.callbacks = []
-        event._value = value
-        event._ok = True
-        event._defused = False
-        event.delay = delay
-        sequence = self._sequence
-        heappush(self._queue,
-                 (self._now + delay, _PRIORITY_STRIDE + sequence, event))
-        self._sequence = sequence + 1
-        return event
+        return Timeout(self, delay, value)
 
     def event(self) -> Event:
         """Return a fresh, untriggered event."""
-        # Inlined Event.__init__ (keep in sync), as with timeout().
-        event = Event.__new__(Event)
-        event.env = self
-        event.callbacks = []
-        event._value = None
-        event._ok = None
-        event._defused = False
-        return event
+        return Event(self)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Return an event that triggers when all of ``events`` have."""
@@ -473,11 +355,11 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
-    def step(self, _pop=heappop) -> None:
+    def step(self) -> None:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        self._now, _, event = _pop(self._queue)
+        self._now, _, _, event = heapq.heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -485,7 +367,7 @@ class Environment:
             # An unhandled failure crashes the simulation, loudly.
             raise event._value
 
-    def run(self, until: Any = None, _pop=heappop) -> Any:
+    def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
         ``until`` may be ``None`` (run to queue exhaustion), a number (run
@@ -502,52 +384,25 @@ class Environment:
                 raise SimulationError(
                     f"until ({stop_time}) lies in the past (now={self._now})")
 
-        # Both loops below inline step() — heap pop, clock advance,
-        # callback fan-out, failure check — so the hot path touches only
-        # locals.  Keep them in sync with step() when editing either.
-        queue = self._queue
-
-        if stop_event is None and stop_time == float("inf"):
-            # Drain to exhaustion: no stop checks at all.
-            while queue:
-                self._now, _, event = _pop(queue)
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event._defused:
-                    # An unhandled failure crashes the simulation, loudly.
-                    raise event._value
-            return None
+        while self._queue:
+            if stop_event is not None and stop_event.triggered:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
 
         if stop_event is not None:
-            # Dispatch until the stop event carries a value; as in
-            # step()-driven runs, the stop event's own callbacks fire on
-            # a later dispatch, not before returning.
-            while stop_event._ok is None and queue:
-                self._now, _, event = _pop(queue)
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event._defused:
-                    # An unhandled failure crashes the simulation, loudly.
-                    raise event._value
-            if stop_event._ok is not None:
+            if stop_event.triggered:
                 if not stop_event._ok:
                     stop_event._defused = True
                     raise stop_event._value
                 return stop_event._value
             raise SimulationError(
                 "run(until=event) finished but the event never triggered")
-
-        while queue:
-            if queue[0][0] > stop_time:
-                break
-            self._now, _, event = _pop(queue)
-            callbacks, event.callbacks = event.callbacks, None
-            for callback in callbacks:
-                callback(event)
-            if event._ok is False and not event._defused:
-                # An unhandled failure crashes the simulation, loudly.
-                raise event._value
-        self._now = stop_time
+        if stop_time != float("inf"):
+            self._now = stop_time
         return None

@@ -15,19 +15,14 @@ from conftest import ML_VARIANTS, ml_training_campaign, once
 
 import pytest
 
-from repro.core import cost_report
 from repro.core.report import render_grouped_bars, render_table
 
 
 @pytest.mark.parametrize("scale", ["small", "large"])
 def test_fig11_ml_training_cost(benchmark, scale):
     def run_all():
-        reports = {}
-        for name in ML_VARIANTS:
-            campaign, deployment = ml_training_campaign(name, scale)
-            reports[name] = cost_report(
-                deployment, per_runs=len(campaign.runs) + 1)
-        return reports
+        return {name: ml_training_campaign(name, scale)[1]
+                for name in ML_VARIANTS}
 
     reports = once(benchmark, run_all)
 

@@ -12,18 +12,13 @@ from conftest import fresh_testbed, ml_training_campaign, once
 from repro.core import (
     ExperimentRunner,
     build_ml_inference_deployments,
-    cost_report,
 )
 
 
 def test_headline_training_cost_gap(benchmark):
     def run_both():
-        reports = {}
-        for name in ("AWS-Step", "Az-Dorch"):
-            campaign, deployment = ml_training_campaign(name, "large")
-            reports[name] = cost_report(
-                deployment, per_runs=len(campaign.runs) + 1)
-        return reports
+        return {name: ml_training_campaign(name, "large")[1]
+                for name in ("AWS-Step", "Az-Dorch")}
 
     reports = once(benchmark, run_both)
     gap = reports["AWS-Step"].total / reports["Az-Dorch"].total - 1

@@ -2,15 +2,23 @@
 
 ::
 
-    python -m repro latency   --scale small --iterations 10
+    python -m repro latency   --scale small --iterations 10 --workers 4
     python -m repro inference --scale large
     python -m repro coldstart --days 2
-    python -m repro video     --workers 1,5,20,80
+    python -m repro video     --workers 1,5,20,80 -j 4
     python -m repro cost      --runs-per-month 30
     python -m repro paper     # condensed everything
 
 Each subcommand builds fresh testbeds, runs the campaign on the simulated
 clock and prints the corresponding table/figure.
+
+Campaigns fan out across ``--workers``/``-j`` worker processes and land
+in an on-disk result cache (``~/.cache/repro/campaigns`` or
+``$REPRO_CACHE_DIR``), so re-running a command reuses completed
+campaigns.  ``--no-cache`` bypasses the cache; ``repro cache --clear``
+drops it.  On ``video``/``cost``, ``--workers`` already means the fan-out
+width from the paper, so the worker-process count is spelled ``-j``
+there.
 """
 
 from __future__ import annotations
@@ -19,16 +27,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import (
-    ColdStartCampaign,
-    ExperimentRunner,
-    Testbed,
-    build_ml_inference_deployments,
-    build_ml_training_deployments,
-    build_video_deployments,
-    cost_report,
-)
+from repro.core.cache import ResultCache
 from repro.core.costs import monthly_projection
+from repro.core.parallel import CampaignSpec, ParallelRunner
 from repro.core.persistence import save_results
 from repro.core.metrics import percentile
 from repro.core.report import render_bars, render_table
@@ -46,6 +47,16 @@ def _variants(value: str) -> List[str]:
     return names
 
 
+def _positive_int(value: str) -> int:
+    try:
+        count = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    if count < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return count
+
+
 def _worker_list(value: str) -> List[int]:
     try:
         workers = [int(item) for item in value.split(",") if item.strip()]
@@ -56,28 +67,32 @@ def _worker_list(value: str) -> List[int]:
     return workers
 
 
+def _runner(args: argparse.Namespace) -> ParallelRunner:
+    """The campaign runner the parsed global options ask for."""
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    return ParallelRunner(workers=getattr(args, "jobs", 1), cache=cache)
+
+
 def cmd_latency(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner()
+    specs = [CampaignSpec(deployment=name, workload="ml-training",
+                          scale=args.scale, iterations=args.iterations,
+                          warmup=1, seed=args.seed)
+             for name in args.variants]
+    outcomes = _runner(args).run(specs)
     rows = []
-    campaigns = []
-    reports = []
-    for name in args.variants:
-        testbed = Testbed(seed=args.seed)
-        deployment = build_ml_training_deployments(
-            testbed, args.scale)[name]
-        campaign = runner.run_campaign(deployment,
-                                       iterations=args.iterations, warmup=1)
-        campaigns.append(campaign)
-        reports.append(cost_report(deployment,
-                                   per_runs=args.iterations + 1))
-        stats = campaign.stats()
+    for name, outcome in zip(args.variants, outcomes):
+        stats = outcome.campaign.stats()
         rows.append([name, stats.median, stats.p95, stats.p99])
     print(render_table(["variant", "median s", "p95 s", "p99 s"], rows,
                        title=f"ML training latency ({args.scale}, "
                              f"{args.iterations} iterations)"))
     if getattr(args, "save", None):
         path = save_results(
-            args.save, campaigns=campaigns, cost_reports=reports,
+            args.save,
+            campaigns=[outcome.campaign for outcome in outcomes],
+            cost_reports=[outcome.cost for outcome in outcomes],
             metadata={"command": "latency", "scale": args.scale,
                       "iterations": args.iterations, "seed": args.seed})
         print(f"\nresults saved to {path}")
@@ -85,45 +100,52 @@ def cmd_latency(args: argparse.Namespace) -> int:
 
 
 def cmd_inference(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner()
-    rows = []
-    for name in ["AWS-Step", "Az-Dorch", "Az-Dent"]:
-        testbed = Testbed(seed=args.seed)
-        deployment = build_ml_inference_deployments(
-            testbed, args.scale)[name]
-        campaign = runner.run_campaign(deployment,
-                                       iterations=args.iterations, warmup=1)
-        rows.append([name, campaign.stats().median, campaign.stats().p99])
+    variants = ["AWS-Step", "Az-Dorch", "Az-Dent"]
+    specs = [CampaignSpec(deployment=name, workload="ml-inference",
+                          scale=args.scale, iterations=args.iterations,
+                          warmup=1, seed=args.seed)
+             for name in variants]
+    outcomes = _runner(args).run(specs)
+    rows = [[name, outcome.campaign.stats().median,
+             outcome.campaign.stats().p99]
+            for name, outcome in zip(variants, outcomes)]
     print(render_table(["variant", "median s", "p99 s"], rows,
                        title=f"ML inference latency ({args.scale})"))
     return 0
 
 
 def cmd_coldstart(args: argparse.Namespace) -> int:
-    campaign = ColdStartCampaign(interval_s=3600.0, days=args.days)
-    data = {}
-    for name in ["Az-Queue", "AWS-Step", "Az-Dorch", "Az-Dent"]:
-        testbed = Testbed(seed=args.seed)
-        deployment = build_ml_training_deployments(testbed, "small")[name]
-        delays = campaign.run(deployment).cold_start_delays
-        data[name] = percentile(delays, 50)
+    variants = ["Az-Queue", "AWS-Step", "Az-Dorch", "Az-Dent"]
+    specs = [CampaignSpec(deployment=name, workload="ml-training",
+                          scale="small", campaign="coldstart",
+                          interval_s=3600.0, days=args.days, seed=args.seed)
+             for name in variants]
+    outcomes = _runner(args).run(specs)
+    data = {name: percentile(outcome.campaign.cold_start_delays, 50)
+            for name, outcome in zip(variants, outcomes)}
+    request_count = len(outcomes[0].campaign.runs)
     print(render_bars(data, title=f"Cold start delay, median of "
-                                  f"{campaign.request_count} hourly "
+                                  f"{request_count} hourly "
                                   "requests", unit="s"))
     return 0
 
 
 def cmd_video(args: argparse.Namespace) -> int:
+    variants = ("AWS-Step", "Az-Dorch")
+    specs = []
+    for workers in args.workers:
+        for name in variants:
+            specs.append(CampaignSpec(
+                deployment=name, workload="video", fanout=workers,
+                campaign="latency", iterations=1, warmup=0,
+                think_time_s=0.0, settle_time_s=0.0, seed=args.seed,
+                invoke_kwargs={"n_workers": workers}))
+    outcomes = iter(_runner(args).run(specs))
     rows = []
     for workers in args.workers:
         row = [workers]
-        for name in ("AWS-Step", "Az-Dorch"):
-            testbed = Testbed(seed=args.seed)
-            deployment = build_video_deployments(
-                testbed, n_workers=workers)[name]
-            deployment.deploy()
-            run = testbed.run(deployment.invoke(n_workers=workers))
-            row.append(run.latency)
+        for _ in variants:
+            row.append(next(outcomes).campaign.latencies[0])
         rows.append(row)
     print(render_table(["workers", "AWS-Step (s)", "Az-Dorch (s)"], rows,
                        title="Video processing latency vs workers"))
@@ -131,22 +153,18 @@ def cmd_video(args: argparse.Namespace) -> int:
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
+    variants = ("AWS-Step", "Az-Dorch")
+    specs = [CampaignSpec(
+        deployment=name, workload="video", fanout=args.workers,
+        campaign="latency", iterations=args.measured_runs, warmup=0,
+        think_time_s=30.0, settle_time_s=0.0, seed=args.seed,
+        idle_window_s=3600.0 if name == "Az-Dorch" else 0.0)
+        for name in variants]
+    outcomes = _runner(args).run(specs)
     rows = []
-    for name in ("AWS-Step", "Az-Dorch"):
-        testbed = Testbed(seed=args.seed)
-        deployment = build_video_deployments(
-            testbed, n_workers=args.workers)[name]
-        deployment.deploy()
-        for _ in range(args.measured_runs):
-            testbed.run(deployment.invoke())
-            testbed.advance(30.0)
-        per_run = cost_report(deployment, per_runs=args.measured_runs)
-        idle = 0
-        if name == "Az-Dorch":
-            before = len(testbed.azure.meter)
-            testbed.advance(3600.0)
-            idle = (len(testbed.azure.meter) - before) * 24 * 30
-        projected = monthly_projection(per_run, args.runs_per_month,
+    for name, outcome in zip(variants, outcomes):
+        idle = outcome.idle_transactions * 24 * 30
+        projected = monthly_projection(outcome.cost, args.runs_per_month,
                                        idle_transactions_per_month=idle)
         rows.append([name, projected.compute_cost,
                      projected.transaction_cost, projected.total,
@@ -170,6 +188,16 @@ def cmd_takeaways(args: argparse.Namespace) -> int:
                  + evaluate_video_takeaways(seed=args.seed))
     print(render_takeaways(takeaways))
     return 0 if all(takeaway.holds for takeaway in takeaways) else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(getattr(args, "cache_dir", None))
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached campaigns from {cache.root}")
+    else:
+        print(f"cache at {cache.root}: {len(cache)} campaigns")
+    return 0
 
 
 def cmd_paper(args: argparse.Namespace) -> int:
@@ -197,37 +225,75 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save", metavar="PATH", default=None,
                         help="write campaign results to a JSON file "
                              "(latency command)")
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                    metavar="N",
+                        help="campaign worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the campaign cache")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="campaign cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/campaigns)")
+    # The cache/jobs flags also work after the subcommand (the natural
+    # place to type them); SUPPRESS keeps the top-level values when
+    # absent.
+    cache_opts = argparse.ArgumentParser(add_help=False)
+    cache_opts.add_argument("--no-cache", action="store_true",
+                            default=argparse.SUPPRESS,
+                            help=argparse.SUPPRESS)
+    cache_opts.add_argument("--cache-dir", metavar="PATH",
+                            default=argparse.SUPPRESS,
+                            help=argparse.SUPPRESS)
+    cache_opts.add_argument("--jobs", "-j", type=_positive_int,
+                            dest="jobs",
+                            metavar="N", default=argparse.SUPPRESS,
+                            help=argparse.SUPPRESS)
     commands = parser.add_subparsers(dest="command", required=True)
 
     latency = commands.add_parser(
-        "latency", help="ML training latency across variants (Fig 6)")
+        "latency", parents=[cache_opts], help="ML training latency across variants (Fig 6)")
     latency.add_argument("--scale", choices=["small", "large"],
                          default="small")
     latency.add_argument("--iterations", type=int, default=10)
     latency.add_argument("--variants", type=_variants, default=ML_VARIANTS)
+    latency.add_argument("--workers", type=_positive_int, dest="jobs",
+                         metavar="N",
+                         default=argparse.SUPPRESS,
+                         help="campaign worker processes (alias for -j)")
     latency.set_defaults(func=cmd_latency)
 
     inference = commands.add_parser(
-        "inference", help="ML inference latency (Fig 9)")
+        "inference", parents=[cache_opts], help="ML inference latency (Fig 9)")
     inference.add_argument("--scale", choices=["small", "large"],
                            default="small")
     inference.add_argument("--iterations", type=int, default=10)
+    inference.add_argument("--workers", type=_positive_int, dest="jobs",
+                         metavar="N",
+                           default=argparse.SUPPRESS,
+                           help="campaign worker processes (alias for -j)")
     inference.set_defaults(func=cmd_inference)
 
     coldstart = commands.add_parser(
-        "coldstart", help="hourly cold-start campaign (Fig 10)")
+        "coldstart", parents=[cache_opts], help="hourly cold-start campaign (Fig 10)")
     coldstart.add_argument("--days", type=float, default=4.0)
+    coldstart.add_argument("--workers", type=_positive_int, dest="jobs",
+                         metavar="N",
+                           default=argparse.SUPPRESS,
+                           help="campaign worker processes (alias for -j)")
     coldstart.set_defaults(func=cmd_coldstart)
 
     video = commands.add_parser(
-        "video", help="video fan-out scaling (Fig 12)")
+        "video", parents=[cache_opts], help="video fan-out scaling (Fig 12); use -j for "
+                      "worker processes")
     video.add_argument("--workers", type=_worker_list,
-                       default=[1, 5, 10, 20, 40, 80])
+                       default=[1, 5, 10, 20, 40, 80],
+                       help="fan-out widths to sweep (paper x-axis)")
     video.set_defaults(func=cmd_video)
 
     cost = commands.add_parser(
-        "cost", help="monthly video cost projection (Fig 15)")
-    cost.add_argument("--workers", type=int, default=20)
+        "cost", parents=[cache_opts], help="monthly video cost projection (Fig 15); use -j for "
+                     "worker processes")
+    cost.add_argument("--workers", type=int, default=20,
+                      help="fan-out width of the measured deployment")
     cost.add_argument("--runs-per-month", type=int, default=30)
     cost.add_argument("--measured-runs", type=int, default=4)
     cost.set_defaults(func=cmd_cost)
@@ -237,8 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
     takeaways.add_argument("--iterations", type=int, default=8)
     takeaways.set_defaults(func=cmd_takeaways)
 
+    cache = commands.add_parser(
+        "cache", parents=[cache_opts], help="inspect or clear the campaign result cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached campaign")
+    cache.set_defaults(func=cmd_cache)
+
     paper = commands.add_parser(
-        "paper", help="condensed run of the main experiments")
+        "paper", parents=[cache_opts], help="condensed run of the main experiments")
     paper.set_defaults(func=cmd_paper)
     return parser
 

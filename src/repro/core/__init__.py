@@ -34,6 +34,13 @@ from repro.core.arrivals import (
     UniformArrivals,
 )
 from repro.core.costs import CostReport, cost_report
+from repro.core.parallel import (
+    CampaignOutcome,
+    CampaignSpec,
+    ParallelRunner,
+    execute_spec,
+)
+from repro.core.cache import ResultCache
 from repro.core.workflow import (
     Workflow,
     map_over,
@@ -45,7 +52,12 @@ from repro.core.workflow import (
 __all__ = [
     "ArrivalProcess",
     "BurstyArrivals",
+    "CampaignOutcome",
     "CampaignResult",
+    "CampaignSpec",
+    "ParallelRunner",
+    "ResultCache",
+    "execute_spec",
     "DiurnalArrivals",
     "LoadGenerator",
     "PoissonArrivals",

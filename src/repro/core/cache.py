@@ -1,0 +1,131 @@
+"""Content-addressed on-disk cache for completed campaign results.
+
+Every campaign is a deterministic function of its
+:class:`~repro.core.parallel.CampaignSpec` and of the calibration
+constants compiled into the package, so a completed campaign never needs
+re-simulating: the CLI and the figure benchmarks key results by
+``(spec hash, calibration hash, package version)`` and reuse them across
+invocations.
+
+Cache location, in precedence order:
+
+1. an explicit ``root`` argument,
+2. the ``REPRO_CACHE_DIR`` environment variable,
+3. ``~/.cache/repro/campaigns``.
+
+Invalidation is automatic — editing a calibration default, bumping the
+package version, or changing any spec field changes the key — but the
+cache can always be dropped wholesale with :meth:`ResultCache.clear` or
+``rm -rf`` on the directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro import __version__
+from repro.core.parallel import CampaignOutcome, CampaignSpec
+from repro.core.persistence import (
+    campaign_from_dict,
+    campaign_to_dict,
+    cost_report_from_dict,
+    cost_report_to_dict,
+)
+
+FORMAT_VERSION = 1
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root this process would use (env override honoured)."""
+    override = os.environ.get(ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "campaigns"
+
+
+def cache_key(spec: CampaignSpec) -> str:
+    """``sha256(spec hash, calibration hash, package version)``."""
+    blob = json.dumps({
+        "spec": spec.spec_hash(),
+        "calibration": spec.calibration_hash(),
+        "version": __version__,
+    }, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Stores one JSON document per completed campaign spec."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, spec: CampaignSpec) -> Path:
+        return self.root / f"{cache_key(spec)}.json"
+
+    def get(self, spec: CampaignSpec) -> Optional[CampaignOutcome]:
+        """The cached outcome for ``spec``, or ``None`` on a miss.
+
+        Unreadable or structurally stale documents count as misses —
+        the caller will recompute and overwrite them.
+        """
+        path = self.path_for(spec)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            if document.get("format_version") != FORMAT_VERSION:
+                return None
+            return CampaignOutcome(
+                spec=spec,
+                campaign=campaign_from_dict(document["campaign"]),
+                cost=cost_report_from_dict(document["cost"]),
+                idle_transactions=document.get("idle_transactions", 0),
+                cached=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, spec: CampaignSpec, outcome: CampaignOutcome) -> Path:
+        """Persist ``outcome`` under ``spec``'s key; returns the path.
+
+        Note that exotic per-run values (anything JSON cannot carry) are
+        stored as their ``repr`` — latencies, delays, breakdowns and
+        cost meters round-trip exactly.
+        """
+        path = self.path_for(spec)
+        document: Dict[str, Any] = {
+            "format_version": FORMAT_VERSION,
+            "kind": "campaign-cache",
+            "package_version": __version__,
+            "spec": spec.canonical(),
+            "campaign": campaign_to_dict(outcome.campaign),
+            "cost": cost_report_to_dict(outcome.cost),
+            "idle_transactions": outcome.idle_transactions,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(".tmp")
+        temporary.write_text(json.dumps(document, default=repr))
+        temporary.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached document; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

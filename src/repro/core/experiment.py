@@ -18,6 +18,7 @@ from repro.core.metrics import (
     LatencyBreakdown,
     LatencyStats,
     breakdown_from_spans,
+    percentile,
     summarize,
 )
 
@@ -46,7 +47,6 @@ class CampaignResult:
         """Component-wise median of the per-run breakdowns."""
         if not self.breakdowns:
             raise ValueError("no breakdowns recorded")
-        from repro.core.metrics import percentile
         return LatencyBreakdown(
             queue_time=percentile(
                 [b.queue_time for b in self.breakdowns], 50),
@@ -59,7 +59,6 @@ class CampaignResult:
         """Breakdown of the run nearest the 99ile latency (Fig 8)."""
         if not self.breakdowns:
             raise ValueError("no breakdowns recorded")
-        from repro.core.metrics import percentile
         target = percentile(self.latencies, 99)
         index = min(range(len(self.runs)),
                     key=lambda i: abs(self.runs[i].latency - target))
@@ -91,19 +90,31 @@ class ExperimentRunner:
 
         for index in range(warmup + iterations):
             window_start = testbed.now
+            span_cursor = len(telemetry.spans)
             run = testbed.run(deployment.invoke(**kwargs))
             testbed.advance(self.settle_time_s)
             if index >= warmup:
                 result.runs.append(run)
                 result.breakdowns.append(breakdown_from_spans(
-                    telemetry, since=window_start, until=testbed.now))
+                    telemetry, since=window_start, until=testbed.now,
+                    start_hint=span_cursor))
             testbed.advance(self.think_time_s)
         return result
 
     def run_parallel_batch(self, deployment: Deployment, batch: int,
                            invoke_kwargs: Optional[Dict[str, Any]] = None
                            ) -> List[RunResult]:
-        """``batch`` concurrent invocations (fan-out stress)."""
+        """``batch`` concurrent invocations (fan-out stress).
+
+        Unlike :meth:`run_campaign`, this returns raw per-run results
+        with *no* per-run breakdowns: the batch's invocations interleave
+        on the testbed, so their telemetry spans overlap and a per-run
+        queue/execution window is not well-defined.  Aggregate the whole
+        batch with :func:`repro.core.metrics.breakdown_from_spans` over
+        the full batch window instead.  The testbed is settled for
+        ``settle_time_s`` after the batch, as after every campaign run,
+        so async billing/polling is drained before meters are read.
+        """
         deployment.deploy()
         testbed = deployment.testbed
         kwargs = invoke_kwargs or {}
@@ -115,8 +126,10 @@ class ExperimentRunner:
             yield env.all_of(processes)
             return [process.value for process in processes]
 
-        return testbed.env.run(
+        runs = testbed.env.run(
             until=testbed.env.process(launcher(testbed.env)))
+        testbed.advance(self.settle_time_s)
+        return runs
 
 
 def _drive(generator: Generator):

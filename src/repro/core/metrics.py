@@ -92,18 +92,31 @@ class LatencyBreakdown:
         return self.queue_time / self.total if self.total else 0.0
 
 
-def breakdown_from_spans(telemetry, since: float,
-                         until: float) -> LatencyBreakdown:
+def breakdown_from_spans(telemetry, since: float, until: float,
+                         start_hint: int = 0) -> LatencyBreakdown:
     """Aggregate a window of spans into a queue/execution breakdown.
 
     * queue time — scheduling waits and queue-trigger polling,
     * execution time — billable handler execution (incl. replay),
     * cold start — container/instance provisioning.
+
+    ``start_hint`` is an optimization for long campaigns: spans are
+    opened in nondecreasing start order, so a caller that noted
+    ``len(telemetry.spans)`` at the window start can pass it to skip the
+    history before the window instead of rescanning every span ever
+    collected.  The hint is safe by construction — it is walked back over
+    any trailing spans that still start inside the window, and the
+    time-window filters below apply unchanged — so the result is
+    identical to a full scan.
     """
     queue_time = 0.0
     execution_time = 0.0
     cold_time = 0.0
-    for span in telemetry.spans:
+    spans = telemetry.spans
+    index = min(start_hint, len(spans))
+    while index > 0 and spans[index - 1].start >= since:
+        index -= 1
+    for span in spans[index:]:
         if not span.closed or span.start < since or span.start >= until:
             continue
         if span.kind in ("queue_wait", "scheduling"):

@@ -1,0 +1,346 @@
+"""Parallel campaign execution: fan independent campaigns across cores.
+
+The paper's protocol is "over one hundred iterations of each
+implementation" across six variants — hours of serial simulation, yet
+every campaign is an independent, deterministic discrete-event run given
+``(deployment, workload, calibration, seed)``.  This module makes that
+independence explicit:
+
+* :class:`CampaignSpec` — a frozen, picklable description of one
+  campaign (variant, workload, scale, calibration overrides, seed,
+  iteration counts, campaign type).
+* :func:`execute_spec` — a pure worker function: builds a fresh
+  :class:`Testbed` from the spec and replays it.  Running a spec in the
+  parent process, a worker process, or from a cache file yields
+  bit-identical results.
+* :class:`ParallelRunner` — schedules a list of specs across a
+  ``ProcessPoolExecutor`` (optionally consulting a
+  :class:`repro.core.cache.ResultCache`) and streams the outcomes back
+  in spec order, drop-in equivalent to driving the serial
+  :class:`ExperimentRunner` yourself.
+
+Example
+-------
+>>> from repro.core.parallel import CampaignSpec
+>>> spec = CampaignSpec(deployment="AWS-Lambda", scale="small",
+...                     iterations=5, seed=29)
+>>> spec.campaign
+'latency'
+>>> len(spec.spec_hash())
+64
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.costs import CostReport, cost_report
+from repro.core.deployments import (
+    build_ml_inference_deployments,
+    build_ml_training_deployments,
+    build_video_deployments,
+)
+from repro.core.experiment import (
+    CampaignResult,
+    ColdStartCampaign,
+    ExperimentRunner,
+)
+from repro.core.testbed import Testbed
+from repro.platforms.calibration import (
+    default_aws_calibration,
+    default_azure_calibration,
+)
+
+WORKLOADS = ("ml-training", "ml-inference", "video")
+CAMPAIGN_TYPES = ("latency", "coldstart", "fanout")
+
+
+def _frozen_items(value: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Dicts/pair-lists become sorted key/value tuples so specs stay
+    hashable and hash independently of insertion order."""
+    pairs = value.items() if isinstance(value, dict) else value
+    return tuple(sorted((tuple(pair) for pair in pairs),
+                        key=lambda pair: pair[0]))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to replay one campaign in any process.
+
+    ``calibration_overrides`` and ``invoke_kwargs`` accept plain dicts
+    for convenience; they are normalized to sorted tuples so the spec
+    stays hashable and picklable.  Override keys use the
+    ``"aws.field"`` / ``"azure.field"`` convention of
+    :class:`repro.core.sweep.GridSweep`.
+    """
+
+    deployment: str
+    workload: str = "ml-training"
+    scale: str = "small"              # ML dataset scale
+    fanout: int = 20                  # video workload worker count
+    seed: int = 0                     # testbed RNG seed
+    workload_seed: int = 0            # dataset/model generation seed
+    campaign: str = "latency"
+    iterations: int = 10              # latency: measured runs
+    warmup: int = 1                   # latency: unmeasured lead-in runs
+    think_time_s: float = 30.0
+    settle_time_s: float = 5.0
+    interval_s: float = 3600.0        # coldstart: request spacing
+    days: float = 4.0                 # coldstart: campaign length
+    batch: int = 0                    # fanout: concurrent invocations
+    idle_window_s: float = 0.0        # post-campaign idle metering window
+    calibration_overrides: Tuple[Tuple[str, Any], ...] = ()
+    invoke_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"workload must be one of {WORKLOADS}")
+        if self.campaign not in CAMPAIGN_TYPES:
+            raise ValueError(f"campaign must be one of {CAMPAIGN_TYPES}")
+        if self.campaign == "latency" and self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        object.__setattr__(self, "calibration_overrides",
+                           _frozen_items(self.calibration_overrides))
+        object.__setattr__(self, "invoke_kwargs",
+                           _frozen_items(self.invoke_kwargs))
+        for name, _ in self.calibration_overrides:
+            platform, _, parameter = str(name).partition(".")
+            if platform not in ("aws", "azure") or not parameter:
+                raise ValueError(
+                    f"override keys look like 'aws.field' or "
+                    f"'azure.field', got {name!r}")
+
+    # -- identity ---------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """A stable, JSON-ready dict of every field (for hashing)."""
+        payload = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, tuple):
+                value = [list(item) for item in value]
+            payload[spec_field.name] = value
+        return payload
+
+    def spec_hash(self) -> str:
+        """Content hash of the spec itself (not the calibration)."""
+        blob = json.dumps(self.canonical(), sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def calibration_hash(self) -> str:
+        """Content hash of the *effective* calibrations (defaults plus
+        this spec's overrides), so editing a default constant in
+        :mod:`repro.platforms.calibration` invalidates cached results."""
+        aws, azure = self.calibrations()
+        blob = repr((asdict(aws), asdict(azure)))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- materialization -------------------------------------------------------
+
+    def calibrations(self):
+        """Fresh default calibrations with this spec's overrides applied."""
+        aws = default_aws_calibration()
+        azure = default_azure_calibration()
+        for name, value in self.calibration_overrides:
+            platform, _, parameter = str(name).partition(".")
+            target = aws if platform == "aws" else azure
+            if not hasattr(target, parameter):
+                raise AttributeError(
+                    f"{type(target).__name__} has no field {parameter!r}")
+            setattr(target, parameter, value)
+        return aws, azure
+
+    def build_deployment(self, testbed: Testbed):
+        """Build this spec's deployment variant on ``testbed``."""
+        if self.workload == "ml-training":
+            variants = build_ml_training_deployments(
+                testbed, self.scale, seed=self.workload_seed)
+        elif self.workload == "ml-inference":
+            variants = build_ml_inference_deployments(
+                testbed, self.scale, seed=self.workload_seed)
+        else:
+            variants = build_video_deployments(
+                testbed, n_workers=self.fanout, seed=self.workload_seed)
+        if self.deployment not in variants:
+            raise KeyError(
+                f"workload {self.workload!r} has no variant "
+                f"{self.deployment!r}; choose from {sorted(variants)}")
+        return variants[self.deployment]
+
+
+@dataclass
+class CampaignOutcome:
+    """One executed spec: the campaign, its cost report and idle meter."""
+
+    spec: CampaignSpec
+    campaign: CampaignResult
+    cost: CostReport
+    #: transactions metered during ``spec.idle_window_s`` of idle time
+    idle_transactions: int = 0
+    #: True when this outcome was served from a result cache
+    cached: bool = field(default=False, compare=False)
+
+
+def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
+    """Run one campaign spec on a fresh testbed (the pure worker).
+
+    Deterministic: the testbed, its RNG streams and the workload are all
+    derived from the spec alone, so the same spec produces bit-identical
+    results in any process.  To guarantee that, the process-global run-id
+    counter (:attr:`Deployment._run_ids`) is reset here — run ids name
+    blob keys and run values, and must not depend on how many campaigns
+    this process happened to run earlier.  Consequently a spec must not
+    execute concurrently with a hand-driven campaign *on the same
+    testbed* in the same process (worker processes are unaffected).
+    """
+    import itertools
+
+    from repro.core.deployments.base import Deployment
+    Deployment._run_ids = itertools.count(1)
+
+    aws, azure = spec.calibrations()
+    testbed = Testbed(seed=spec.seed, aws_calibration=aws,
+                      azure_calibration=azure)
+    deployment = spec.build_deployment(testbed)
+    kwargs = dict(spec.invoke_kwargs) or None
+
+    if spec.campaign == "latency":
+        runner = ExperimentRunner(think_time_s=spec.think_time_s,
+                                  settle_time_s=spec.settle_time_s)
+        campaign = runner.run_campaign(deployment, spec.iterations,
+                                       warmup=spec.warmup,
+                                       invoke_kwargs=kwargs)
+        per_runs = spec.warmup + spec.iterations
+    elif spec.campaign == "coldstart":
+        protocol = ColdStartCampaign(interval_s=spec.interval_s,
+                                     days=spec.days)
+        campaign = protocol.run(deployment)
+        per_runs = protocol.request_count
+    else:  # fanout
+        runner = ExperimentRunner(think_time_s=spec.think_time_s,
+                                  settle_time_s=spec.settle_time_s)
+        batch = spec.batch or spec.fanout
+        runs = runner.run_parallel_batch(deployment, batch,
+                                         invoke_kwargs=kwargs)
+        campaign = CampaignResult(deployment=deployment.name, runs=runs)
+        per_runs = batch
+
+    cost = cost_report(deployment, per_runs=per_runs)
+    idle_transactions = 0
+    if spec.idle_window_s > 0:
+        before = len(deployment.stack.meter)
+        testbed.advance(spec.idle_window_s)
+        idle_transactions = len(deployment.stack.meter) - before
+    return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
+                           idle_transactions=idle_transactions)
+
+
+def _prewarm_workloads(specs: Iterable[CampaignSpec]) -> None:
+    """Memoize the real-compute workload artifacts in this process.
+
+    Worker processes are forked where the platform allows it, so paying
+    for dataset generation and model training once here means every
+    worker inherits the memo instead of re-training per process.
+    """
+    from repro.core.deployments.ml import ml_workload
+    from repro.core.deployments.video import video_workload
+
+    for spec in specs:
+        if spec.workload in ("ml-training", "ml-inference"):
+            ml_workload(spec.scale, spec.workload_seed)
+        else:
+            video_workload(spec.fanout, spec.workload_seed)
+
+
+class ParallelRunner:
+    """Drives a batch of campaign specs, in parallel when it helps.
+
+    Results come back as :class:`CampaignOutcome` objects in spec order
+    and are bit-identical to running each spec serially through
+    :class:`ExperimentRunner` (asserted by
+    ``tests/core/test_parallel.py``).  With a ``cache``, completed specs
+    are reused across invocations instead of re-simulated.
+
+    ``workers`` defaults to the machine's CPU count; ``workers <= 1``
+    runs everything serially in-process (no executor overhead).  If the
+    process pool cannot be used (sandboxed interpreter, unpicklable
+    override values), the runner falls back to the serial path rather
+    than failing the campaign.
+    """
+
+    def __init__(self, workers: Optional[int] = None, cache: Any = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.cache = cache
+
+    def run(self, specs: Sequence[CampaignSpec]) -> List[CampaignOutcome]:
+        specs = list(specs)
+        outcomes: List[Optional[CampaignOutcome]] = [None] * len(specs)
+
+        misses: List[int] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                hit.cached = True
+                outcomes[index] = hit
+            else:
+                misses.append(index)
+
+        if misses:
+            computed = self._execute([specs[i] for i in misses])
+            for index, outcome in zip(misses, computed):
+                outcomes[index] = outcome
+                if self.cache is not None:
+                    self.cache.put(outcome.spec, outcome)
+        return outcomes  # type: ignore[return-value]
+
+    def run_campaigns(self,
+                      specs: Sequence[CampaignSpec]) -> List[CampaignResult]:
+        """Like :meth:`run` but returns just the campaign results."""
+        return [outcome.campaign for outcome in self.run(specs)]
+
+    # -- internals --------------------------------------------------------------
+
+    def _execute(self,
+                 specs: Sequence[CampaignSpec]) -> List[CampaignOutcome]:
+        if self.workers <= 1 or len(specs) <= 1:
+            return [execute_spec(spec) for spec in specs]
+        try:
+            return self._execute_pool(specs)
+        except (BrokenExecutor, OSError, ValueError, TypeError,
+                AttributeError, ImportError, pickle.PicklingError):
+            # Process pools are a perf optimization, never a correctness
+            # requirement: degrade to the serial path.
+            return [execute_spec(spec) for spec in specs]
+
+    def _execute_pool(self,
+                      specs: Sequence[CampaignSpec]) -> List[CampaignOutcome]:
+        _prewarm_workloads(specs)
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        max_workers = min(self.workers, len(specs))
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=context) as pool:
+            futures = [pool.submit(execute_spec, spec) for spec in specs]
+            return [future.result() for future in futures]
+
+
+def ml_training_specs(variants: Sequence[str], scale: str, iterations: int,
+                      seed: int = 0, warmup: int = 1,
+                      **spec_kwargs: Any) -> List[CampaignSpec]:
+    """Latency-campaign specs for a list of ML-training variants."""
+    return [CampaignSpec(deployment=name, workload="ml-training",
+                         scale=scale, iterations=iterations, seed=seed,
+                         warmup=warmup, **spec_kwargs)
+            for name in variants]

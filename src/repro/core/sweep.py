@@ -19,6 +19,9 @@ Example
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -27,6 +30,54 @@ from repro.platforms.calibration import (
     default_aws_calibration,
     default_azure_calibration,
 )
+
+
+def _evaluate_point(overrides: Dict[str, Any], seed: int,
+                    measure: Callable[[Testbed], Any]) -> Any:
+    """Worker: one grid point on a fresh testbed (module-level so it
+    pickles into worker processes).
+
+    ``overrides`` keys are ``"aws.field"`` / ``"azure.field"`` names; a
+    bare field name is applied to the platform given by the sweep (see
+    the callers, which prefix it).
+    """
+    aws = default_aws_calibration()
+    azure = default_azure_calibration()
+    for name, value in overrides.items():
+        platform, _, parameter = name.partition(".")
+        target = aws if platform == "aws" else azure
+        setattr(target, parameter, value)
+    testbed = Testbed(seed=seed, aws_calibration=aws,
+                      azure_calibration=azure)
+    return measure(testbed)
+
+
+def _run_points(prefixed: List[Dict[str, Any]], seed: int,
+                measure: Callable[[Testbed], Any],
+                workers: int) -> List[Any]:
+    """Evaluate prefixed override dicts, fanning out when asked.
+
+    ``workers <= 1`` evaluates in-process.  A pool failure (sandboxed
+    interpreter, unpicklable ``measure`` closure) falls back to the
+    serial path — parallelism is an optimization, never a requirement.
+    """
+    if workers > 1 and len(prefixed) > 1:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(prefixed)),
+                    mp_context=context) as pool:
+                futures = [pool.submit(_evaluate_point, overrides, seed,
+                                       measure)
+                           for overrides in prefixed]
+                return [future.result() for future in futures]
+        except (BrokenExecutor, OSError, ValueError, TypeError,
+                AttributeError, ImportError, pickle.PicklingError):
+            pass
+    return [_evaluate_point(overrides, seed, measure)
+            for overrides in prefixed]
 
 
 @dataclass
@@ -60,24 +111,24 @@ class CalibrationSweep:
         return [SweepPoint(overrides={self.parameter: value})
                 for value in self.values]
 
-    def run(self, measure: Callable[[Testbed], Any]) -> List[SweepPoint]:
+    def run(self, measure: Callable[[Testbed], Any],
+            workers: int = 1) -> List[SweepPoint]:
         """Evaluate ``measure`` on a fresh testbed per grid point.
 
         ``measure`` receives a testbed whose calibration carries the
-        point's override and returns the metric to record.
+        point's override and returns the metric to record.  With
+        ``workers > 1`` the grid points fan out across worker processes
+        when ``measure`` is picklable (a module-level function), falling
+        back to the serial path otherwise.
         """
-        results = []
-        for point in self.points():
-            aws = default_aws_calibration()
-            azure = default_azure_calibration()
-            target = aws if self.platform == "aws" else azure
-            for key, value in point.overrides.items():
-                setattr(target, key, value)
-            testbed = Testbed(seed=self.seed, aws_calibration=aws,
-                              azure_calibration=azure)
-            point.value = measure(testbed)
-            results.append(point)
-        return results
+        points = self.points()
+        prefixed = [{f"{self.platform}.{name}": value
+                     for name, value in point.overrides.items()}
+                    for point in points]
+        values = _run_points(prefixed, self.seed, measure, workers)
+        for point, value in zip(points, values):
+            point.value = value
+        return points
 
 
 class GridSweep:
@@ -111,20 +162,14 @@ class GridSweep:
         return [SweepPoint(overrides=dict(zip(names, combo)))
                 for combo in combinations]
 
-    def run(self, measure: Callable[[Testbed], Any]) -> List[SweepPoint]:
-        results = []
-        for point in self.points():
-            aws = default_aws_calibration()
-            azure = default_azure_calibration()
-            for name, value in point.overrides.items():
-                platform, _, parameter = name.partition(".")
-                target = aws if platform == "aws" else azure
-                setattr(target, parameter, value)
-            testbed = Testbed(seed=self.seed, aws_calibration=aws,
-                              azure_calibration=azure)
-            point.value = measure(testbed)
-            results.append(point)
-        return results
+    def run(self, measure: Callable[[Testbed], Any],
+            workers: int = 1) -> List[SweepPoint]:
+        points = self.points()
+        values = _run_points([point.overrides for point in points],
+                             self.seed, measure, workers)
+        for point, value in zip(points, values):
+            point.value = value
+        return points
 
 
 def tabulate(points: List[SweepPoint],
