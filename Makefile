@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast bench bench-kernel examples takeaways paper clean
+.PHONY: install test test-fast test-faults bench bench-kernel examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,10 @@ test:
 # (the `dev` extra) is not installed.
 test-fast:
 	pytest tests/ -q -n auto || pytest tests/ -q
+
+# Fault-injection and reliability tests only.
+test-faults:
+	pytest tests/ -q -m faults
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

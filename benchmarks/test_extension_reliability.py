@@ -1,0 +1,69 @@
+"""Extension — reliability campaigns through the cached campaign engine.
+
+Sweeps the container-crash probability through ``campaign="reliability"``
+specs on both platforms, exercising the same
+:class:`~repro.core.ParallelRunner` + on-disk cache path the figure
+benchmarks use: the first run simulates, every later ``make bench``
+replays the cached chaos bill bit-identically.
+
+The qualitative claim matches the paper's framing: both retry models
+absorb a 20 % crash rate (success rate stays high), but the absorption
+is billed — cost amplification and tail inflation grow with the crash
+probability.
+"""
+
+from conftest import _bench_runner, once
+
+from repro.core import CampaignSpec, FaultPlan
+from repro.core.report import render_table
+
+CRASH_RATES = [0.0, 0.1, 0.2]
+VARIANTS = ["AWS-Step", "Az-Dorch"]
+ITERATIONS = 5
+
+
+def _specs():
+    specs = []
+    for rate in CRASH_RATES:
+        plan = FaultPlan(crash_probability=rate, retry_max_attempts=4,
+                         retry_interval_s=1.0)
+        for variant in VARIANTS:
+            specs.append(CampaignSpec(
+                deployment=variant, workload="ml-training", scale="small",
+                campaign="reliability", iterations=ITERATIONS, warmup=1,
+                seed=53, fault_plan=plan.to_items()))
+    return specs
+
+
+def test_extension_reliability_price_sweep(benchmark):
+    specs = _specs()
+
+    def run_all():
+        outcomes = _bench_runner().run(specs)
+        return {(spec.deployment, spec.fault_plan_obj().crash_probability
+                 if spec.fault_plan_obj() else 0.0): outcome.reliability
+                for spec, outcome in zip(specs, outcomes)}
+
+    reports = once(benchmark, run_all)
+    print()
+    print(render_table(
+        ["variant", "crash p", "success", "retries", "wasted GB-s",
+         "cost amp", "tail infl"],
+        [[variant, f"{rate:.0%}", f"{summary.success_rate:.0%}",
+          summary.retries, f"{summary.wasted_gb_s:.2f}",
+          f"{summary.cost_amplification:.3f}",
+          f"{summary.tail_inflation:.3f}"]
+         for (variant, rate), summary in sorted(reports.items())],
+        title=f"Extension: price of reliability, ml-training small, "
+              f"{ITERATIONS} iterations per cell"))
+
+    for variant in VARIANTS:
+        clean = reports[(variant, 0.0)]
+        chaotic = reports[(variant, CRASH_RATES[-1])]
+        # Fault-free reliability runs are their own baseline.
+        assert clean.cost_amplification == 1.0
+        assert clean.failures == 0
+        # Chaos was injected and absorbed at a price.
+        assert chaotic.injected_crashes > 0
+        assert chaotic.wasted_gb_s > 0
+        assert chaotic.cost_amplification > 1.0

@@ -11,6 +11,7 @@ times the execution duration rounded up to 100 ms.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
@@ -49,11 +50,13 @@ class LambdaService:
     def __init__(self, env: Environment, telemetry: Telemetry,
                  billing: BillingMeter, streams: RandomStreams,
                  calibration: Optional[AWSCalibration] = None,
-                 services: Optional[Dict[str, Any]] = None):
+                 services: Optional[Dict[str, Any]] = None,
+                 faults: Optional[Any] = None):
         self.env = env
         self.telemetry = telemetry
         self.billing = billing
         self.streams = streams
+        self.faults = faults
         self.calibration = calibration or AWSCalibration()
         self.services = dict(services or {})
         self._functions: Dict[str, FunctionSpec] = {}
@@ -75,6 +78,10 @@ class LambdaService:
             raise ValueError(
                 f"timeout {spec.timeout_s}s exceeds the Lambda limit of "
                 f"{self.calibration.time_limit_s}s")
+        if (self.faults is not None and self.faults.plan.handler_faults
+                and self.faults.plan.applies_to(spec.name)):
+            spec = dataclasses.replace(
+                spec, handler=self.faults.wrap(spec.handler, spec.name))
         self._functions[spec.name] = spec
         self._warm.setdefault(spec.name, [])
         return spec
@@ -228,6 +235,22 @@ class LambdaService:
         if container.expires_at != float("inf"):
             container.expires_at = (self.env.now
                                     + self.calibration.keep_alive_s)
+
+    def simulate_host_crash(self) -> int:
+        """Kill every idle warm container (busy ones finish their run).
+
+        Provisioned-concurrency environments are restored by the service,
+        so they survive.  Returns how many containers were dropped; the
+        next invocations pay cold starts again.
+        """
+        dropped = 0
+        for name, containers in self._warm.items():
+            keep = [container for container in containers
+                    if container.busy
+                    or container.expires_at == float("inf")]
+            dropped += len(containers) - len(keep)
+            self._warm[name] = keep
+        return dropped
 
     def _prune(self, name: str) -> None:
         now = self.env.now

@@ -115,11 +115,13 @@ class StepFunctionsService:
     _execution_ids = itertools.count(1)
 
     def __init__(self, env: Environment, lambdas: LambdaService,
-                 telemetry: Telemetry, meter: TransactionMeter):
+                 telemetry: Telemetry, meter: TransactionMeter,
+                 faults: Optional[Any] = None):
         self.env = env
         self.lambdas = lambdas
         self.telemetry = telemetry
         self.meter = meter
+        self.faults = faults
         self.calibration = lambdas.calibration
         self._machines: Dict[str, StateMachineDefinition] = {}
         self._machine_types: Dict[str, str] = {}
@@ -462,6 +464,16 @@ class StepFunctionsService:
                           body) -> Generator:
         retriers = getattr(state, "retry", [])
         catchers = getattr(state, "catch", [])
+        if (not retriers and self.faults is not None
+                and self.faults.plan.retry_max_attempts > 1):
+            # The fault plan synthesizes a default States.ALL retrier for
+            # states that configured none, so reliability campaigns
+            # measure what absorbing the chaos costs.
+            plan = self.faults.plan
+            retriers = [{"errors": [STATES_ALL],
+                         "max_attempts": plan.retry_max_attempts - 1,
+                         "interval": plan.retry_interval_s,
+                         "backoff": plan.retry_backoff}]
         attempts: Dict[int, int] = {}
         while True:
             try:
@@ -476,6 +488,8 @@ class StepFunctionsService:
                         attempts[retrier_index] = used + 1
                         delay = (retrier["interval"]
                                  * retrier["backoff"] ** used)
+                        if self.faults is not None:
+                            self.faults.platform_retries += 1
                         # A retry re-enters the state: another transition.
                         yield self.env.timeout(delay)
                         yield from self._transition(

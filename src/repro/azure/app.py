@@ -18,6 +18,7 @@ provisioning path (Fig 13's ~10 s orchestrator starts under load).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
@@ -80,13 +81,15 @@ class FunctionAppService:
                  billing: BillingMeter, streams: RandomStreams,
                  calibration: Optional[AzureCalibration] = None,
                  services: Optional[Dict[str, Any]] = None,
-                 app_name: str = "app", plan: str = CONSUMPTION):
+                 app_name: str = "app", plan: str = CONSUMPTION,
+                 faults: Optional[Any] = None):
         if plan not in (self.CONSUMPTION, self.PREMIUM):
             raise ValueError(f"unknown hosting plan: {plan!r}")
         self.env = env
         self.telemetry = telemetry
         self.billing = billing
         self.streams = streams
+        self.faults = faults
         self.calibration = calibration or AzureCalibration()
         self.services = dict(services or {})
         self.app_name = app_name
@@ -121,6 +124,15 @@ class FunctionAppService:
             raise ValueError(
                 f"timeout {spec.timeout_s}s exceeds the plan limit of "
                 f"{self.calibration.time_limit_s}s")
+        if (self.faults is not None and self.faults.plan.handler_faults
+                and self.faults.plan.applies_to(spec.name)
+                and not spec.name.startswith("orchestrator::")):
+            # Orchestrator episode handlers are excluded: episodes are
+            # deterministic replays driven by unmonitored background
+            # pumps — the real chaos surface is activities/entities, and
+            # a crash there exercises exactly the recovery machinery.
+            spec = dataclasses.replace(
+                spec, handler=self.faults.wrap(spec.handler, spec.name))
         self._functions[spec.name] = spec
         return spec
 
@@ -279,6 +291,18 @@ class FunctionAppService:
         instance.in_use -= 1
         instance.last_active = self.env.now
         self._dispatch()
+
+    def simulate_host_crash(self) -> int:
+        """Kill every idle instance (busy slots survive to finish).
+
+        Returns how many instances were dropped; the scale controller
+        will re-provision on demand, re-paying cold starts.
+        """
+        keep = [instance for instance in self.instances
+                if instance.in_use > 0]
+        dropped = len(self.instances) - len(keep)
+        self.instances = keep
+        return dropped
 
     def start_provision(self, provision_time: Distribution, rng) -> None:
         """Kick off provisioning of one instance (counted immediately).

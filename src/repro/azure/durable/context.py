@@ -64,6 +64,10 @@ class RetryOptions:
     first_retry_interval_s: float = 5.0
     max_number_of_attempts: int = 3
     backoff_coefficient: float = 2.0
+    #: exponential backoff is capped at this delay (None = uncapped)
+    max_retry_interval_s: Optional[float] = None
+    #: give up retrying once this much time has passed (None = no limit)
+    retry_timeout_s: Optional[float] = None
 
     def __post_init__(self):
         if self.first_retry_interval_s <= 0:
@@ -72,11 +76,21 @@ class RetryOptions:
             raise ValueError("max_number_of_attempts must be at least 1")
         if self.backoff_coefficient < 1.0:
             raise ValueError("backoff_coefficient must be >= 1")
+        if self.max_retry_interval_s is not None:
+            if self.max_retry_interval_s < self.first_retry_interval_s:
+                raise ValueError(
+                    "max_retry_interval_s must be >= first_retry_interval_s")
+        if self.retry_timeout_s is not None and self.retry_timeout_s <= 0:
+            raise ValueError("retry_timeout_s must be positive")
 
     def delay_before_attempt(self, attempt: int) -> float:
-        """Backoff delay before retry ``attempt`` (1-based)."""
-        return (self.first_retry_interval_s
-                * self.backoff_coefficient ** (attempt - 1))
+        """Backoff delay before retry ``attempt`` (1-based), capped at
+        ``max_retry_interval_s`` when set."""
+        delay = (self.first_retry_interval_s
+                 * self.backoff_coefficient ** (attempt - 1))
+        if self.max_retry_interval_s is not None:
+            delay = min(delay, self.max_retry_interval_s)
+        return delay
 
 
 @dataclass

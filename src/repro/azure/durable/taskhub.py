@@ -37,6 +37,7 @@ from repro.azure.durable.context import (
     Action,
     OrchestrationContext,
     OrchestratorSpec,
+    RetryOptions,
     run_orchestrator_turn,
 )
 from repro.azure.durable.entities import (
@@ -162,12 +163,13 @@ class TaskHub:
 
     def __init__(self, env: Environment, app: FunctionAppService,
                  telemetry: Telemetry, meter: TransactionMeter,
-                 account: str = "taskhub"):
+                 account: str = "taskhub", faults: Optional[Any] = None):
         self.env = env
         self.app = app
         self.telemetry = telemetry
         self.meter = meter
         self.account = account
+        self.faults = faults
         self.calibration = app.calibration
         streams = app.streams
         rng = streams.get(f"azure.taskhub.{account}")
@@ -177,7 +179,7 @@ class TaskHub:
             env=env, meter=meter, rng=rng, account=account,
             min_poll_interval=self.calibration.min_poll_interval_s,
             max_poll_interval=self.calibration.max_poll_interval_s,
-            visibility_timeout=600.0)
+            visibility_timeout=600.0, faults=faults)
         self.control_queues = [
             CloudQueue(name=f"{account}-control-{index:02d}", **queue_kwargs)
             for index in range(partition_count)]
@@ -193,6 +195,11 @@ class TaskHub:
         self.instances: Dict[str, OrchestrationInstance] = {}
         self._entity_inboxes: Dict[str, List[EntityOpMsg]] = {}
         self._entity_busy: Set[str] = set()
+        # Completion keys already applied to history; consulted only when
+        # queue duplication faults are active (the framework's effectively-
+        # once guarantee on top of at-least-once queues).  Survives host
+        # crashes — the real framework derives it from the history table.
+        self._seen_completions: Set[Tuple[str, int, str]] = set()
         self._started = False
         # Per-hub counter: instance ids (and hence control-queue partition
         # assignment) must not depend on other hubs in the process.
@@ -331,6 +338,17 @@ class TaskHub:
             return
         if isinstance(message, (StartMsg, CompletionMsg, RaiseEventMsg)):
             instance = self.get_instance(message.instance_id)
+            if (isinstance(message, CompletionMsg) and self.faults is not None
+                    and self.faults.plan.queue_duplication_probability > 0):
+                # Applying the same completion twice would corrupt the
+                # replay indexing, so the framework dedupes against the
+                # history before appending.  Only needed (and only active)
+                # under at-least-once duplication faults: continue-as-new
+                # legitimately reuses sequence numbers after truncation.
+                key = (message.instance_id, message.seq, message.kind)
+                if key in self._seen_completions:
+                    return
+                self._seen_completions.add(key)
             instance.inbox.append(message)
             if not instance.episode_active and not instance.is_finished:
                 instance.episode_active = True
@@ -516,6 +534,9 @@ class TaskHub:
         """
         yield from self.history_table.delete_partition(instance.instance_id)
         instance.history.clear()
+        self._seen_completions = {
+            key for key in self._seen_completions
+            if key[0] != instance.instance_id}
         instance.input = new_input
         queue = self.control_queue_for(instance.instance_id)
         yield from queue.enqueue(StartMsg(instance_id=instance.instance_id))
@@ -554,8 +575,24 @@ class TaskHub:
         """Execute one activity (with optional framework-managed retries)
         and report completion to the control queue."""
         limit = self.calibration.durable_payload_limit_bytes
-        max_attempts = (message.retry.max_number_of_attempts
-                        if message.retry is not None else 1)
+        retry = message.retry
+        if (retry is None and self.faults is not None
+                and self.faults.plan.retry_max_attempts > 1):
+            # The fault plan synthesizes a default retry policy for
+            # activities that configured none, so reliability campaigns
+            # measure what absorbing the chaos costs.
+            plan = self.faults.plan
+            retry = RetryOptions(
+                first_retry_interval_s=plan.retry_interval_s,
+                max_number_of_attempts=plan.retry_max_attempts,
+                backoff_coefficient=plan.retry_backoff)
+        max_attempts = (retry.max_number_of_attempts
+                        if retry is not None else 1)
+        started_at = self.env.now
+        retry_deadline = (started_at + retry.retry_timeout_s
+                          if retry is not None
+                          and retry.retry_timeout_s is not None
+                          else None)
         ok = True
         value: Any = None
         for attempt in range(1, max_attempts + 1):
@@ -572,8 +609,13 @@ class TaskHub:
                 value = f"{type(error).__name__}: {error}"
             if ok or attempt == max_attempts:
                 break
-            yield self.env.timeout(
-                message.retry.delay_before_attempt(attempt))
+            delay = retry.delay_before_attempt(attempt)
+            if (retry_deadline is not None
+                    and self.env.now + delay >= retry_deadline):
+                break
+            if self.faults is not None:
+                self.faults.platform_retries += 1
+            yield self.env.timeout(delay)
         queue = self.control_queue_for(message.instance_id)
         yield from queue.enqueue(CompletionMsg(
             instance_id=message.instance_id, seq=message.seq, kind=ACTIVITY,
@@ -687,12 +729,13 @@ class TaskHub:
                 instance.error = event.error
         return instance
 
-    def simulate_host_crash(self) -> None:
+    def simulate_host_crash(self) -> List[str]:
         """Drop every in-memory orchestration structure (not the storage).
 
         Queues and tables survive a host crash; the hub's caches do not.
-        Follow with :meth:`recover_instance` per live instance, after
-        which pending completion messages resume the orchestrations.
+        Follow with :meth:`recover_instance` per live instance (the
+        affected ids are returned), after which pending completion
+        messages resume the orchestrations.
         """
         for instance in self.instances.values():
             instance.history = []
@@ -700,6 +743,7 @@ class TaskHub:
             instance.episode_active = False
         self._entity_inboxes.clear()
         self._entity_busy.clear()
+        return list(self.instances)
 
     def _signal_from_entity(self, entity_id: EntityId, operation: str,
                             input_value: Any = None) -> Generator:
@@ -831,40 +875,18 @@ class DurableClient:
         return None
 
     def recover_instance(self, instance_id: str) -> Generator:
-        """Rebuild an instance's in-memory state from the history table.
+        """Rebuild an instance from the history table (event sourcing).
 
-        This is event sourcing's recovery path: a host crash loses every
-        in-memory structure, but the persisted history is the
-        authoritative record — replaying it reconstructs exactly where
-        the orchestration stood.
+        Delegates to :meth:`TaskHub.recover_instance` — the hub owns the
+        history table and the instance records.
         """
-        instance = self.get_instance(instance_id)
-        events = yield from self.history_table.read_partition(instance_id)
-        instance.history = list(events)
-        instance.episode_active = False
-        # Reconstruct terminal status from the log.
-        for event in events:
-            if isinstance(event, h.ExecutionCompleted):
-                instance.status = OrchestrationStatus.COMPLETED
-                instance.output = event.output
-            elif isinstance(event, h.ExecutionFailedEvent):
-                instance.status = OrchestrationStatus.FAILED
-                instance.error = event.error
+        instance = yield from self.taskhub.recover_instance(instance_id)
         return instance
 
-    def simulate_host_crash(self) -> None:
-        """Drop every in-memory orchestration structure (not the storage).
-
-        Queues and tables survive a host crash; the hub's caches do not.
-        Follow with :meth:`recover_instance` per live instance, after
-        which pending completion messages resume the orchestrations.
-        """
-        for instance in self.instances.values():
-            instance.history = []
-            instance.inbox.clear()
-            instance.episode_active = False
-        self._entity_inboxes.clear()
-        self._entity_busy.clear()
+    def simulate_host_crash(self) -> List[str]:
+        """Drop the hub's in-memory state; see
+        :meth:`TaskHub.simulate_host_crash`."""
+        return self.taskhub.simulate_host_crash()
 
     def read_entity_state(self, entity_id: EntityId) -> Generator:
         """Read entity state directly from the entity table."""
@@ -879,13 +901,14 @@ class DurableFunctionsRuntime:
                  billing, meter: TransactionMeter, streams,
                  calibration=None, services: Optional[Dict[str, Any]] = None,
                  app_name: str = "durable-app",
-                 plan: str = FunctionAppService.CONSUMPTION):
+                 plan: str = FunctionAppService.CONSUMPTION,
+                 faults: Optional[Any] = None):
         self.env = env
         self.app = FunctionAppService(
             env, telemetry, billing, streams, calibration=calibration,
-            services=services, app_name=app_name, plan=plan)
+            services=services, app_name=app_name, plan=plan, faults=faults)
         self.taskhub = TaskHub(env, self.app, telemetry, meter,
-                               account=f"{app_name}-hub")
+                               account=f"{app_name}-hub", faults=faults)
         self.client = DurableClient(self.taskhub)
 
     def register_activity(self, spec: FunctionSpec) -> FunctionSpec:

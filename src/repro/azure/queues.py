@@ -59,7 +59,8 @@ class QueueChain:
             CloudQueue(self.env, meter, rng, name=f"{name}-q{index}",
                        account=f"{name}-storage",
                        max_message_size=app.calibration
-                       .queue_payload_limit_bytes)
+                       .queue_payload_limit_bytes,
+                       faults=getattr(app, "faults", None))
             for index in range(len(stages))]
         self._rng = rng
 
@@ -90,7 +91,10 @@ class QueueChain:
                 stage, SpanKind.QUEUE_WAIT, parent=workflow_span,
                 platform="azure", implementation="az-queue")
             yield self.env.timeout(poll_delay)
-            message = yield from queue.poll()
+            # receive() keeps polling past delivery-delay faults; without
+            # faults its first poll succeeds immediately, identical to a
+            # single poll() call.
+            message = yield from queue.receive()
             if message is None:
                 raise RuntimeError(
                     f"queue chain {self.name!r} lost its own message")

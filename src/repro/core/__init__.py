@@ -41,6 +41,8 @@ from repro.core.parallel import (
     execute_spec,
 )
 from repro.core.cache import ResultCache
+from repro.core.reliability import ReliabilitySummary, execute_reliability_spec
+from repro.platforms.faults import FaultInjector, FaultPlan
 from repro.core.workflow import (
     Workflow,
     map_over,
@@ -66,6 +68,10 @@ __all__ = [
     "CostReport",
     "Deployment",
     "ExperimentRunner",
+    "FaultInjector",
+    "FaultPlan",
+    "ReliabilitySummary",
+    "execute_reliability_spec",
     "LatencyBreakdown",
     "LatencyStats",
     "RunResult",

@@ -34,6 +34,8 @@ from repro.core.persistence import (
     campaign_to_dict,
     cost_report_from_dict,
     cost_report_to_dict,
+    reliability_from_dict,
+    reliability_to_dict,
 )
 
 FORMAT_VERSION = 1
@@ -81,11 +83,14 @@ class ResultCache:
         try:
             if document.get("format_version") != FORMAT_VERSION:
                 return None
+            reliability = document.get("reliability")
             return CampaignOutcome(
                 spec=spec,
                 campaign=campaign_from_dict(document["campaign"]),
                 cost=cost_report_from_dict(document["cost"]),
                 idle_transactions=document.get("idle_transactions", 0),
+                reliability=(reliability_from_dict(reliability)
+                             if reliability else None),
                 cached=True)
         except (KeyError, TypeError, ValueError):
             return None
@@ -106,6 +111,8 @@ class ResultCache:
             "campaign": campaign_to_dict(outcome.campaign),
             "cost": cost_report_to_dict(outcome.cost),
             "idle_transactions": outcome.idle_transactions,
+            "reliability": (reliability_to_dict(outcome.reliability)
+                            if outcome.reliability is not None else None),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         temporary = path.with_suffix(".tmp")

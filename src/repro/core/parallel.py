@@ -57,9 +57,10 @@ from repro.platforms.calibration import (
     default_aws_calibration,
     default_azure_calibration,
 )
+from repro.platforms.faults import FaultPlan
 
 WORKLOADS = ("ml-training", "ml-inference", "video")
-CAMPAIGN_TYPES = ("latency", "coldstart", "fanout")
+CAMPAIGN_TYPES = ("latency", "coldstart", "fanout", "reliability")
 
 
 def _frozen_items(value: Any) -> Tuple[Tuple[str, Any], ...]:
@@ -98,18 +99,27 @@ class CampaignSpec:
     idle_window_s: float = 0.0        # post-campaign idle metering window
     calibration_overrides: Tuple[Tuple[str, Any], ...] = ()
     invoke_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: sorted ``FaultPlan.to_items()`` pairs; empty = fault-free
+    fault_plan: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
             raise ValueError(f"workload must be one of {WORKLOADS}")
         if self.campaign not in CAMPAIGN_TYPES:
             raise ValueError(f"campaign must be one of {CAMPAIGN_TYPES}")
-        if self.campaign == "latency" and self.iterations <= 0:
+        if self.campaign in ("latency", "reliability") and self.iterations <= 0:
             raise ValueError("iterations must be positive")
         object.__setattr__(self, "calibration_overrides",
                            _frozen_items(self.calibration_overrides))
         object.__setattr__(self, "invoke_kwargs",
                            _frozen_items(self.invoke_kwargs))
+        if self.fault_plan:
+            normalized = tuple(sorted(
+                (str(name), tuple(value)
+                 if isinstance(value, (list, tuple)) else value)
+                for name, value in self.fault_plan))
+            object.__setattr__(self, "fault_plan", normalized)
+            FaultPlan.from_items(normalized)   # validate eagerly
         for name, _ in self.calibration_overrides:
             platform, _, parameter = str(name).partition(".")
             if platform not in ("aws", "azure") or not parameter:
@@ -143,6 +153,12 @@ class CampaignSpec:
         return hashlib.sha256(blob.encode()).hexdigest()
 
     # -- materialization -------------------------------------------------------
+
+    def fault_plan_obj(self) -> Optional[FaultPlan]:
+        """The spec's :class:`FaultPlan`, or ``None`` when fault-free."""
+        if not self.fault_plan:
+            return None
+        return FaultPlan.from_items(self.fault_plan)
 
     def calibrations(self):
         """Fresh default calibrations with this spec's overrides applied."""
@@ -184,6 +200,8 @@ class CampaignOutcome:
     cost: CostReport
     #: transactions metered during ``spec.idle_window_s`` of idle time
     idle_transactions: int = 0
+    #: reliability campaigns attach their summary report here
+    reliability: Optional[Any] = None
     #: True when this outcome was served from a result cache
     cached: bool = field(default=False, compare=False)
 
@@ -205,9 +223,14 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
     from repro.core.deployments.base import Deployment
     Deployment._run_ids = itertools.count(1)
 
+    if spec.campaign == "reliability":
+        from repro.core.reliability import execute_reliability_spec
+        return execute_reliability_spec(spec)
+
     aws, azure = spec.calibrations()
     testbed = Testbed(seed=spec.seed, aws_calibration=aws,
-                      azure_calibration=azure)
+                      azure_calibration=azure,
+                      fault_plan=spec.fault_plan_obj())
     deployment = spec.build_deployment(testbed)
     kwargs = dict(spec.invoke_kwargs) or None
 

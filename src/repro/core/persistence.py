@@ -16,6 +16,7 @@ from repro.core.costs import CostReport
 from repro.core.deployments.base import RunResult
 from repro.core.experiment import CampaignResult
 from repro.core.metrics import LatencyBreakdown
+from repro.core.reliability import ReliabilitySummary
 
 FORMAT_VERSION = 1
 
@@ -55,6 +56,22 @@ def cost_report_from_dict(data: Dict[str, Any]) -> CostReport:
     fields = {key: value for key, value in data.items()
               if key not in ("format_version", "kind")}
     return CostReport(**fields)
+
+
+def reliability_to_dict(summary: ReliabilitySummary) -> Dict[str, Any]:
+    """A JSON-ready representation of a reliability summary."""
+    payload = asdict(summary)
+    payload.update({"format_version": FORMAT_VERSION,
+                    "kind": "reliability"})
+    return payload
+
+
+def reliability_from_dict(data: Dict[str, Any]) -> ReliabilitySummary:
+    """Inverse of :func:`reliability_to_dict`."""
+    _check(data, "reliability")
+    fields = {key: value for key, value in data.items()
+              if key not in ("format_version", "kind")}
+    return ReliabilitySummary(**fields)
 
 
 def _check(data: Dict[str, Any], kind: str) -> None:

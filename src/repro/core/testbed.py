@@ -19,6 +19,7 @@ from repro.azure import (
     FunctionAppService,
 )
 from repro.platforms.billing import BillingMeter
+from repro.platforms.faults import FaultInjector, FaultPlan
 from repro.platforms.calibration import (
     AWSCalibration,
     AzureCalibration,
@@ -54,12 +55,21 @@ class Testbed:
 
     def __init__(self, seed: int = 0,
                  aws_calibration: Optional[AWSCalibration] = None,
-                 azure_calibration: Optional[AzureCalibration] = None):
+                 azure_calibration: Optional[AzureCalibration] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.env = Environment()
         self.streams = RandomStreams(seed=seed)
         self.aws_calibration = aws_calibration or default_aws_calibration()
         self.azure_calibration = (azure_calibration
                                   or default_azure_calibration())
+        # The injector must exist before the services so they can thread
+        # it through to handlers and queues at registration time.  With
+        # no (enabled) plan it stays None and every platform behaves
+        # bit-identically to a fault-free testbed.
+        self.faults: Optional[FaultInjector] = None
+        if fault_plan is not None and fault_plan.enabled:
+            self.faults = FaultInjector(plan=fault_plan,
+                                        streams=self.streams)
 
         clock = lambda: self.env.now  # noqa: E731 - tiny clock closure
 
@@ -74,9 +84,10 @@ class Testbed:
         self.lambdas = LambdaService(
             self.env, aws_telemetry, aws_billing, self.streams,
             calibration=self.aws_calibration,
-            services={"blob": aws_blob})
+            services={"blob": aws_blob}, faults=self.faults)
         self.stepfunctions = StepFunctionsService(
-            self.env, self.lambdas, aws_telemetry, aws_meter)
+            self.env, self.lambdas, aws_telemetry, aws_meter,
+            faults=self.faults)
         self.aws_prices = AWSPriceModel(self.aws_calibration)
 
         # -- Azure stack ---------------------------------------------------------
@@ -91,8 +102,36 @@ class Testbed:
         self.durable = DurableFunctionsRuntime(
             self.env, azure_telemetry, azure_billing, azure_meter,
             self.streams, calibration=self.azure_calibration,
-            services={"blob": azure_blob})
+            services={"blob": azure_blob}, faults=self.faults)
         self.azure_prices = AzurePriceModel(self.azure_calibration)
+
+        if self.faults is not None and self.faults.plan.host_crash_times:
+            self.env.process(self._host_crash_schedule())
+
+    def _host_crash_schedule(self) -> Generator:
+        """Crash every host at each scheduled time, then recover Azure.
+
+        Runs as an unmonitored background process, so it must never
+        raise: recovery failures are swallowed (the affected instance
+        simply stays un-recovered, which is itself a fault outcome).
+        """
+        faults = self.faults
+        for crash_time in faults.plan.host_crash_times:
+            delay = crash_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            crashed_at = self.env.now
+            faults.host_crashes += 1
+            self.lambdas.simulate_host_crash()
+            self.app.simulate_host_crash()
+            hub = self.durable.taskhub
+            pending = list(hub.simulate_host_crash())
+            for instance_id in pending:
+                try:
+                    yield from hub.recover_instance(instance_id)
+                except Exception:
+                    pass
+            faults.host_recovery_times.append(self.env.now - crashed_at)
 
     @property
     def app(self) -> FunctionAppService:

@@ -1,30 +1,184 @@
-"""Fault injection: crash-prone handlers for reliability testing.
+"""Fault injection: deterministic chaos for reliability campaigns.
 
 Serverless platforms run on preemptible infrastructure; containers die
-mid-execution.  The durable programming model's whole value proposition
-is surviving that.  This module wraps handlers with configurable failure
-behaviour so tests and benchmarks can exercise the recovery paths:
-framework retries, orchestration-level error handling, and event-sourced
-resume.
+mid-execution, messages arrive late or twice, whole hosts disappear.
+The durable programming model's value proposition is surviving that, and
+the paper's recovery mechanisms (Step Functions Retry/Catch, Durable
+Functions event sourcing) exist precisely for these scenarios.
+
+This module provides two layers:
+
+* :class:`FaultPlan` — a declarative, frozen description of which faults
+  to inject: transient handler exceptions, container crashes at a drawn
+  *fraction* of the invocation's runtime, invocation stragglers (latency
+  multipliers), queue message delay/duplication (at-least-once delivery),
+  and scheduled host crashes.  Plans round-trip through sorted key/value
+  items so they can ride inside a hashable
+  :class:`~repro.core.parallel.CampaignSpec`.
+* :class:`FaultInjector` — the runtime: wraps handlers, draws every fault
+  decision from named :class:`~repro.sim.rng.RandomStreams` streams
+  (``faults.fn.<name>``, ``faults.queue.<name>``) so faulted campaigns
+  are bit-identical given ``(seed, plan)``, and accounts what the chaos
+  cost (crashes, retries, wasted GB-s billed to doomed attempts).
+
+The zero-argument back-compat constructor
+``FaultInjector(crash_probability=p)`` keeps the original single-knob
+API used by tests and benchmarks: crash decisions then draw from the
+invocation's own ``ctx.rng``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.kernel import Timeout
 
 
 class ContainerCrash(RuntimeError):
     """The execution environment died mid-run."""
 
 
+class TransientFault(RuntimeError):
+    """A one-off handler exception (the platform would retry this)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of every fault mode to inject.
+
+    All probabilities are per-invocation (or per-message for the queue
+    modes) and drawn from deterministic per-target RNG streams.  A plan
+    with every probability at zero and no host crashes is *disabled* —
+    the platforms behave bit-identically to a fault-free run.
+
+    The ``retry_*`` fields do not inject faults; they synthesize a
+    default retry policy on workflow states/activities that configured
+    none, so reliability campaigns measure the *price* of absorbing the
+    chaos rather than just failing fast.  ``retry_max_attempts`` counts
+    total attempts (1 disables synthesis).
+    """
+
+    #: probability a wrapped handler crashes mid-run
+    crash_probability: float = 0.0
+    #: the crash point is drawn uniformly in this fraction of the
+    #: invocation's (last observed) runtime
+    crash_fraction_min: float = 0.0
+    crash_fraction_max: float = 1.0
+    #: probability a wrapped handler raises before doing any work
+    error_probability: float = 0.0
+    #: probability an invocation runs ``straggler_factor`` times slower
+    straggler_probability: float = 0.0
+    straggler_factor: float = 4.0
+    #: probability an enqueued message is delayed by ``queue_delay_s``
+    queue_delay_probability: float = 0.0
+    queue_delay_s: float = 5.0
+    #: probability an enqueued message is delivered twice
+    queue_duplication_probability: float = 0.0
+    #: synthesized default retry policy (total attempts; <2 disables)
+    retry_max_attempts: int = 0
+    retry_interval_s: float = 2.0
+    retry_backoff: float = 2.0
+    #: absolute simulated times at which the host crashes
+    host_crash_times: Tuple[float, ...] = ()
+    #: function names the handler faults apply to (empty = all)
+    targets: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "host_crash_times",
+                           tuple(sorted(float(t)
+                                        for t in self.host_crash_times)))
+        object.__setattr__(self, "targets", tuple(self.targets))
+        for name in ("crash_probability", "error_probability",
+                     "straggler_probability", "queue_delay_probability",
+                     "queue_duplication_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        if not (0.0 <= self.crash_fraction_min
+                <= self.crash_fraction_max <= 1.0):
+            raise ValueError(
+                "crash fractions must satisfy 0 <= min <= max <= 1")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.queue_delay_s < 0:
+            raise ValueError("queue_delay_s must be non-negative")
+        if self.retry_max_attempts < 0:
+            raise ValueError("retry_max_attempts must be non-negative")
+        if self.retry_interval_s <= 0:
+            raise ValueError("retry_interval_s must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if any(t < 0 for t in self.host_crash_times):
+            raise ValueError("host_crash_times must be non-negative")
+
+    # -- activation --------------------------------------------------------------
+
+    @property
+    def handler_faults(self) -> bool:
+        """Any per-invocation fault mode active?"""
+        return (self.crash_probability > 0 or self.error_probability > 0
+                or self.straggler_probability > 0)
+
+    @property
+    def queue_faults(self) -> bool:
+        """Any per-message fault mode active?"""
+        return (self.queue_delay_probability > 0
+                or self.queue_duplication_probability > 0)
+
+    @property
+    def enabled(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return (self.handler_faults or self.queue_faults
+                or bool(self.host_crash_times))
+
+    def applies_to(self, name: str) -> bool:
+        """Do the handler faults target function ``name``?"""
+        return not self.targets or name in self.targets
+
+    # -- spec round-trip -----------------------------------------------------------
+
+    def to_items(self) -> Tuple[Tuple[str, Any], ...]:
+        """Non-default fields as sorted key/value pairs (spec-friendly)."""
+        items: List[Tuple[str, Any]] = []
+        for plan_field in fields(self):
+            value = getattr(self, plan_field.name)
+            default = plan_field.default
+            if default is not None and value == default:
+                continue
+            if plan_field.name in ("host_crash_times", "targets") and not value:
+                continue
+            items.append((plan_field.name, value))
+        return tuple(sorted(items))
+
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[str, Any]]) -> "FaultPlan":
+        """Build a plan from key/value pairs, rejecting unknown fields."""
+        known = {plan_field.name for plan_field in fields(cls)}
+        payload: Dict[str, Any] = {}
+        for name, value in items:
+            if name not in known:
+                raise ValueError(
+                    f"unknown FaultPlan field {name!r}; "
+                    f"choose from {sorted(known)}")
+            if isinstance(value, (list, tuple)):
+                value = tuple(value)
+            payload[str(name)] = value
+        return cls(**payload)
+
+
 @dataclass
 class FaultInjector:
-    """Wraps handlers so they crash with probability ``crash_probability``.
+    """Runtime fault injection plus chaos accounting.
 
-    A crashed invocation consumes its execution time (time spent before a
-    container dies is spent — and on most platforms billed) but produces
-    no result; the caller sees :class:`ContainerCrash`.
+    ``FaultInjector(crash_probability=p)`` is the original single-knob
+    API (crash decisions drawn from ``ctx.rng``); passing ``plan`` and
+    ``streams`` activates the full :class:`FaultPlan` with deterministic
+    per-target streams.
+
+    A crashed invocation spends (and the platform bills) the partial
+    execution time up to the drawn crash point, but produces no result;
+    the caller sees :class:`ContainerCrash`.
 
     >>> injector = FaultInjector(crash_probability=0.0)
     >>> injector.crashes
@@ -34,34 +188,159 @@ class FaultInjector:
     crash_probability: float = 0.1
     #: stream name used to draw crash decisions (stable across runs)
     stream: str = "faults"
-    crashes: int = field(default=0, init=False)
+    plan: Optional[FaultPlan] = None
+    streams: Any = None
     invocations: int = field(default=0, init=False)
+    crashes: int = field(default=0, init=False)
+    transient_errors: int = field(default=0, init=False)
+    stragglers: int = field(default=0, init=False)
+    delayed_messages: int = field(default=0, init=False)
+    duplicated_messages: int = field(default=0, init=False)
+    host_crashes: int = field(default=0, init=False)
+    #: retries the platforms performed while this injector was attached
+    platform_retries: int = field(default=0, init=False)
+    #: compute spent on invocations that then crashed
+    wasted_compute_s: float = field(default=0.0, init=False)
+    wasted_gb_s: float = field(default=0.0, init=False)
+    host_recovery_times: List[float] = field(default_factory=list, init=False)
 
     def __post_init__(self):
-        if not 0.0 <= self.crash_probability <= 1.0:
-            raise ValueError("crash_probability must lie in [0, 1]")
+        if self.plan is None:
+            if not 0.0 <= self.crash_probability <= 1.0:
+                raise ValueError("crash_probability must lie in [0, 1]")
+            self.plan = FaultPlan(crash_probability=self.crash_probability)
+        else:
+            self.crash_probability = self.plan.crash_probability
+        #: last observed successful runtime per wrapped function, used to
+        #: place crash points as a fraction of a *known* duration
+        self._runtimes: Dict[str, float] = {}
+
+    # -- runtime knowledge --------------------------------------------------------
+
+    def record_runtime(self, name: str, seconds: float) -> None:
+        """Remember how long ``name`` runs (crash points scale off this)."""
+        if seconds > 0:
+            self._runtimes[name] = seconds
+
+    def _rng_for(self, ctx, name: str):
+        if self.streams is not None:
+            return self.streams.get(f"faults.fn.{name}")
+        return ctx.rng
+
+    # -- handler wrapping ---------------------------------------------------------
 
     def wrap(self, handler: Callable[..., Generator],
              name: Optional[str] = None) -> Callable[..., Generator]:
-        """Return a crash-prone version of ``handler``."""
+        """Return a fault-prone version of ``handler``."""
         injector = self
+        plan = self.plan
+        label = name or getattr(handler, "__name__", "handler")
 
         def faulty(ctx, event) -> Generator:
             injector.invocations += 1
-            rng = ctx.rng
-            if rng.random() < injector.crash_probability:
+            rng = injector._rng_for(ctx, label)
+            if (plan.error_probability > 0
+                    and rng.random() < plan.error_probability):
+                injector.transient_errors += 1
+                raise TransientFault(f"transient fault in {label}")
+            crash_fraction = None
+            if (plan.crash_probability > 0
+                    and rng.random() < plan.crash_probability):
                 injector.crashes += 1
-                # The time is spent (and billed); the result is lost.
+                span = plan.crash_fraction_max - plan.crash_fraction_min
+                crash_fraction = (plan.crash_fraction_min
+                                  + rng.random() * span)
+            if (plan.straggler_probability > 0
+                    and rng.random() < plan.straggler_probability):
+                injector.stragglers += 1
+                ctx.cpu_factor *= plan.straggler_factor
+            if crash_fraction is None:
+                started = ctx.env.now
                 result = yield from handler(ctx, event)
-                del result
-                raise ContainerCrash(
-                    "container crashed during "
-                    f"{name or getattr(handler, '__name__', 'handler')}")
-            result = yield from handler(ctx, event)
-            return result
+                injector.record_runtime(label, ctx.env.now - started)
+                return result
+            yield from injector._crash_at_fraction(
+                ctx, handler, event, label, crash_fraction)
 
-        faulty.__name__ = f"faulty_{name or getattr(handler, '__name__', 'h')}"
+        faulty.__name__ = f"faulty_{label}"
         return faulty
+
+    def _crash_at_fraction(self, ctx, handler, event, label: str,
+                           fraction: float) -> Generator:
+        """Drive ``handler`` until ``fraction`` of its expected runtime,
+        then die.
+
+        The crash point is ``fraction`` × the function's last observed
+        runtime; until one is known the handler runs to completion and
+        the result is discarded (the whole duration is the crash point).
+        Time spent before the crash is spent — and billed — like on a
+        real platform.
+        """
+        env = ctx.env
+        started = env.now
+        known = self._runtimes.get(label)
+        deadline = (started + fraction * known if known is not None
+                    else float("inf"))
+        gen = handler(ctx, event)
+        try:
+            item = next(gen)
+            while True:
+                if isinstance(item, Timeout) and \
+                        env.now + item.delay >= deadline:
+                    # The handler would sleep past the crash point:
+                    # sleep only up to it.  The abandoned timeout pops
+                    # harmlessly (no callbacks were registered on it).
+                    remaining = deadline - env.now
+                    if remaining > 0:
+                        yield env.timeout(remaining)
+                    break
+                try:
+                    outcome = yield item
+                except BaseException as interrupt:
+                    # Platform-level interrupts (execution timeouts) are
+                    # forwarded; if the handler does not absorb them they
+                    # propagate and the platform accounts the failure.
+                    item = gen.throw(interrupt)
+                    continue
+                if env.now >= deadline:
+                    break
+                item = gen.send(outcome)
+        except StopIteration:
+            # Completed before the crash point fired: the container still
+            # dies and the result is lost.
+            self.record_runtime(label, env.now - started)
+        finally:
+            gen.close()
+        elapsed = env.now - started
+        self.wasted_compute_s += elapsed
+        self.wasted_gb_s += elapsed * ctx.spec.billing_memory_mb / 1024.0
+        raise ContainerCrash(f"container crashed during {label}")
+
+    # -- queue faults --------------------------------------------------------------
+
+    def draw_queue_faults(self, queue_name: str) -> Tuple[float, bool]:
+        """``(delay_s, duplicate)`` for one enqueued message.
+
+        Returns ``(0.0, False)`` unless queue faults are active and the
+        injector has deterministic streams to draw from.
+        """
+        plan = self.plan
+        if self.streams is None or not plan.queue_faults:
+            return 0.0, False
+        rng = self.streams.get(f"faults.queue.{queue_name}")
+        delay = 0.0
+        duplicate = False
+        if (plan.queue_delay_probability > 0
+                and rng.random() < plan.queue_delay_probability):
+            delay = plan.queue_delay_s
+            self.delayed_messages += 1
+        if (plan.queue_duplication_probability > 0
+                and rng.random() < plan.queue_duplication_probability):
+            duplicate = True
+            self.duplicated_messages += 1
+        return delay, duplicate
+
+    # -- observability -------------------------------------------------------------
 
     @property
     def observed_crash_rate(self) -> float:

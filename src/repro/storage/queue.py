@@ -61,12 +61,14 @@ class CloudQueue:
                  max_message_size: int = 256 * KB,
                  visibility_timeout: float = 30.0,
                  min_poll_interval: float = 0.05,
-                 max_poll_interval: float = 30.0):
+                 max_poll_interval: float = 30.0,
+                 faults: Optional[Any] = None):
         self.env = env
         self.meter = meter
         self.rng = rng
         self.name = name
         self.account = account
+        self.faults = faults
         self.latency = latency or default_queue_latency()
         self.max_message_size = max_message_size
         self.visibility_timeout = visibility_timeout
@@ -95,6 +97,18 @@ class CloudQueue:
             message_id=next(self._ids), payload=payload,
             enqueued_at=self.env.now)
         self._messages.append(message)
+        if self.faults is not None:
+            # At-least-once delivery faults: the message may surface late
+            # and/or twice.  The duplicate is the broker's doing, not a
+            # client call, so it is not metered as a second enqueue.
+            delay, duplicate = self.faults.draw_queue_faults(self.name)
+            if delay > 0:
+                message.visible_at = self.env.now + delay
+            if duplicate:
+                self._messages.append(QueueMessage(
+                    message_id=next(self._ids), payload=payload,
+                    enqueued_at=self.env.now,
+                    visible_at=message.visible_at))
         self.meter.record("queue", self.account, "enqueue", size=payload.size)
         # Cut short the backoff sleep of any waiting receiver: an active
         # consumer dispatches in sub-second time (the paper measures

@@ -1,0 +1,235 @@
+"""ASL error-handling semantics: Retry policies, Catch fallbacks, timeouts.
+
+These are the recovery mechanisms a reliability campaign leans on, so
+their billing and timing semantics are pinned down here: every retry
+re-enters the state (a billable transition), retry delays follow
+``IntervalSeconds × BackoffRate^attempt``, and ``TimeoutSeconds`` races
+the task and surfaces as ``States.Timeout``.
+"""
+
+import pytest
+
+from repro.aws import StepFunctionsService
+from repro.platforms.base import FunctionSpec
+from repro.platforms.faults import FaultInjector, FaultPlan
+from repro.sim import Constant
+
+pytestmark = pytest.mark.faults
+
+
+def register(lambdas, name, handler, **kwargs):
+    lambdas.register(FunctionSpec(name=name, handler=handler, **kwargs))
+
+
+def pin_latencies(calibration):
+    """Zero every stochastic overhead so delay assertions are exact."""
+    calibration.cold_start = Constant(0.0)
+    calibration.warm_start = Constant(0.0)
+    calibration.execution_jitter = Constant(1.0)
+    calibration.transition_latency = Constant(0.0)
+    calibration.step_cold_overhead = Constant(0.0)
+
+
+def make_flaky(failures_before_success):
+    attempts = []
+
+    def flaky(ctx, event):
+        yield from ctx.busy(0.1)
+        attempts.append(ctx.env.now - 0.1)     # when this attempt started
+        if len(attempts) <= failures_before_success:
+            raise RuntimeError("transient")
+        return "recovered"
+
+    return flaky, attempts
+
+
+def always_failing(ctx, event):
+    yield from ctx.busy(0.1)
+    raise RuntimeError("permanent")
+
+
+# -- MaxAttempts exhaustion --------------------------------------------------------
+
+def test_max_attempts_exhaustion_fails_with_task_error(lambdas, stepfunctions,
+                                                       run):
+    flaky, attempts = make_flaky(failures_before_success=99)
+    register(lambdas, "flaky", flaky)
+    stepfunctions.create_state_machine("exhausted", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "flaky",
+                  "Retry": [{"ErrorEquals": ["States.ALL"],
+                             "IntervalSeconds": 0.5, "MaxAttempts": 2}],
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("exhausted", {}))
+    assert record.status == "FAILED"
+    assert record.error == "States.TaskFailed"
+    assert len(attempts) == 3                  # initial + MaxAttempts retries
+    assert record.transitions == 3             # every retry re-enters T
+
+
+# -- BackoffRate delay sequence ----------------------------------------------------
+
+def test_backoff_rate_spaces_retry_attempts(lambdas, stepfunctions,
+                                            calibration, run):
+    pin_latencies(calibration)
+    flaky, attempts = make_flaky(failures_before_success=3)
+    register(lambdas, "flaky", flaky)
+    stepfunctions.create_state_machine("backoff", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "flaky",
+                  "Retry": [{"ErrorEquals": ["States.ALL"],
+                             "IntervalSeconds": 1.0, "MaxAttempts": 3,
+                             "BackoffRate": 2.0}],
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("backoff", {}))
+    assert record.status == "SUCCEEDED"
+    assert len(attempts) == 4
+    gaps = [b - a for a, b in zip(attempts, attempts[1:])]
+    # Delays grow as 1.0, 2.0, 4.0 (plus the constant 0.1 s execution),
+    # so consecutive gaps differ by interval × backoff^n increments.
+    assert gaps[0] >= 1.0
+    assert gaps[1] - gaps[0] == pytest.approx(1.0)
+    assert gaps[2] - gaps[1] == pytest.approx(2.0)
+
+
+# -- retries are billable transitions ----------------------------------------------
+
+def test_retries_are_metered_as_transitions(lambdas, stepfunctions, meter,
+                                            run):
+    flaky, attempts = make_flaky(failures_before_success=2)
+    register(lambdas, "flaky", flaky)
+    stepfunctions.create_state_machine("billed", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "flaky",
+                  "Retry": [{"ErrorEquals": ["States.ALL"],
+                             "IntervalSeconds": 0.1, "MaxAttempts": 3}],
+                  "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("billed", {}))
+    assert record.status == "SUCCEEDED"
+    assert len(attempts) == 3
+    # Standard workflows bill per state entry: 1 initial + 2 retries.
+    assert meter.count(service="stepfunctions", operation="transition") == 3
+
+
+# -- Catch fallback ----------------------------------------------------------------
+
+def test_catch_captures_error_info_at_result_path(lambdas, stepfunctions,
+                                                  run):
+    register(lambdas, "boom", always_failing)
+    stepfunctions.create_state_machine("caught", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "boom",
+                  "Catch": [{"ErrorEquals": ["States.TaskFailed"],
+                             "Next": "Cleanup", "ResultPath": "$.fault"}],
+                  "End": True},
+            "Cleanup": {"Type": "Pass", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("caught", {"job": 42}))
+    assert record.status == "SUCCEEDED"
+    # The original input survives; the error lands under ResultPath.
+    assert record.output["job"] == 42
+    assert record.output["fault"]["Error"] == "States.TaskFailed"
+    assert "permanent" in record.output["fault"]["Cause"]
+    assert record.states_entered == ["T", "Cleanup"]
+
+
+def test_retry_exhaustion_then_catch_fallback(lambdas, stepfunctions, run):
+    register(lambdas, "boom", always_failing)
+    stepfunctions.create_state_machine("belt-and-braces", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "boom",
+                  "Retry": [{"ErrorEquals": ["States.ALL"],
+                             "IntervalSeconds": 0.1, "MaxAttempts": 1}],
+                  "Catch": [{"ErrorEquals": ["States.ALL"],
+                             "Next": "Fallback"}],
+                  "End": True},
+            "Fallback": {"Type": "Pass", "Result": "fallback", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("belt-and-braces", {}))
+    assert record.status == "SUCCEEDED"
+    assert record.output == "fallback"
+    assert record.transitions == 3             # T, retried T, Fallback
+
+
+# -- TimeoutSeconds ----------------------------------------------------------------
+
+def test_timeout_seconds_races_slow_task(env, lambdas, stepfunctions,
+                                         calibration, run):
+    pin_latencies(calibration)
+
+    def glacial(ctx, event):
+        yield from ctx.busy(50.0)
+        return "too late"
+
+    register(lambdas, "glacial", glacial)
+    stepfunctions.create_state_machine("timed", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "glacial",
+                         "TimeoutSeconds": 5.0, "End": True}},
+    })
+    record = run(stepfunctions.start_execution("timed", {}))
+    assert record.status == "FAILED"
+    assert record.error == "States.Timeout"
+    # The timeout fired at 5 s — the execution did not wait out the task.
+    assert record.duration < 50.0
+    assert record.duration == pytest.approx(5.0, abs=1.0)
+
+
+def test_timeout_is_catchable(lambdas, stepfunctions, calibration, run):
+    pin_latencies(calibration)
+
+    def glacial(ctx, event):
+        yield from ctx.busy(50.0)
+        return "too late"
+
+    register(lambdas, "glacial", glacial)
+    stepfunctions.create_state_machine("timed-caught", {
+        "StartAt": "T",
+        "States": {
+            "T": {"Type": "Task", "Resource": "glacial",
+                  "TimeoutSeconds": 5.0,
+                  "Catch": [{"ErrorEquals": ["States.Timeout"],
+                             "Next": "Degrade"}],
+                  "End": True},
+            "Degrade": {"Type": "Pass", "Result": "degraded", "End": True},
+        },
+    })
+    record = run(stepfunctions.start_execution("timed-caught", {}))
+    assert record.status == "SUCCEEDED"
+    assert record.output == "degraded"
+
+
+# -- fault-plan synthesized retriers -----------------------------------------------
+
+def test_fault_plan_synthesizes_default_retrier(env, lambdas, telemetry,
+                                                meter, run):
+    plan = FaultPlan(retry_max_attempts=3, retry_interval_s=0.5)
+    injector = FaultInjector(plan=plan, streams=lambdas.streams)
+    stepfunctions = StepFunctionsService(env, lambdas, telemetry, meter,
+                                         faults=injector)
+    flaky, attempts = make_flaky(failures_before_success=2)
+    register(lambdas, "flaky", flaky)
+    stepfunctions.create_state_machine("synthesized", {
+        "StartAt": "T",
+        "States": {"T": {"Type": "Task", "Resource": "flaky", "End": True}},
+    })
+    record = run(stepfunctions.start_execution("synthesized", {}))
+    # No Retry block in the ASL — the plan's default policy absorbed
+    # both transient failures, and the injector accounted the retries.
+    assert record.status == "SUCCEEDED"
+    assert record.output == "recovered"
+    assert len(attempts) == 3
+    assert injector.platform_retries == 2

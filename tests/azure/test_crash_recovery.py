@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.azure import OrchestratorSpec, RetryOptions
+from repro.azure import EntityId, EntitySpec, OrchestratorSpec, RetryOptions
 from repro.azure.durable import OrchestrationFailedError
 from repro.platforms.base import FunctionSpec
 from repro.platforms.faults import ContainerCrash, FaultInjector
+
+pytestmark = pytest.mark.faults
 
 
 def step(ctx, event):
@@ -146,3 +148,102 @@ def test_recovery_resumes_in_flight_orchestration(runtime, run, env):
 def _slow(ctx, event):
     yield from ctx.busy(10.0)
     return event + 1
+
+
+# -- recovery economics (event sourcing does not re-bill) --------------------------
+
+def test_recovery_does_not_rebill_completed_activities(runtime, billing, run):
+    """Rebuilding from the history table is a storage read, not compute.
+
+    The client-level crash/recover entry points delegate to the task
+    hub, so this also covers the ``DurableClient`` recovery path.
+    """
+    runtime.register_activity(FunctionSpec(
+        name="step", handler=step, memory_mb=1536, timeout_s=60.0))
+
+    def orchestrator(context):
+        value = yield context.call_activity("step", 10)
+        value = yield context.call_activity("step", value)
+        return value
+
+    runtime.register_orchestrator(OrchestratorSpec("frugal", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("frugal")
+        output = yield from client.wait_for_completion(instance_id)
+        executions = billing.execution_count("step")
+        gb_s = billing.total_gb_s()
+
+        pending = client.simulate_host_crash()
+        assert instance_id in pending
+        recovered = yield from client.recover_instance(instance_id)
+        return output, executions, gb_s, recovered
+
+    output, executions, gb_s, recovered = run(scenario(runtime.env))
+    assert output == 12
+    assert executions == 2
+    assert recovered.status == "Completed"
+    assert recovered.output == 12
+    # Recovery re-read the log; it did not re-run (or re-bill) anything.
+    assert billing.execution_count("step") == executions
+    assert billing.total_gb_s() == pytest.approx(gb_s)
+
+
+def test_midflight_recovery_bills_each_activity_once(runtime, billing, run,
+                                                     env):
+    runtime.register_activity(FunctionSpec(
+        name="slow", handler=_slow, memory_mb=1536, timeout_s=120.0))
+
+    def orchestrator(context):
+        first = yield context.call_activity("slow", 1)
+        second = yield context.call_activity("slow", first)
+        return second
+
+    runtime.register_orchestrator(OrchestratorSpec("thrifty", orchestrator))
+
+    def scenario(env):
+        client = runtime.client
+        instance_id = yield from client.start_new("thrifty")
+        # First activity finished, second scheduled — then the host dies.
+        yield env.timeout(15.0)
+        runtime.taskhub.simulate_host_crash()
+        yield from runtime.taskhub.recover_instance(instance_id)
+        output = yield from client.wait_for_completion(instance_id)
+        return output
+
+    assert run(scenario(env)) == 3
+    # Replay fed the first result from history: two billed activity
+    # executions total, despite the crash in between.
+    assert billing.execution_count("slow") == 2
+
+
+def test_entity_state_survives_host_crash(runtime, run):
+    """Entity state lives in the storage table, not the host's memory."""
+
+    def counter_add(ctx, state, amount):
+        yield from ctx.busy(0.5)
+        new_state = (state or 0) + amount
+        return new_state, new_state
+
+    runtime.register_entity(EntitySpec(
+        name="Counter", operations={"add": counter_add},
+        initial_state=lambda: 0))
+
+    def orchestrator(context):
+        result = yield context.call_entity(
+            EntityId("Counter", "main"), "add", 5)
+        return result
+
+    runtime.register_orchestrator(OrchestratorSpec("bump", orchestrator))
+    assert run(runtime.client.run("bump")) == 5
+
+    pending = runtime.client.simulate_host_crash()
+
+    def recover(env):
+        for instance_id in pending:
+            yield from runtime.client.recover_instance(instance_id)
+
+    run(recover(runtime.env))
+    # The counter resumes from the persisted 5, not from scratch.
+    assert run(runtime.client.run("bump")) == 10

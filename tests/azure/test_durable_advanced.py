@@ -118,9 +118,49 @@ def test_retry_options_validation():
         RetryOptions(max_number_of_attempts=0)
     with pytest.raises(ValueError):
         RetryOptions(backoff_coefficient=0.5)
+    with pytest.raises(ValueError):
+        RetryOptions(first_retry_interval_s=5.0, max_retry_interval_s=1.0)
+    with pytest.raises(ValueError):
+        RetryOptions(retry_timeout_s=0.0)
     options = RetryOptions(first_retry_interval_s=2.0, backoff_coefficient=3.0)
     assert options.delay_before_attempt(1) == 2.0
     assert options.delay_before_attempt(2) == 6.0
+
+
+def test_retry_options_caps_backoff_at_max_interval():
+    options = RetryOptions(first_retry_interval_s=2.0,
+                           backoff_coefficient=3.0,
+                           max_retry_interval_s=10.0)
+    # Uncapped the sequence would be 2, 6, 18, 54 …
+    assert options.delay_before_attempt(1) == 2.0
+    assert options.delay_before_attempt(2) == 6.0
+    assert options.delay_before_attempt(3) == 10.0
+    assert options.delay_before_attempt(4) == 10.0
+
+
+def test_retry_timeout_stops_retrying(runtime, run, env):
+    attempts = []
+
+    def broken(ctx, event):
+        yield from ctx.busy(0.1)
+        attempts.append(1)
+        raise RuntimeError("permanent")
+
+    register_activity(runtime, "broken", broken)
+
+    def orchestrator(context):
+        yield context.call_activity_with_retry(
+            "broken", RetryOptions(first_retry_interval_s=10.0,
+                                   max_number_of_attempts=10,
+                                   retry_timeout_s=15.0))
+
+    runtime.register_orchestrator(OrchestratorSpec("impatient",
+                                                   orchestrator))
+    with pytest.raises(OrchestrationFailedError, match="permanent"):
+        run(runtime.client.run("impatient"))
+    # Ten attempts were allowed, but the 15 s retry budget only fits the
+    # initial attempt plus one 10 s-delayed retry.
+    assert len(attempts) == 2
 
 
 def test_call_activity_with_retry_recovers(runtime, run, env):
