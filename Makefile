@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults bench bench-kernel examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload bench bench-kernel examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,10 @@ test-fast:
 # Fault-injection and reliability tests only.
 test-faults:
 	pytest tests/ -q -m faults
+
+# Overload, throttling and backpressure tests only.
+test-overload:
+	pytest tests/ -q -m overload
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -21,6 +21,7 @@ from repro.platforms.base import (
     FunctionSpec,
     FunctionTimeout,
     InvocationResult,
+    ThrottlingError,
     round_up,
 )
 from repro.platforms.billing import BillingMeter
@@ -63,6 +64,12 @@ class LambdaService:
         self._warm: Dict[str, List[LambdaContainer]] = {}
         self._provisioned: Dict[str, int] = {}
         self._in_flight = 0
+        #: requests rejected with a 429 (concurrency or token bucket)
+        self.throttles = 0
+        # Token-bucket admission state: refilled lazily from elapsed
+        # simulated time, so it is a pure function of (calibration, now).
+        self._tokens = float(self.calibration.burst_concurrency)
+        self._tokens_at = env.now
 
     # -- registry ---------------------------------------------------------------
 
@@ -146,12 +153,8 @@ class LambdaService:
         spec = self.get_function(name)
         rng = self.streams.get(f"aws.lambda.{name}")
         calibration = self.calibration
+        self._admit()
         self.billing.charge_request(name)
-
-        if self._in_flight >= calibration.concurrency_limit:
-            raise RuntimeError(
-                f"concurrent execution limit "
-                f"({calibration.concurrency_limit}) exceeded")
         self._in_flight += 1
         try:
             invoked_at = self.env.now
@@ -196,6 +199,43 @@ class LambdaService:
                 billed_gb_s=billed * spec.memory_gb, function_name=name)
         finally:
             self._in_flight -= 1
+
+    # -- admission control ---------------------------------------------------------
+
+    def available_tokens(self) -> float:
+        """Current token-bucket level (refilled up to now)."""
+        self._refill_tokens()
+        return self._tokens
+
+    def _refill_tokens(self) -> None:
+        calibration = self.calibration
+        elapsed = self.env.now - self._tokens_at
+        if elapsed > 0:
+            self._tokens = min(
+                float(calibration.burst_concurrency),
+                self._tokens + elapsed * calibration.refill_per_s)
+        self._tokens_at = self.env.now
+
+    def _admit(self) -> None:
+        """Token-bucket + concurrency admission; throttled requests are
+        rejected with a 429 and are not billed."""
+        calibration = self.calibration
+        if self._in_flight >= calibration.concurrency_limit:
+            self.throttles += 1
+            raise ThrottlingError(
+                f"concurrent execution limit "
+                f"({calibration.concurrency_limit}) exceeded",
+                retry_after_s=calibration.throttle_retry_interval_s)
+        self._refill_tokens()
+        if self._tokens < 1.0:
+            self.throttles += 1
+            raise ThrottlingError(
+                f"request rate exceeded: token bucket empty "
+                f"(burst {calibration.burst_concurrency}, refill "
+                f"{calibration.refill_per_s}/s) — 429 TooManyRequests",
+                retry_after_s=(1.0 - self._tokens)
+                / calibration.refill_per_s)
+        self._tokens -= 1.0
 
     # -- internals -----------------------------------------------------------------
 

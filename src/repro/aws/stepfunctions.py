@@ -38,7 +38,11 @@ from repro.aws.states import (
     TaskState,
     WaitState,
 )
-from repro.platforms.base import FunctionTimeout, enforce_payload_limit
+from repro.platforms.base import (
+    FunctionTimeout,
+    ThrottlingError,
+    enforce_payload_limit,
+)
 from repro.sim.kernel import Environment
 from repro.sim.resources import Resource
 from repro.storage.meter import TransactionMeter
@@ -48,6 +52,9 @@ STATES_ALL = "States.ALL"
 STATES_TASK_FAILED = "States.TaskFailed"
 STATES_TIMEOUT = "States.Timeout"
 STATES_DATA_LIMIT = "States.DataLimitExceeded"
+#: Error name surfaced to Retry/Catch when the built-in throttle retry
+#: exhausts its attempts against a 429-ing Lambda.
+LAMBDA_TOO_MANY_REQUESTS = "Lambda.TooManyRequestsException"
 
 
 class StatesDataLimitExceeded(ValueError):
@@ -127,6 +134,8 @@ class StepFunctionsService:
         self._machine_types: Dict[str, str] = {}
         self._last_dispatch: Dict[str, float] = {}
         self.executions: List[ExecutionRecord] = []
+        #: Task-state invocations re-attempted after a Lambda 429
+        self.throttle_retries = 0
 
     # -- registry -----------------------------------------------------------------
 
@@ -387,8 +396,8 @@ class StepFunctionsService:
                         f"TimeoutSeconds of {state.timeout_seconds}")
                 result = invoke.value
             else:
-                result = yield from self.lambdas.invoke(
-                    state.resource, payload, parent_span=parent_span)
+                result = yield from self._invoke_lambda(
+                    state.resource, payload, parent_span)
         except FunctionTimeout as error:
             raise _StateError(STATES_TIMEOUT, str(error)) from error
         except _StateError:
@@ -402,9 +411,43 @@ class StepFunctionsService:
 
     def _invoke_process(self, resource: str, payload: Any,
                         parent_span) -> Generator:
-        result = yield from self.lambdas.invoke(
-            resource, payload, parent_span=parent_span)
+        result = yield from self._invoke_lambda(
+            resource, payload, parent_span)
         return result
+
+    def _invoke_lambda(self, resource: str, payload: Any,
+                       parent_span) -> Generator:
+        """Invoke a Task-state Lambda, absorbing 429s with backoff.
+
+        Throttled invocations are re-attempted with capped exponential
+        backoff plus equal jitter drawn from a named stream (so campaigns
+        replay bit-identically); once ``throttle_retry_max_attempts`` is
+        exhausted, ``Lambda.TooManyRequestsException`` travels through
+        the state's ordinary Retry/Catch machinery.  Retry delays run on
+        the simulated clock, so they count against a state-level
+        ``TimeoutSeconds`` — as they would on the real service.
+        """
+        calibration = self.calibration
+        rng = self.lambdas.streams.get(f"aws.step.throttle.{resource}")
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.lambdas.invoke(
+                    resource, payload, parent_span=parent_span)
+                return result
+            except ThrottlingError as error:
+                attempt += 1
+                if attempt >= calibration.throttle_retry_max_attempts:
+                    raise _StateError(
+                        LAMBDA_TOO_MANY_REQUESTS, str(error)) from error
+                self.throttle_retries += 1
+                ceiling = min(
+                    calibration.throttle_retry_cap_s,
+                    calibration.throttle_retry_interval_s
+                    * 2.0 ** (attempt - 1))
+                delay = max(error.retry_after_s,
+                            ceiling * float(rng.uniform(0.5, 1.0)))
+                yield self.env.timeout(delay)
 
     def _run_branches(self, state: ParallelState, payload: Any,
                       record: ExecutionRecord, parent_span,

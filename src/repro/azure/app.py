@@ -28,6 +28,8 @@ from repro.platforms.base import (
     FunctionSpec,
     FunctionTimeout,
     InvocationResult,
+    LoadShedError,
+    ThrottlingError,
     round_up,
 )
 from repro.platforms.billing import BillingMeter
@@ -98,6 +100,11 @@ class FunctionAppService:
         self.instances: List[AppInstance] = []
         self._provisioning = 0
         self._pending: List[_WorkItem] = []
+        #: requests rejected at the trigger with HTTP 429 (queue bound)
+        self.rejections = 0
+        #: accepted requests dropped because their queue wait exceeded
+        #: the shed deadline (accounted as shed, not failed)
+        self.shed = 0
         self.controller = ScaleController(self)
         self._controller_started = False
         if plan == self.PREMIUM:
@@ -173,6 +180,18 @@ class FunctionAppService:
         spec = self.get_function(name)
         rng = self.streams.get(f"azure.fn.{name}")
         calibration = self.calibration
+        # Trigger-level admission: client-facing triggers are rejected
+        # with HTTP 429 when the dispatch queue is over its bound (429s
+        # are not billed — the execution never happens).  Durable work is
+        # queue-driven and backpressured at the storage queues instead.
+        depth_limit = calibration.queue_depth_limit
+        if (depth_limit is not None and trigger != TRIGGER_DURABLE
+                and len(self._pending) >= depth_limit):
+            self.rejections += 1
+            raise ThrottlingError(
+                f"app {self.app_name!r} has {len(self._pending)} queued "
+                f"executions (bound {depth_limit}) — 429 TooManyRequests",
+                retry_after_s=calibration.scale_interval_s)
         self.billing.charge_request(name)
         submitted_at = self.env.now
 
@@ -195,7 +214,24 @@ class FunctionAppService:
                          granted=self.env.event())
         self._pending.append(item)
         self._dispatch()
-        yield item.granted
+        shed_deadline = calibration.shed_deadline_s
+        if shed_deadline is None or trigger == TRIGGER_DURABLE:
+            yield item.granted
+        else:
+            # Deadline-based load shedding: accepted work still waiting
+            # for a slot past the budget is dropped, not failed.
+            yield item.granted | self.env.timeout(shed_deadline)
+            if not item.granted.triggered:
+                self._pending.remove(item)
+                self.shed += 1
+                waited = self.env.now - submitted_at
+                self.telemetry.end_span(scheduling_span, shed=True,
+                                        queue_wait=waited)
+                raise LoadShedError(
+                    f"execution of {name!r} shed after waiting "
+                    f"{waited:.1f}s for an instance slot "
+                    f"(deadline {shed_deadline}s)",
+                    waited_s=waited, deadline_s=shed_deadline)
         instance = item.instance
 
         # Warm dispatch hop (queue/poll latency inside the platform).

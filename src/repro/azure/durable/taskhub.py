@@ -183,8 +183,15 @@ class TaskHub:
         self.control_queues = [
             CloudQueue(name=f"{account}-control-{index:02d}", **queue_kwargs)
             for index in range(partition_count)]
+        # The work-item (activity dispatch) queue enforces the
+        # calibration's depth bound: orchestrator episodes scheduling
+        # activities onto a full queue block until workers drain it —
+        # storage backpressure, the durable face of overload protection.
+        # Control queues stay unbounded (bounding them could deadlock the
+        # pumps that both consume and produce control messages).
         self.work_item_queue = CloudQueue(
-            name=f"{account}-workitems", **queue_kwargs)
+            name=f"{account}-workitems",
+            max_depth=self.calibration.queue_depth_limit, **queue_kwargs)
         self.history_table = TableStore(
             env, meter, rng, name=f"{account}History", account=account)
         self.entity_table = TableStore(

@@ -72,6 +72,16 @@ def _probability_list(value: str) -> List[float]:
     return [_probability(item) for item in value.split(",") if item.strip()]
 
 
+def _rate_list(value: str) -> List[float]:
+    try:
+        rates = [float(item) for item in value.split(",") if item.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    if not rates or any(rate <= 0 for rate in rates):
+        raise argparse.ArgumentTypeError("arrival rates must be positive")
+    return rates
+
+
 def _worker_list(value: str) -> List[int]:
     try:
         workers = [int(item) for item in value.split(",") if item.strip()]
@@ -251,6 +261,90 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    """Open-loop rate sweep past saturation: 429s, backpressure, shedding."""
+    overrides = {
+        "aws.concurrency_limit": args.concurrency,
+        "aws.burst_concurrency": args.burst,
+        "aws.refill_per_s": args.refill,
+        "azure.max_instances": args.max_instances,
+        "azure.queue_depth_limit": args.queue_depth,
+        "azure.shed_deadline_s": args.shed_deadline,
+    }
+    specs = []
+    for rate in args.rates:
+        for name in args.variants:
+            specs.append(CampaignSpec(
+                deployment=name, workload="ml-training", scale=args.scale,
+                campaign="overload", arrival=args.arrival,
+                arrival_rate_per_s=rate, horizon_s=args.horizon,
+                seed=args.seed, calibration_overrides=overrides))
+    outcomes = iter(_runner(args).run(specs))
+
+    rows = []
+    summaries = {}
+    for rate in args.rates:
+        for name in args.variants:
+            summary = next(outcomes).overload
+            summaries[(rate, name)] = summary
+            rows.append([
+                name, rate, summary.offered, summary.succeeded,
+                summary.throttled, summary.shed, summary.failed,
+                round(summary.goodput_per_s, 3),
+                round(summary.retry_amplification, 2),
+                round(summary.p99_latency_s, 1)])
+    print(render_table(
+        ["variant", "rate/s", "offered", "ok", "429", "shed", "failed",
+         "goodput/s", "retry amp", "p99 s"],
+        rows, title=f"Overload sweep ({args.scale}, {args.arrival} "
+                    f"arrivals, {args.horizon:.0f}s horizon)"))
+
+    aws = [summary for summary in summaries.values()
+           if summary.platform == "aws"]
+    azure = [summary for summary in summaries.values()
+             if summary.platform == "azure"]
+    if aws and azure:
+        top = max(args.rates)
+        print("\nTakeaways:")
+        aws_throttle = max(summary.throttle_rate for summary in aws)
+        azure_shed = max(summary.shed_rate + summary.throttle_rate
+                         for summary in azure)
+        print(f"- excess load: AWS rejects at admission (up to "
+              f"{aws_throttle:.0%} of offered requests 429'd after "
+              f"exhausted backoff); Azure pushes back at the queues "
+              f"(up to {azure_shed:.0%} rejected or shed)")
+        aws_amp = max(summary.retry_amplification for summary in aws)
+        print(f"- retry amplification: Step Functions' backoff multiplies "
+              f"offered load up to {aws_amp:.2f}x on AWS; Azure's 429s "
+              f"and deadline drops add no retry traffic")
+        for platform, summaries_ in (("AWS", aws), ("Azure", azure)):
+            best = max(summary.goodput_per_s for summary in summaries_)
+            at_top = [summary for summary in summaries_
+                      if summary.rate_per_s == top]
+            kept = (_safe_ratio(at_top[0].goodput_per_s, best)
+                    if at_top and best > 0 else 0.0)
+            print(f"- {platform} goodput holds {kept:.0%} of its peak at "
+                  f"{top:g} req/s — saturated but live")
+        aws_infl = _tail_inflation(aws)
+        azure_infl = _tail_inflation(azure)
+        print(f"- tail inflation (p99 at max rate / p99 at min rate): "
+              f"AWS {aws_infl:.2f}x vs Azure {azure_infl:.2f}x — bounded "
+              f"queues keep Azure's tail flat while it sheds")
+    return 0
+
+
+def _safe_ratio(value: float, baseline: float) -> float:
+    return value / baseline if baseline > 0 else 0.0
+
+
+def _tail_inflation(summaries) -> float:
+    """p99 at the highest swept rate over p99 at the lowest."""
+    ordered = sorted(summaries, key=lambda summary: summary.rate_per_s)
+    if not ordered:
+        return 0.0
+    return _safe_ratio(ordered[-1].p99_latency_s, ordered[0].p99_latency_s)
+
+
 def cmd_takeaways(args: argparse.Namespace) -> int:
     from repro.core.takeaways import (
         evaluate_ml_takeaways,
@@ -399,6 +493,47 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N", default=argparse.SUPPRESS,
                              help="campaign worker processes (alias for -j)")
     reliability.set_defaults(func=cmd_reliability)
+
+    overload = commands.add_parser(
+        "overload", parents=[cache_opts],
+        help="sweep open-loop arrival rates past saturation: throttling, "
+             "backpressure and load shedding")
+    overload.add_argument("--rates", type=_rate_list,
+                          default=[0.2, 0.5, 1.0, 2.0], metavar="R1,R2,...",
+                          help="offered arrival rates in req/s "
+                               "(default 0.2,0.5,1.0,2.0)")
+    overload.add_argument("--horizon", type=float, default=120.0,
+                          help="arrival window length in seconds "
+                               "(default 120)")
+    overload.add_argument("--arrival", choices=["poisson", "uniform",
+                                                "bursty"],
+                          default="poisson",
+                          help="open-loop arrival process (default poisson)")
+    overload.add_argument("--variants", type=_variants,
+                          default=["AWS-Step", "Az-Func"])
+    overload.add_argument("--scale", choices=["small", "large"],
+                          default="small")
+    overload.add_argument("--concurrency", type=_positive_int, default=24,
+                          help="AWS concurrent execution limit (default 24)")
+    overload.add_argument("--burst", type=_positive_int, default=24,
+                          help="AWS token-bucket burst capacity "
+                               "(default 24)")
+    overload.add_argument("--refill", type=float, default=4.0,
+                          help="AWS token-bucket refill rate per second "
+                               "(default 4)")
+    overload.add_argument("--max-instances", type=_positive_int, default=4,
+                          help="Azure scale-controller instance cap "
+                               "(default 4)")
+    overload.add_argument("--queue-depth", type=_positive_int, default=48,
+                          help="Azure dispatch/work-item queue depth bound "
+                               "(default 48)")
+    overload.add_argument("--shed-deadline", type=float, default=45.0,
+                          help="Azure queue-wait budget in seconds before "
+                               "work is shed (default 45)")
+    overload.add_argument("--workers", type=_positive_int, dest="jobs",
+                          metavar="N", default=argparse.SUPPRESS,
+                          help="campaign worker processes (alias for -j)")
+    overload.set_defaults(func=cmd_overload)
 
     takeaways = commands.add_parser(
         "takeaways", help="re-derive the paper's key-takeaway bullets")

@@ -42,6 +42,7 @@ from repro.core.parallel import (
 )
 from repro.core.cache import ResultCache
 from repro.core.reliability import ReliabilitySummary, execute_reliability_spec
+from repro.core.overload import OverloadSummary, execute_overload_spec
 from repro.platforms.faults import FaultInjector, FaultPlan
 from repro.core.workflow import (
     Workflow,
@@ -72,6 +73,8 @@ __all__ = [
     "FaultPlan",
     "ReliabilitySummary",
     "execute_reliability_spec",
+    "OverloadSummary",
+    "execute_overload_spec",
     "LatencyBreakdown",
     "LatencyStats",
     "RunResult",

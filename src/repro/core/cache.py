@@ -34,6 +34,8 @@ from repro.core.persistence import (
     campaign_to_dict,
     cost_report_from_dict,
     cost_report_to_dict,
+    overload_from_dict,
+    overload_to_dict,
     reliability_from_dict,
     reliability_to_dict,
 )
@@ -84,6 +86,7 @@ class ResultCache:
             if document.get("format_version") != FORMAT_VERSION:
                 return None
             reliability = document.get("reliability")
+            overload = document.get("overload")
             return CampaignOutcome(
                 spec=spec,
                 campaign=campaign_from_dict(document["campaign"]),
@@ -91,6 +94,8 @@ class ResultCache:
                 idle_transactions=document.get("idle_transactions", 0),
                 reliability=(reliability_from_dict(reliability)
                              if reliability else None),
+                overload=(overload_from_dict(overload)
+                          if overload else None),
                 cached=True)
         except (KeyError, TypeError, ValueError):
             return None
@@ -113,6 +118,8 @@ class ResultCache:
             "idle_transactions": outcome.idle_transactions,
             "reliability": (reliability_to_dict(outcome.reliability)
                             if outcome.reliability is not None else None),
+            "overload": (overload_to_dict(outcome.overload)
+                         if outcome.overload is not None else None),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         temporary = path.with_suffix(".tmp")

@@ -60,7 +60,12 @@ from repro.platforms.calibration import (
 from repro.platforms.faults import FaultPlan
 
 WORKLOADS = ("ml-training", "ml-inference", "video")
-CAMPAIGN_TYPES = ("latency", "coldstart", "fanout", "reliability")
+CAMPAIGN_TYPES = ("latency", "coldstart", "fanout", "reliability",
+                  "overload")
+#: arrival models an ``overload`` campaign may name (mirrors
+#: :data:`repro.core.overload.ARRIVAL_KINDS`, kept literal to avoid an
+#: import cycle)
+ARRIVAL_KINDS = ("poisson", "uniform", "bursty")
 
 
 def _frozen_items(value: Any) -> Tuple[Tuple[str, Any], ...]:
@@ -97,6 +102,9 @@ class CampaignSpec:
     days: float = 4.0                 # coldstart: campaign length
     batch: int = 0                    # fanout: concurrent invocations
     idle_window_s: float = 0.0        # post-campaign idle metering window
+    arrival: str = "poisson"          # overload: arrival-process kind
+    arrival_rate_per_s: float = 0.0   # overload: offered open-loop rate
+    horizon_s: float = 0.0            # overload: arrival window length
     calibration_overrides: Tuple[Tuple[str, Any], ...] = ()
     invoke_kwargs: Tuple[Tuple[str, Any], ...] = ()
     #: sorted ``FaultPlan.to_items()`` pairs; empty = fault-free
@@ -109,6 +117,15 @@ class CampaignSpec:
             raise ValueError(f"campaign must be one of {CAMPAIGN_TYPES}")
         if self.campaign in ("latency", "reliability") and self.iterations <= 0:
             raise ValueError("iterations must be positive")
+        if self.campaign == "overload":
+            if self.arrival not in ARRIVAL_KINDS:
+                raise ValueError(
+                    f"arrival must be one of {ARRIVAL_KINDS}")
+            if self.arrival_rate_per_s <= 0:
+                raise ValueError(
+                    "overload campaigns need arrival_rate_per_s > 0")
+            if self.horizon_s <= 0:
+                raise ValueError("overload campaigns need horizon_s > 0")
         object.__setattr__(self, "calibration_overrides",
                            _frozen_items(self.calibration_overrides))
         object.__setattr__(self, "invoke_kwargs",
@@ -171,6 +188,9 @@ class CampaignSpec:
                 raise AttributeError(
                     f"{type(target).__name__} has no field {parameter!r}")
             setattr(target, parameter, value)
+        # setattr bypasses __post_init__, so re-validate the results.
+        aws.validate()
+        azure.validate()
         return aws, azure
 
     def build_deployment(self, testbed: Testbed):
@@ -202,6 +222,8 @@ class CampaignOutcome:
     idle_transactions: int = 0
     #: reliability campaigns attach their summary report here
     reliability: Optional[Any] = None
+    #: overload campaigns attach their summary report here
+    overload: Optional[Any] = None
     #: True when this outcome was served from a result cache
     cached: bool = field(default=False, compare=False)
 
@@ -226,6 +248,9 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
     if spec.campaign == "reliability":
         from repro.core.reliability import execute_reliability_spec
         return execute_reliability_spec(spec)
+    if spec.campaign == "overload":
+        from repro.core.overload import execute_overload_spec
+        return execute_overload_spec(spec)
 
     aws, azure = spec.calibrations()
     testbed = Testbed(seed=spec.seed, aws_calibration=aws,

@@ -16,6 +16,7 @@ from repro.core.costs import CostReport
 from repro.core.deployments.base import RunResult
 from repro.core.experiment import CampaignResult
 from repro.core.metrics import LatencyBreakdown
+from repro.core.overload import OverloadSummary
 from repro.core.reliability import ReliabilitySummary
 
 FORMAT_VERSION = 1
@@ -72,6 +73,21 @@ def reliability_from_dict(data: Dict[str, Any]) -> ReliabilitySummary:
     fields = {key: value for key, value in data.items()
               if key not in ("format_version", "kind")}
     return ReliabilitySummary(**fields)
+
+
+def overload_to_dict(summary: OverloadSummary) -> Dict[str, Any]:
+    """A JSON-ready representation of an overload summary."""
+    payload = asdict(summary)
+    payload.update({"format_version": FORMAT_VERSION, "kind": "overload"})
+    return payload
+
+
+def overload_from_dict(data: Dict[str, Any]) -> OverloadSummary:
+    """Inverse of :func:`overload_to_dict`."""
+    _check(data, "overload")
+    fields = {key: value for key, value in data.items()
+              if key not in ("format_version", "kind")}
+    return OverloadSummary(**fields)
 
 
 def _check(data: Dict[str, Any], kind: str) -> None:

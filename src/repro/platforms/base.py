@@ -44,6 +44,37 @@ class FunctionTimeout(RuntimeError):
     """A function exceeded its configured execution time limit."""
 
 
+class ThrottlingError(RuntimeError):
+    """The platform rejected a request with an HTTP-429-style answer.
+
+    Raised by admission control on both platforms: Lambda's token-bucket/
+    concurrency limits and the Azure dispatch-queue depth bound.  Subclasses
+    :class:`RuntimeError` so callers that predate typed throttling (and
+    only catch the base class) keep working.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        #: hint for the caller's backoff — when capacity should reappear
+        self.retry_after_s = retry_after_s
+
+
+class LoadShedError(RuntimeError):
+    """Accepted work was dropped because its queue wait exceeded a budget.
+
+    Deadline-based load shedding: the platform took the request but never
+    got to run it within the configured wait budget.  Shed work is
+    accounted separately from failures — nothing went *wrong*, the
+    platform chose to drop load it could not serve in time.
+    """
+
+    def __init__(self, message: str, waited_s: float = 0.0,
+                 deadline_s: float = 0.0):
+        super().__init__(message)
+        self.waited_s = waited_s
+        self.deadline_s = deadline_s
+
+
 @dataclass
 class WorkModel:
     """Service-time model for one logical unit of handler work.

@@ -12,6 +12,7 @@ All times are seconds, all prices USD, all memory MB.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.sim.distributions import (
     Constant,
@@ -46,6 +47,12 @@ class AWSCalibration:
     keep_alive_s: float = 600.0
     #: Account-level concurrent execution limit (default AWS quota).
     concurrency_limit: int = 1000
+    #: Token-bucket admission: burst capacity (requests admitted at once
+    #: from a full bucket — AWS's initial burst concurrency quota).
+    burst_concurrency: int = 1000
+    #: Token-bucket admission: tokens restored per second of simulated
+    #: time, up to ``burst_concurrency``.
+    refill_per_s: float = 500.0
     #: Execution-time jitter applied multiplicatively to handler busy time.
     execution_jitter: Distribution = field(
         default_factory=lambda: Normal(mu=1.0, sigma=0.03))
@@ -60,6 +67,14 @@ class AWSCalibration:
     #: function), i.e. Lambda cold start plus this machinery.
     step_cold_overhead: Distribution = field(
         default_factory=lambda: Uniform(1.5, 3.0))
+    #: How many times Step Functions attempts a Task-state Lambda
+    #: invocation that keeps coming back 429 before surfacing
+    #: ``Lambda.TooManyRequestsException`` to Retry/Catch.
+    throttle_retry_max_attempts: int = 6
+    #: Base delay of the throttle-retry exponential backoff.
+    throttle_retry_interval_s: float = 0.5
+    #: Ceiling of the throttle-retry backoff (capped exponential).
+    throttle_retry_cap_s: float = 8.0
 
     # -- billing (2021 public price sheet, us-west-2) ---------------------------
     gb_s_price: float = 1.66667e-5         # Lambda compute, $/GB-s
@@ -83,6 +98,30 @@ class AWSCalibration:
         """Execution-time multiplier for a given memory configuration."""
         factor = self.full_cpu_memory_mb / float(memory_mb)
         return min(3.0, max(0.5, factor))
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical admission-control settings.
+
+        Called from ``__post_init__`` and again after
+        :meth:`~repro.core.parallel.CampaignSpec.calibrations` applies
+        overrides (which bypass dataclass construction).
+        """
+        if self.concurrency_limit <= 0:
+            raise ValueError("concurrency_limit must be positive")
+        if self.burst_concurrency <= 0:
+            raise ValueError("burst_concurrency must be positive")
+        if self.refill_per_s <= 0:
+            raise ValueError("refill_per_s must be positive")
+        if self.throttle_retry_max_attempts < 1:
+            raise ValueError("throttle_retry_max_attempts must be >= 1")
+        if self.throttle_retry_interval_s <= 0:
+            raise ValueError("throttle_retry_interval_s must be positive")
+        if self.throttle_retry_cap_s < self.throttle_retry_interval_s:
+            raise ValueError(
+                "throttle_retry_cap_s must be >= throttle_retry_interval_s")
 
 
 @dataclass
@@ -125,6 +164,17 @@ class AzureCalibration:
     scale_stall_probability: float = 0.08
     scale_stall_duration: Distribution = field(
         default_factory=lambda: LogNormal(median=350.0, sigma=0.5))
+
+    # -- overload protection ----------------------------------------------------
+    #: Bound on queued work before the trigger answers HTTP 429: caps the
+    #: app's dispatch queue and the task hub's work-item queue (durable
+    #: producers block instead — storage backpressure).  ``None`` leaves
+    #: the queues unbounded, the platform default.
+    queue_depth_limit: Optional[int] = None
+    #: Deadline-based load shedding: accepted HTTP/queue-trigger work
+    #: still waiting for an instance slot after this budget is dropped
+    #: and accounted as *shed* (not failed).  ``None`` disables shedding.
+    shed_deadline_s: Optional[float] = None
 
     # -- trigger dispatch ------------------------------------------------------------
     #: Warm dispatch of a durable work item (control/work-item queue hop).
@@ -203,6 +253,27 @@ class AzureCalibration:
     storage_transaction_price: float = 4.0e-8   # $0.0004 per 10K transactions
     billing_granularity_s: float = 0.001   # ms-granularity GB-s metering
     min_billed_execution_s: float = 0.100  # 100 ms minimum per execution
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical overload-protection settings.
+
+        Mirrors :meth:`AWSCalibration.validate`; the optional bounds are
+        checked only when set (``None`` means disabled, the platform
+        default).
+        """
+        if self.max_instances <= 0:
+            raise ValueError("max_instances must be positive")
+        if self.queue_depth_limit is not None and self.queue_depth_limit <= 0:
+            raise ValueError(
+                "queue_depth_limit must be positive when set "
+                "(use None to leave the queues unbounded)")
+        if self.shed_deadline_s is not None and self.shed_deadline_s <= 0:
+            raise ValueError(
+                "shed_deadline_s must be positive when set "
+                "(use None to disable load shedding)")
 
 
 def default_aws_calibration() -> AWSCalibration:

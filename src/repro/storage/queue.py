@@ -30,6 +30,10 @@ class MessageTooLarge(ValueError):
     """Raised when a message exceeds the queue's payload limit."""
 
 
+class QueueFullError(RuntimeError):
+    """A non-blocking enqueue hit the queue's ``max_depth`` bound."""
+
+
 @dataclass
 class QueueMessage:
     """A message plus its delivery metadata."""
@@ -62,7 +66,10 @@ class CloudQueue:
                  visibility_timeout: float = 30.0,
                  min_poll_interval: float = 0.05,
                  max_poll_interval: float = 30.0,
+                 max_depth: Optional[int] = None,
                  faults: Optional[Any] = None):
+        if max_depth is not None and max_depth <= 0:
+            raise ValueError("max_depth must be positive when set")
         self.env = env
         self.meter = meter
         self.rng = rng
@@ -74,8 +81,10 @@ class CloudQueue:
         self.visibility_timeout = visibility_timeout
         self.min_poll_interval = min_poll_interval
         self.max_poll_interval = max_poll_interval
+        self.max_depth = max_depth
         self._messages: List[QueueMessage] = []
         self._waiters: List[Any] = []
+        self._space_waiters: List[Any] = []
 
     def __len__(self) -> int:
         """Approximate queue depth (visible messages only)."""
@@ -84,13 +93,31 @@ class CloudQueue:
 
     # -- simulated operations ----------------------------------------------
 
-    def enqueue(self, value: Any, size: Optional[int] = None) -> Generator:
-        """Append a message; yields for the REST round trip."""
+    def enqueue(self, value: Any, size: Optional[int] = None,
+                block: bool = True) -> Generator:
+        """Append a message; yields for the REST round trip.
+
+        When the queue has a ``max_depth`` bound and is full, a blocking
+        enqueue waits for a delete to free space (storage backpressure:
+        producers slow to the consumers' pace); ``block=False`` raises
+        :class:`QueueFullError` instead — the trigger-style 429 path.
+        The bound counts all stored messages, visible or not, and is
+        approximate under simultaneous producers (like the real service).
+        """
         payload = Payload(value, size) if size is not None else Payload.wrap(value)
         if payload.size > self.max_message_size:
             raise MessageTooLarge(
                 f"message of {payload.size} bytes exceeds the "
                 f"{self.max_message_size}-byte limit of queue {self.name!r}")
+        while (self.max_depth is not None
+               and len(self._messages) >= self.max_depth):
+            if not block:
+                raise QueueFullError(
+                    f"queue {self.name!r} is at its depth bound "
+                    f"({self.max_depth} messages)")
+            space = self.env.event()
+            self._space_waiters.append(space)
+            yield space
         duration = self.latency.operation_time(self.rng, payload.size)
         yield self.env.timeout(duration)
         message = QueueMessage(
@@ -169,6 +196,12 @@ class CloudQueue:
             self._messages.remove(message)
         except ValueError:
             pass
+        else:
+            # A slot freed under the depth bound: wake blocked producers.
+            waiters, self._space_waiters = self._space_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
         self.meter.record("queue", self.account, "delete")
         return None
 

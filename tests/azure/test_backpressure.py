@@ -1,0 +1,202 @@
+"""Queue backpressure, 429 rejection and deadline shedding on Azure."""
+
+import numpy as np
+import pytest
+
+from repro.azure.app import TRIGGER_DURABLE, TRIGGER_HTTP
+from repro.platforms.base import FunctionSpec, LoadShedError, ThrottlingError
+from repro.platforms.calibration import AzureCalibration
+from repro.storage.queue import CloudQueue, QueueFullError
+
+
+def busy(ctx, event):
+    yield from ctx.busy(5.0)
+    return event
+
+
+def register(app, name="work", handler=busy, **kwargs):
+    app.register(FunctionSpec(name=name, handler=handler, **kwargs))
+
+
+def _invoke(app, event, trigger=TRIGGER_HTTP, errors=None):
+    try:
+        result = yield from app.invoke("work", event, trigger=trigger)
+    except (ThrottlingError, LoadShedError) as error:
+        if errors is not None:
+            errors.append(error)
+        return None
+    return result
+
+
+# -- trigger-level 429 -----------------------------------------------------------
+
+
+def test_trigger_rejects_past_queue_depth(env, app):
+    app.calibration.queue_depth_limit = 2
+    register(app)
+    errors = []
+
+    def storm(env):
+        processes = [env.process(_invoke(app, index, errors=errors))
+                     for index in range(5)]
+        yield env.all_of(processes)
+
+    env.run(until=env.process(storm(env)))
+    assert app.rejections == 3
+    assert len(errors) == 3
+    assert all(isinstance(error, ThrottlingError) for error in errors)
+    assert all("429" in str(error) for error in errors)
+    assert all(error.retry_after_s > 0 for error in errors)
+
+
+def test_durable_trigger_bypasses_the_bound(env, app):
+    """Durable work is queue-driven; it backpressures at storage, not 429."""
+    app.calibration.queue_depth_limit = 1
+    register(app)
+    errors = []
+
+    def storm(env):
+        first = env.process(_invoke(app, 0, errors=errors))
+        durable = env.process(
+            _invoke(app, 1, trigger=TRIGGER_DURABLE, errors=errors))
+        rejected = env.process(_invoke(app, 2, errors=errors))
+        yield env.all_of([first, durable, rejected])
+
+    env.run(until=env.process(storm(env)))
+    assert app.rejections == 1
+    assert len(errors) == 1
+
+
+def test_rejected_requests_are_not_billed(env, app, billing):
+    app.calibration.queue_depth_limit = 1
+    register(app)
+    errors = []
+
+    def storm(env):
+        processes = [env.process(_invoke(app, index, errors=errors))
+                     for index in range(3)]
+        yield env.all_of(processes)
+
+    env.run(until=env.process(storm(env)))
+    assert app.rejections == 2
+    assert billing.total_requests() == 1
+
+
+# -- deadline shedding -----------------------------------------------------------
+
+
+def test_deadline_sheds_stuck_work(env, app, run):
+    """Work still queued past the budget is dropped, counted as shed."""
+    app.calibration.shed_deadline_s = 0.5   # shorter than any cold start
+    register(app)
+    with pytest.raises(LoadShedError) as info:
+        run(app.invoke("work", 1))
+    assert info.value.waited_s == pytest.approx(0.5)
+    assert info.value.deadline_s == pytest.approx(0.5)
+    assert app.shed == 1
+    assert app.pending_count == 0   # the shed item left the queue
+
+
+def test_shed_work_frees_the_slot_for_later_arrivals(env, app):
+    app.calibration.shed_deadline_s = 0.5
+    register(app)
+    errors = []
+
+    def story(env):
+        yield env.process(_invoke(app, 1, errors=errors))
+        # The pool has warmed up by now; a later request succeeds.
+        yield env.timeout(30.0)
+        result = yield from app.invoke("work", 2)
+        return result
+
+    result = env.run(until=env.process(story(env)))
+    assert len(errors) == 1
+    assert isinstance(errors[0], LoadShedError)
+    assert result.value == 2
+
+
+def test_no_deadline_means_no_shedding(env, app, run):
+    assert app.calibration.shed_deadline_s is None
+    register(app)
+    result = run(app.invoke("work", 1))
+    assert result.value == 1
+    assert app.shed == 0
+
+
+# -- bounded storage queues ------------------------------------------------------
+
+
+@pytest.fixture
+def bounded_queue(env, meter):
+    return CloudQueue(env, meter, np.random.default_rng(3),
+                      name="bounded", max_depth=2, visibility_timeout=5.0)
+
+
+def test_nonblocking_enqueue_raises_when_full(env, bounded_queue, run):
+    run(bounded_queue.enqueue("a"))
+    run(bounded_queue.enqueue("b"))
+    with pytest.raises(QueueFullError, match="depth bound"):
+        run(bounded_queue.enqueue("c", block=False))
+
+
+def test_blocking_enqueue_waits_for_space(env, bounded_queue):
+    def producer(env):
+        yield from bounded_queue.enqueue("a")
+        yield from bounded_queue.enqueue("b")
+        message_id = yield from bounded_queue.enqueue("c")   # blocks
+        return message_id
+
+    def consumer(env):
+        yield env.timeout(10.0)
+        message = yield from bounded_queue.poll()
+        yield from bounded_queue.delete(message)
+
+    blocked = env.process(producer(env))
+    env.process(consumer(env))
+    env.run(until=blocked)
+    assert env.now > 10.0   # the producer really waited for the delete
+    assert blocked.value is not None
+
+
+def test_queue_rejects_nonpositive_depth(env, meter):
+    with pytest.raises(ValueError, match="max_depth"):
+        CloudQueue(env, meter, np.random.default_rng(0), max_depth=0)
+
+
+def test_visibility_timeout_requeues(env, bounded_queue):
+    def story(env):
+        yield from bounded_queue.enqueue("job")
+        first = yield from bounded_queue.poll()
+        assert first.dequeue_count == 1
+        hidden = yield from bounded_queue.poll()
+        assert hidden is None   # invisible while leased
+        yield env.timeout(bounded_queue.visibility_timeout + 1.0)
+        again = yield from bounded_queue.poll()
+        assert again is not None
+        assert again.message_id == first.message_id
+        assert again.dequeue_count == 2
+
+    env.run(until=env.process(story(env)))
+
+
+# -- calibration validation ------------------------------------------------------
+
+
+@pytest.mark.parametrize("field, value", [
+    ("max_instances", 0),
+    ("max_instances", -1),
+    ("queue_depth_limit", 0),
+    ("queue_depth_limit", -3),
+    ("shed_deadline_s", 0.0),
+    ("shed_deadline_s", -1.0),
+])
+def test_calibration_rejects_nonpositive(field, value):
+    with pytest.raises(ValueError, match="must be"):
+        AzureCalibration(**{field: value})
+
+
+def test_calibration_accepts_disabled_bounds():
+    calibration = AzureCalibration(queue_depth_limit=None,
+                                   shed_deadline_s=None)
+    assert calibration.queue_depth_limit is None
+    assert calibration.shed_deadline_s is None

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Testbed, build_ml_inference_deployments
+from repro.platforms.calibration import AzureCalibration
 from repro.core.arrivals import (
     BurstyArrivals,
     DiurnalArrivals,
@@ -54,6 +55,33 @@ def test_diurnal_rate_modulates(rng):
     assert peak_half > 1.5 * trough_half
 
 
+def test_diurnal_rate_at_stays_within_bounds():
+    arrivals = DiurnalArrivals(base_rate_per_s=2.0, amplitude_per_s=6.0,
+                               period_s=3600.0)
+    samples = [arrivals.rate_at(t) for t in np.linspace(0.0, 7200.0, 500)]
+    assert all(2.0 <= rate <= 8.0 for rate in samples)
+    assert max(samples) == pytest.approx(8.0, rel=1e-3)   # sin peak
+    assert min(samples) == pytest.approx(2.0, abs=1e-2)   # sin trough
+
+
+def test_bursty_bursts_cluster(rng):
+    """Bursts are tight clusters on top of the Poisson background."""
+    quiet = BurstyArrivals(rate_per_s=0.05, burst_size=15,
+                           bursts_per_hour=0.0)
+    times = np.array(quiet.schedule(rng, horizon_s=3600.0))
+    _, counts = np.unique(times, return_counts=True)
+    assert counts.max() == 1   # no bursts scheduled, no clusters
+
+    bursty = BurstyArrivals(rate_per_s=0.05, burst_size=15,
+                            bursts_per_hour=30.0)
+    times = np.array(bursty.schedule(rng, horizon_s=3600.0))
+    _, counts = np.unique(times, return_counts=True)
+    clusters = counts[counts >= 15]
+    assert len(clusters) >= 10   # ~30 bursts expected over the hour
+    # Burst arrivals dominate the sparse background traffic.
+    assert clusters.sum() > 0.5 * len(times)
+
+
 def test_bursty_includes_bursts(rng):
     arrivals = BurstyArrivals(rate_per_s=0.01, burst_size=20,
                               bursts_per_hour=30.0)
@@ -91,6 +119,29 @@ def test_open_loop_runs_overlap():
     # With ~2.5 s runs arriving every second, some must overlap.
     overlaps = sum(
         1 for a, b in zip(campaign.runs, campaign.runs[1:])
+        if b.started_at < a.finished_at)
+    assert overlaps > 0
+
+
+def test_load_generator_deterministic_under_saturation():
+    """Same seed, same schedule, same latencies — even with the shared
+    pool saturated and runs queueing behind a tightened instance cap."""
+    def campaign():
+        calibration = AzureCalibration(max_instances=2)
+        testbed = Testbed(seed=11, azure_calibration=calibration)
+        deployment = build_ml_inference_deployments(
+            testbed, "small")["Az-Dorch"]
+        generator = LoadGenerator(PoissonArrivals(rate_per_s=1.0),
+                                  horizon_s=30.0)
+        return generator.run(deployment)
+
+    first, second = campaign(), campaign()
+    assert first.latencies == second.latencies
+    assert [run.started_at for run in first.runs] == [
+        run.started_at for run in second.runs]
+    # The cap actually bit: overlapping arrivals queued behind it.
+    overlaps = sum(
+        1 for a, b in zip(first.runs, first.runs[1:])
         if b.started_at < a.finished_at)
     assert overlaps > 0
 
