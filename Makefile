@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults test-overload bench bench-kernel examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload test-audit audit-sweep bench bench-kernel examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,6 +20,14 @@ test-faults:
 # Overload, throttling and backpressure tests only.
 test-overload:
 	pytest tests/ -q -m overload
+
+# Runtime invariant-auditor tests only.
+test-audit:
+	pytest tests/ -q -m audit
+
+# Audited chaos + overload sweeps; exit 1 on any invariant violation.
+audit-sweep:
+	python -m repro audit
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

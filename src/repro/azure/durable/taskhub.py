@@ -346,7 +346,8 @@ class TaskHub:
         if isinstance(message, (StartMsg, CompletionMsg, RaiseEventMsg)):
             instance = self.get_instance(message.instance_id)
             if (isinstance(message, CompletionMsg) and self.faults is not None
-                    and self.faults.plan.queue_duplication_probability > 0):
+                    and self.faults.plan.queue_duplication_probability > 0
+                    and self.faults.plan.completion_dedupe):
                 # Applying the same completion twice would corrupt the
                 # replay indexing, so the framework dedupes against the
                 # history before appending.  Only needed (and only active)

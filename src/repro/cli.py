@@ -204,6 +204,7 @@ def cmd_cost(args: argparse.Namespace) -> int:
 
 def cmd_reliability(args: argparse.Namespace) -> int:
     """Crash-probability sweep: the AWS-vs-Azure price of reliability."""
+    audit = True if getattr(args, "audit", False) else None
     probabilities = args.sweep if args.sweep else [args.crash_prob]
     specs = []
     for probability in probabilities:
@@ -215,7 +216,8 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             specs.append(CampaignSpec(
                 deployment=name, workload="ml-training", scale=args.scale,
                 campaign="reliability", iterations=args.iterations,
-                warmup=1, seed=args.seed, fault_plan=plan.to_items()))
+                warmup=1, seed=args.seed, fault_plan=plan.to_items(),
+                audit=audit))
     outcomes = iter(_runner(args).run(specs))
 
     rows = []
@@ -263,6 +265,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
 
 def cmd_overload(args: argparse.Namespace) -> int:
     """Open-loop rate sweep past saturation: 429s, backpressure, shedding."""
+    audit = True if getattr(args, "audit", False) else None
     overrides = {
         "aws.concurrency_limit": args.concurrency,
         "aws.burst_concurrency": args.burst,
@@ -278,7 +281,8 @@ def cmd_overload(args: argparse.Namespace) -> int:
                 deployment=name, workload="ml-training", scale=args.scale,
                 campaign="overload", arrival=args.arrival,
                 arrival_rate_per_s=rate, horizon_s=args.horizon,
-                seed=args.seed, calibration_overrides=overrides))
+                seed=args.seed, calibration_overrides=overrides,
+                audit=audit))
     outcomes = iter(_runner(args).run(specs))
 
     rows = []
@@ -343,6 +347,76 @@ def _tail_inflation(summaries) -> float:
     if not ordered:
         return 0.0
     return _safe_ratio(ordered[-1].p99_latency_s, ordered[0].p99_latency_s)
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Audited chaos + overload sweeps with a per-invariant verdict table.
+
+    Runs a reliability sweep (crashes, transient errors, queue chaos)
+    and an overload sweep (past saturation on both platforms) with the
+    invariant auditor enabled, then reports per-invariant pass/violation
+    counts.  Exit code 1 when any invariant was violated.
+    """
+    from repro.core.audit import collect_violations, merge_reports
+
+    plans = [
+        FaultPlan(crash_probability=0.15,
+                  retry_max_attempts=args.retries),
+        FaultPlan(error_probability=0.2,
+                  retry_max_attempts=args.retries),
+        FaultPlan(queue_delay_probability=0.2, queue_delay_s=2.0,
+                  queue_duplication_probability=0.3,
+                  retry_max_attempts=args.retries),
+    ]
+    specs = []
+    for plan in plans:
+        for name in args.variants:
+            specs.append(CampaignSpec(
+                deployment=name, workload="ml-training", scale=args.scale,
+                campaign="reliability", iterations=args.iterations,
+                warmup=1, seed=args.seed, fault_plan=plan.to_items(),
+                audit=True))
+    overrides = {
+        "aws.concurrency_limit": 8, "aws.burst_concurrency": 8,
+        "aws.refill_per_s": 1.0, "azure.max_instances": 2,
+        "azure.queue_depth_limit": 12, "azure.shed_deadline_s": 30.0,
+    }
+    for rate in args.rates:
+        for name in ("AWS-Step", "Az-Func"):
+            specs.append(CampaignSpec(
+                deployment=name, workload="ml-training", scale=args.scale,
+                campaign="overload", arrival="poisson",
+                arrival_rate_per_s=rate, horizon_s=args.horizon,
+                seed=args.seed, calibration_overrides=overrides,
+                audit=True))
+
+    with collect_violations():
+        outcomes = _runner(args).run(specs)
+
+    reports = [outcome.audit for outcome in outcomes]
+    merged = merge_reports(reports)
+    rows = [[invariant, passes, fails, "VIOLATED" if fails else "ok"]
+            for invariant, (passes, fails) in merged.items()]
+    print(render_table(
+        ["invariant", "passes", "violations", "verdict"], rows,
+        title=f"Invariant audit: {len(specs)} campaigns "
+              f"({len(plans)}x{len(args.variants)} reliability + "
+              f"{len(args.rates)}x2 overload)"))
+
+    failed = False
+    for spec, report in zip(specs, reports):
+        if report is None or report.passed:
+            continue
+        failed = True
+        print(f"\n{spec.deployment} {spec.campaign} "
+              f"(seed {spec.seed}) violated:")
+        for check in report.violations:
+            print(f"  [{check.invariant}] {check.detail}")
+            for item in check.evidence:
+                print(f"    evidence: {item}")
+    if not failed:
+        print("\nall invariants held across the sweep")
+    return 1 if failed else 0
 
 
 def cmd_takeaways(args: argparse.Namespace) -> int:
@@ -492,6 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--workers", type=_positive_int, dest="jobs",
                              metavar="N", default=argparse.SUPPRESS,
                              help="campaign worker processes (alias for -j)")
+    reliability.add_argument("--audit", action="store_true",
+                             help="verify runtime invariants during the "
+                                  "sweep (raises on violation)")
     reliability.set_defaults(func=cmd_reliability)
 
     overload = commands.add_parser(
@@ -533,7 +610,38 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--workers", type=_positive_int, dest="jobs",
                           metavar="N", default=argparse.SUPPRESS,
                           help="campaign worker processes (alias for -j)")
+    overload.add_argument("--audit", action="store_true",
+                          help="verify runtime invariants during the "
+                               "sweep (raises on violation)")
     overload.set_defaults(func=cmd_overload)
+
+    audit = commands.add_parser(
+        "audit", parents=[cache_opts],
+        help="verify runtime invariants (conservation, billing, delivery "
+             "semantics) across chaos and overload sweeps")
+    audit.add_argument("--variants", type=_variants,
+                       default=["AWS-Step", "Az-Dorch"],
+                       help="reliability-sweep variants "
+                            "(default AWS-Step,Az-Dorch)")
+    audit.add_argument("--scale", choices=["small", "large"],
+                       default="small")
+    audit.add_argument("--iterations", type=int, default=3,
+                       help="measured runs per reliability campaign "
+                            "(default 3)")
+    audit.add_argument("--retries", type=_positive_int, default=3,
+                       help="total attempts synthesized per activity/state "
+                            "(default 3)")
+    audit.add_argument("--rates", type=_rate_list, default=[0.5, 2.0],
+                       metavar="R1,R2,...",
+                       help="overload-sweep arrival rates in req/s "
+                            "(default 0.5,2.0)")
+    audit.add_argument("--horizon", type=float, default=60.0,
+                       help="overload arrival window in seconds "
+                            "(default 60)")
+    audit.add_argument("--workers", type=_positive_int, dest="jobs",
+                       metavar="N", default=argparse.SUPPRESS,
+                       help="campaign worker processes (alias for -j)")
+    audit.set_defaults(func=cmd_audit)
 
     takeaways = commands.add_parser(
         "takeaways", help="re-derive the paper's key-takeaway bullets")

@@ -30,6 +30,8 @@ from typing import Any, Dict, Optional, Union
 from repro import __version__
 from repro.core.parallel import CampaignOutcome, CampaignSpec
 from repro.core.persistence import (
+    audit_from_dict,
+    audit_to_dict,
     campaign_from_dict,
     campaign_to_dict,
     cost_report_from_dict,
@@ -87,6 +89,7 @@ class ResultCache:
                 return None
             reliability = document.get("reliability")
             overload = document.get("overload")
+            audit = document.get("audit")
             return CampaignOutcome(
                 spec=spec,
                 campaign=campaign_from_dict(document["campaign"]),
@@ -96,6 +99,7 @@ class ResultCache:
                              if reliability else None),
                 overload=(overload_from_dict(overload)
                           if overload else None),
+                audit=audit_from_dict(audit) if audit else None,
                 cached=True)
         except (KeyError, TypeError, ValueError):
             return None
@@ -120,6 +124,8 @@ class ResultCache:
                             if outcome.reliability is not None else None),
             "overload": (overload_to_dict(outcome.overload)
                          if outcome.overload is not None else None),
+            "audit": (audit_to_dict(outcome.audit)
+                      if outcome.audit is not None else None),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         temporary = path.with_suffix(".tmp")

@@ -84,6 +84,7 @@ class ExperimentRunner:
             raise ValueError("iterations must be positive")
         deployment.deploy()
         testbed = deployment.testbed
+        auditor = getattr(testbed, "auditor", None)
         telemetry = deployment.stack.telemetry
         result = CampaignResult(deployment=deployment.name)
         kwargs = invoke_kwargs or {}
@@ -91,7 +92,11 @@ class ExperimentRunner:
         for index in range(warmup + iterations):
             window_start = testbed.now
             span_cursor = len(telemetry.spans)
+            if auditor is not None:
+                auditor.note_arrival()
             run = testbed.run(deployment.invoke(**kwargs))
+            if auditor is not None:
+                auditor.note_outcome("succeeded")
             testbed.advance(self.settle_time_s)
             if index >= warmup:
                 result.runs.append(run)
@@ -117,17 +122,24 @@ class ExperimentRunner:
         """
         deployment.deploy()
         testbed = deployment.testbed
+        auditor = getattr(testbed, "auditor", None)
         kwargs = invoke_kwargs or {}
 
         def launcher(env):
-            processes = [
-                env.process(_drive(deployment.invoke(**kwargs)))
-                for _ in range(batch)]
+            processes = []
+            for _ in range(batch):
+                if auditor is not None:
+                    auditor.note_arrival()
+                processes.append(
+                    env.process(_drive(deployment.invoke(**kwargs))))
             yield env.all_of(processes)
             return [process.value for process in processes]
 
         runs = testbed.env.run(
             until=testbed.env.process(launcher(testbed.env)))
+        if auditor is not None:
+            for _ in runs:
+                auditor.note_outcome("succeeded")
         testbed.advance(self.settle_time_s)
         return runs
 
@@ -154,9 +166,14 @@ class ColdStartCampaign:
         """Returns a campaign whose cold_start_delays form Fig 10."""
         deployment.deploy()
         testbed = deployment.testbed
+        auditor = getattr(testbed, "auditor", None)
         result = CampaignResult(deployment=deployment.name)
         for _ in range(self.request_count):
+            if auditor is not None:
+                auditor.note_arrival()
             run = testbed.run(deployment.invoke())
+            if auditor is not None:
+                auditor.note_outcome("succeeded")
             result.runs.append(run)
             elapsed = testbed.now - run.started_at
             testbed.advance(max(0.0, self.interval_s - elapsed))

@@ -147,6 +147,7 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
     :func:`classify_error` instead of aborting the campaign, so at any
     offered rate the run completes without an unhandled exception.
     """
+    from repro.core import audit as audit_mod
     from repro.core.deployments.base import Deployment
     from repro.core.parallel import CampaignOutcome
     Deployment._run_ids = itertools.count(1)
@@ -154,9 +155,11 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
     aws, azure = spec.calibrations()
     testbed = Testbed(seed=spec.seed, aws_calibration=aws,
                       azure_calibration=azure,
-                      fault_plan=spec.fault_plan_obj())
+                      fault_plan=spec.fault_plan_obj(),
+                      audit=audit_mod.enabled_for(spec.audit))
     deployment = spec.build_deployment(testbed)
     deployment.deploy()
+    auditor = testbed.auditor
     rng = testbed.streams.get(f"load.{deployment.name}")
     offsets = arrival_process(spec).schedule(rng, spec.horizon_s)
     kwargs = dict(spec.invoke_kwargs)
@@ -165,12 +168,18 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
 
     def fire(env, delay):
         yield env.timeout(delay)
+        if auditor is not None:
+            auditor.note_arrival()
         try:
             run = yield from deployment.invoke(**kwargs)
         except Exception as error:  # noqa: BLE001 - the bucket IS the datum
             counts[classify_error(error)] += 1
+            if auditor is not None:
+                auditor.note_outcome(classify_error(error))
             return None
         campaign.runs.append(run)
+        if auditor is not None:
+            auditor.note_outcome("succeeded")
         return run
 
     env = testbed.env
@@ -217,5 +226,10 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
         p99_latency_s=percentile(latencies, 99) if latencies else 0.0)
 
     cost = cost_report(deployment, per_runs=max(1, offered))
+    report = None
+    if auditor is not None:
+        report = auditor.finalize()
+        if audit_mod.RAISE_ON_VIOLATION:
+            report.raise_if_violations()
     return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
-                           overload=summary)
+                           overload=summary, audit=report)

@@ -109,6 +109,9 @@ class CampaignSpec:
     invoke_kwargs: Tuple[Tuple[str, Any], ...] = ()
     #: sorted ``FaultPlan.to_items()`` pairs; empty = fault-free
     fault_plan: Tuple[Tuple[str, Any], ...] = ()
+    #: run the invariant auditor?  None defers to
+    #: :data:`repro.core.audit.DEFAULT_AUDIT` at execution time.
+    audit: Optional[bool] = None
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -143,6 +146,15 @@ class CampaignSpec:
                 raise ValueError(
                     f"override keys look like 'aws.field' or "
                     f"'azure.field', got {name!r}")
+        if self.audit:
+            for name, value in self.calibration_overrides:
+                if str(name).endswith(".telemetry_spans") and not value:
+                    raise ValueError(
+                        f"audit=True needs telemetry spans: override "
+                        f"{name!r}={value!r} would starve the auditor "
+                        f"of the execution-span evidence it checks "
+                        f"billing against (drop the override or set "
+                        f"audit=False)")
 
     # -- identity ---------------------------------------------------------------
 
@@ -224,6 +236,8 @@ class CampaignOutcome:
     reliability: Optional[Any] = None
     #: overload campaigns attach their summary report here
     overload: Optional[Any] = None
+    #: :class:`repro.core.audit.AuditReport` when the spec was audited
+    audit: Optional[Any] = None
     #: True when this outcome was served from a result cache
     cached: bool = field(default=False, compare=False)
 
@@ -252,10 +266,13 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
         from repro.core.overload import execute_overload_spec
         return execute_overload_spec(spec)
 
+    from repro.core import audit as audit_mod
+
     aws, azure = spec.calibrations()
     testbed = Testbed(seed=spec.seed, aws_calibration=aws,
                       azure_calibration=azure,
-                      fault_plan=spec.fault_plan_obj())
+                      fault_plan=spec.fault_plan_obj(),
+                      audit=audit_mod.enabled_for(spec.audit))
     deployment = spec.build_deployment(testbed)
     kwargs = dict(spec.invoke_kwargs) or None
 
@@ -286,8 +303,14 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
         before = len(deployment.stack.meter)
         testbed.advance(spec.idle_window_s)
         idle_transactions = len(deployment.stack.meter) - before
+    report = None
+    if testbed.auditor is not None:
+        report = testbed.auditor.finalize()
+        if audit_mod.RAISE_ON_VIOLATION:
+            report.raise_if_violations()
     return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
-                           idle_transactions=idle_transactions)
+                           idle_transactions=idle_transactions,
+                           audit=report)
 
 
 def _prewarm_workloads(specs: Iterable[CampaignSpec]) -> None:

@@ -12,6 +12,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.core.audit import AuditReport, CheckResult
 from repro.core.costs import CostReport
 from repro.core.deployments.base import RunResult
 from repro.core.experiment import CampaignResult
@@ -88,6 +89,27 @@ def overload_from_dict(data: Dict[str, Any]) -> OverloadSummary:
     fields = {key: value for key, value in data.items()
               if key not in ("format_version", "kind")}
     return OverloadSummary(**fields)
+
+
+def audit_to_dict(report: AuditReport) -> Dict[str, Any]:
+    """A JSON-ready representation of an audit report."""
+    payload = asdict(report)
+    payload.update({"format_version": FORMAT_VERSION, "kind": "audit"})
+    return payload
+
+
+def audit_from_dict(data: Dict[str, Any]) -> AuditReport:
+    """Inverse of :func:`audit_to_dict` (tuples restored from lists)."""
+    _check(data, "audit")
+    checks = tuple(
+        CheckResult(invariant=check["invariant"], passed=check["passed"],
+                    detail=check["detail"],
+                    evidence=tuple(check.get("evidence", ())))
+        for check in data["checks"])
+    outcomes = tuple((str(name), int(count))
+                     for name, count in data["outcomes"])
+    return AuditReport(checks=checks, dispatches=data["dispatches"],
+                       arrivals=data["arrivals"], outcomes=outcomes)
 
 
 def _check(data: Dict[str, Any], kind: str) -> None:

@@ -67,7 +67,7 @@ class ReliabilitySummary:
         return self.successes / self.total_runs
 
 
-def _run_pass(spec: "CampaignSpec", fault_plan
+def _run_pass(spec: "CampaignSpec", fault_plan, audit: bool = False
               ) -> Tuple[Testbed, CampaignResult, CostReport, int]:
     """One campaign pass (tolerant of failed runs).
 
@@ -77,13 +77,16 @@ def _run_pass(spec: "CampaignSpec", fault_plan
     failure instead of aborting the campaign.
     """
     from repro.core.deployments.base import Deployment
+    from repro.core.overload import classify_error
     Deployment._run_ids = itertools.count(1)
 
     aws, azure = spec.calibrations()
     testbed = Testbed(seed=spec.seed, aws_calibration=aws,
-                      azure_calibration=azure, fault_plan=fault_plan)
+                      azure_calibration=azure, fault_plan=fault_plan,
+                      audit=audit)
     deployment = spec.build_deployment(testbed)
     deployment.deploy()
+    auditor = testbed.auditor
     telemetry = deployment.stack.telemetry
     campaign = CampaignResult(deployment=deployment.name)
     kwargs = dict(spec.invoke_kwargs)
@@ -93,9 +96,15 @@ def _run_pass(spec: "CampaignSpec", fault_plan
         window_start = testbed.now
         span_cursor = len(telemetry.spans)
         run = None
+        if auditor is not None:
+            auditor.note_arrival()
         try:
             run = testbed.run(deployment.invoke(**kwargs))
-        except Exception:  # noqa: BLE001 - the failure IS the measurement
+            if auditor is not None:
+                auditor.note_outcome("succeeded")
+        except Exception as error:  # noqa: BLE001 - the failure IS the measurement
+            if auditor is not None:
+                auditor.note_outcome(classify_error(error))
             if index >= spec.warmup:
                 failures += 1
         testbed.advance(spec.settle_time_s)
@@ -117,11 +126,18 @@ def _ratio(value: float, baseline: float) -> float:
 
 
 def execute_reliability_spec(spec: "CampaignSpec") -> "CampaignOutcome":
-    """Run the faulted pass and its fault-free baseline; summarize."""
+    """Run the faulted pass and its fault-free baseline; summarize.
+
+    Only the faulted pass is audited: it is the one exercising retries,
+    duplicates and crash recovery, and the baseline pass would double
+    every check for no extra signal.
+    """
+    from repro.core import audit as audit_mod
     from repro.core.parallel import CampaignOutcome
 
     plan = spec.fault_plan_obj()
-    testbed, campaign, cost, failures = _run_pass(spec, plan)
+    testbed, campaign, cost, failures = _run_pass(
+        spec, plan, audit=audit_mod.enabled_for(spec.audit))
     _, baseline_campaign, baseline_cost, _ = _run_pass(spec, None)
 
     faults = testbed.faults
@@ -160,5 +176,10 @@ def execute_reliability_spec(spec: "CampaignSpec") -> "CampaignOutcome":
         mean_recovery_time_s=(sum(recovery_times) / len(recovery_times)
                               if recovery_times else 0.0))
 
+    report = None
+    if testbed.auditor is not None:
+        report = testbed.auditor.finalize()
+        if audit_mod.RAISE_ON_VIOLATION:
+            report.raise_if_violations()
     return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
-                           reliability=summary)
+                           reliability=summary, audit=report)

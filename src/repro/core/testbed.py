@@ -56,12 +56,22 @@ class Testbed:
     def __init__(self, seed: int = 0,
                  aws_calibration: Optional[AWSCalibration] = None,
                  azure_calibration: Optional[AzureCalibration] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 audit: bool = False):
         self.env = Environment()
         self.streams = RandomStreams(seed=seed)
         self.aws_calibration = aws_calibration or default_aws_calibration()
         self.azure_calibration = (azure_calibration
                                   or default_azure_calibration())
+        # The auditor must become the kernel monitor before the stacks
+        # exist so every CloudQueue (the task hub's control/work-item
+        # queues included) self-registers at construction; it learns the
+        # stack references afterwards via attach().
+        self.auditor = None
+        if audit:
+            from repro.core.audit import InvariantAuditor
+            self.auditor = InvariantAuditor()
+            self.env.monitor = self.auditor
         # The injector must exist before the services so they can thread
         # it through to handlers and queues at registration time.  With
         # no (enabled) plan it stays None and every platform behaves
@@ -74,7 +84,8 @@ class Testbed:
         clock = lambda: self.env.now  # noqa: E731 - tiny clock closure
 
         # -- AWS stack ----------------------------------------------------------
-        aws_telemetry = Telemetry(clock)
+        aws_telemetry = Telemetry(
+            clock, enabled=self.aws_calibration.telemetry_spans)
         aws_billing = BillingMeter(clock)
         aws_meter = TransactionMeter(clock)
         aws_blob = BlobStore(self.env, aws_meter,
@@ -91,7 +102,8 @@ class Testbed:
         self.aws_prices = AWSPriceModel(self.aws_calibration)
 
         # -- Azure stack ---------------------------------------------------------
-        azure_telemetry = Telemetry(clock)
+        azure_telemetry = Telemetry(
+            clock, enabled=self.azure_calibration.telemetry_spans)
         azure_billing = BillingMeter(clock)
         azure_meter = TransactionMeter(clock)
         azure_blob = BlobStore(self.env, azure_meter,
@@ -107,6 +119,9 @@ class Testbed:
 
         if self.faults is not None and self.faults.plan.host_crash_times:
             self.env.process(self._host_crash_schedule())
+
+        if self.auditor is not None:
+            self.auditor.attach(self)
 
     def _host_crash_schedule(self) -> Generator:
         """Crash every host at each scheduled time, then recover Azure.

@@ -94,6 +94,11 @@ class AWSCalibration:
     #: needed 2 GB "to deliver the same latency", §V-B).
     full_cpu_memory_mb: float = 1769.0
 
+    #: Collect telemetry spans.  Disabling drops span retention (a perf
+    #: knob for huge sweeps) but starves the invariant auditor —
+    #: ``CampaignSpec`` refuses ``audit=True`` with this off.
+    telemetry_spans: bool = True
+
     def cpu_factor(self, memory_mb: int) -> float:
         """Execution-time multiplier for a given memory configuration."""
         factor = self.full_cpu_memory_mb / float(memory_mb)
@@ -253,6 +258,9 @@ class AzureCalibration:
     storage_transaction_price: float = 4.0e-8   # $0.0004 per 10K transactions
     billing_granularity_s: float = 0.001   # ms-granularity GB-s metering
     min_billed_execution_s: float = 0.100  # 100 ms minimum per execution
+
+    #: Collect telemetry spans (see :attr:`AWSCalibration.telemetry_spans`).
+    telemetry_spans: bool = True
 
     def __post_init__(self):
         self.validate()

@@ -75,6 +75,11 @@ class FaultPlan:
     queue_delay_s: float = 5.0
     #: probability an enqueued message is delivered twice
     queue_duplication_probability: float = 0.0
+    #: whether the task hub dedupes duplicate completion messages while
+    #: duplication is active.  Disabling it with duplication enabled
+    #: models a broken at-least-once consumer — double-processed (and
+    #: double-billed) completions the invariant auditor must catch.
+    completion_dedupe: bool = True
     #: synthesized default retry policy (total attempts; <2 disables)
     retry_max_attempts: int = 0
     retry_interval_s: float = 2.0

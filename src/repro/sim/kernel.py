@@ -400,18 +400,29 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: virtual clock plus event queue."""
 
-    __slots__ = ("_now", "_queue", "_sequence", "_active_process")
+    __slots__ = ("_now", "_queue", "_sequence", "_active_process",
+                 "_monitor")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self._monitor: Optional[Callable[[float], None]] = None
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def monitor(self) -> Optional[Callable[[float], None]]:
+        """Dispatch observer: called with the clock after every pop."""
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, observer: Optional[Callable[[float], None]]) -> None:
+        self._monitor = observer
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -478,6 +489,9 @@ class Environment:
         if not self._queue:
             raise SimulationError("no scheduled events")
         self._now, _, event = _pop(self._queue)
+        monitor = self._monitor
+        if monitor is not None:
+            monitor(self._now)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -503,14 +517,18 @@ class Environment:
                     f"until ({stop_time}) lies in the past (now={self._now})")
 
         # Both loops below inline step() — heap pop, clock advance,
-        # callback fan-out, failure check — so the hot path touches only
-        # locals.  Keep them in sync with step() when editing either.
+        # monitor hook, callback fan-out, failure check — so the hot
+        # path touches only locals.  Keep them in sync with step() when
+        # editing either.
         queue = self._queue
+        monitor = self._monitor
 
         if stop_event is None and stop_time == float("inf"):
             # Drain to exhaustion: no stop checks at all.
             while queue:
                 self._now, _, event = _pop(queue)
+                if monitor is not None:
+                    monitor(self._now)
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
@@ -525,6 +543,8 @@ class Environment:
             # a later dispatch, not before returning.
             while stop_event._ok is None and queue:
                 self._now, _, event = _pop(queue)
+                if monitor is not None:
+                    monitor(self._now)
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
@@ -543,6 +563,8 @@ class Environment:
             if queue[0][0] > stop_time:
                 break
             self._now, _, event = _pop(queue)
+            if monitor is not None:
+                monitor(self._now)
             callbacks, event.callbacks = event.callbacks, None
             for callback in callbacks:
                 callback(event)

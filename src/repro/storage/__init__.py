@@ -11,7 +11,12 @@ from repro.storage.payload import Payload, estimate_size
 from repro.storage.meter import TransactionMeter, TransactionRecord
 from repro.storage.blob import BlobStore, BlobNotFound
 from repro.storage.queue import CloudQueue, QueueMessage
-from repro.storage.table import TableStore, TableEntity, EntityNotFound
+from repro.storage.table import (
+    TableStore,
+    TableEntity,
+    EntityNotFound,
+    PreconditionFailed,
+)
 
 __all__ = [
     "BlobNotFound",
@@ -19,6 +24,7 @@ __all__ = [
     "CloudQueue",
     "EntityNotFound",
     "Payload",
+    "PreconditionFailed",
     "QueueMessage",
     "TableEntity",
     "TableStore",

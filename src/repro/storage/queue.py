@@ -85,6 +85,12 @@ class CloudQueue:
         self._messages: List[QueueMessage] = []
         self._waiters: List[Any] = []
         self._space_waiters: List[Any] = []
+        # An audit layer installed as the environment monitor can watch
+        # message lifecycles; queues created after the auditor attaches
+        # (deployment-time chains) self-register here.
+        register = getattr(getattr(env, "monitor", None),
+                           "register_queue", None)
+        self._observer = register(self) if register is not None else None
 
     def __len__(self) -> int:
         """Approximate queue depth (visible messages only)."""
@@ -124,6 +130,8 @@ class CloudQueue:
             message_id=next(self._ids), payload=payload,
             enqueued_at=self.env.now)
         self._messages.append(message)
+        if self._observer is not None:
+            self._observer.note_enqueue(message, duplicate=False)
         if self.faults is not None:
             # At-least-once delivery faults: the message may surface late
             # and/or twice.  The duplicate is the broker's doing, not a
@@ -132,10 +140,13 @@ class CloudQueue:
             if delay > 0:
                 message.visible_at = self.env.now + delay
             if duplicate:
-                self._messages.append(QueueMessage(
+                twin = QueueMessage(
                     message_id=next(self._ids), payload=payload,
                     enqueued_at=self.env.now,
-                    visible_at=message.visible_at))
+                    visible_at=message.visible_at)
+                self._messages.append(twin)
+                if self._observer is not None:
+                    self._observer.note_enqueue(twin, duplicate=True)
         self.meter.record("queue", self.account, "enqueue", size=payload.size)
         # Cut short the backoff sleep of any waiting receiver: an active
         # consumer dispatches in sub-second time (the paper measures
@@ -161,6 +172,8 @@ class CloudQueue:
             return None
         message.dequeue_count += 1
         message.visible_at = self.env.now + self.visibility_timeout
+        if self._observer is not None:
+            self._observer.note_dequeue(message)
         self.meter.record("queue", self.account, "poll", size=message.size)
         return message
 
@@ -197,6 +210,8 @@ class CloudQueue:
         except ValueError:
             pass
         else:
+            if self._observer is not None:
+                self._observer.note_delete(message)
             # A slot freed under the depth bound: wake blocked producers.
             waiters, self._space_waiters = self._space_waiters, []
             for waiter in waiters:

@@ -23,6 +23,23 @@ class EntityNotFound(KeyError):
     """Raised when reading a row that does not exist."""
 
 
+class PreconditionFailed(RuntimeError):
+    """A conditional update lost the optimistic-concurrency race.
+
+    Mirrors HTTP 412 from Azure Table storage / DynamoDB's conditional
+    check failure: the caller's ``if_match`` etag no longer matches the
+    stored row.
+    """
+
+    def __init__(self, key: Tuple[str, str], expected: int,
+                 actual: Optional[int]):
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"etag mismatch on {key}: if_match={expected}, stored={actual}")
+
+
 @dataclass
 class TableEntity:
     """One table row."""
@@ -81,6 +98,29 @@ class TableStore:
         etag = self._rows[key].etag + 1 if key in self._rows else 0
         self._rows[key] = TableEntity(partition_key, row_key, payload, etag)
         self.meter.record("table", self.account, "insert", size=payload.size)
+        return etag
+
+    def update(self, partition_key: str, row_key: str, value: Any,
+               if_match: int, size: Optional[int] = None) -> Generator:
+        """Replace a row only if its etag still equals ``if_match``.
+
+        Returns the new etag on success; raises
+        :class:`PreconditionFailed` when another writer got there first
+        (the round trip is still billed, as on the real service) and
+        :class:`EntityNotFound` when the row has vanished.
+        """
+        payload = Payload(value, size) if size is not None else Payload.wrap(value)
+        duration = self.latency.operation_time(self.rng, payload.size)
+        yield self.env.timeout(duration)
+        key = (partition_key, row_key)
+        entity = self._rows.get(key)
+        self.meter.record("table", self.account, "update", size=payload.size)
+        if entity is None:
+            raise EntityNotFound(key)
+        if entity.etag != if_match:
+            raise PreconditionFailed(key, if_match, entity.etag)
+        etag = entity.etag + 1
+        self._rows[key] = TableEntity(partition_key, row_key, payload, etag)
         return etag
 
     def read(self, partition_key: str, row_key: str) -> Generator:

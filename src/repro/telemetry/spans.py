@@ -64,20 +64,27 @@ class Telemetry:
 
     _ids = itertools.count(1)
 
-    def __init__(self, clock: Callable[[], float]):
+    def __init__(self, clock: Callable[[], float], enabled: bool = True):
         self._clock = clock
+        self.enabled = enabled
         self.spans: List[Span] = []
 
     def start_span(self, name: str, kind: str,
                    parent: Optional[Span] = None,
                    **attributes: Any) -> Span:
-        """Open a span at the current simulated time."""
+        """Open a span at the current simulated time.
+
+        With collection disabled (``enabled=False``) the span object is
+        still produced — platform code annotates and closes it — but it
+        is not retained, so queries see nothing.
+        """
         span = Span(
             span_id=next(self._ids), name=name, kind=kind,
             start=self._clock(),
             parent_id=parent.span_id if parent else None,
             attributes=dict(attributes))
-        self.spans.append(span)
+        if self.enabled:
+            self.spans.append(span)
         return span
 
     def end_span(self, span: Span, **attributes: Any) -> Span:
@@ -97,7 +104,8 @@ class Telemetry:
             span_id=next(self._ids), name=name, kind=kind, start=start,
             end=end, parent_id=parent.span_id if parent else None,
             attributes=dict(attributes))
-        self.spans.append(span)
+        if self.enabled:
+            self.spans.append(span)
         return span
 
     # -- queries ---------------------------------------------------------------

@@ -126,6 +126,22 @@ def test_fault_free_reliability_is_its_own_baseline():
     assert summary.p99_latency_s == summary.baseline_p99_latency_s
 
 
+def test_host_crash_recovery_is_not_counted_as_retries():
+    """Regression guard: history-replay recovery after a host crash
+    re-drives the orchestrator, but those replayed activities are
+    restarts of *lost* work, not platform retries — the retry total must
+    stay zero when host crashes are the only injected fault."""
+    plan = FaultPlan(host_crash_times=(40.0,))
+    spec = CampaignSpec(deployment="Az-Dorch", workload="ml-training",
+                        scale="small", campaign="reliability",
+                        iterations=3, warmup=0, seed=7,
+                        fault_plan=plan.to_items())
+    summary = execute_spec(spec).reliability
+    assert summary.host_crashes == 1          # the crash actually fired
+    assert summary.retries == 0               # recovery != retry
+    assert summary.mean_recovery_time_s >= 0.0
+
+
 # -- bit-identity: serial / worker pool / cache (acceptance) -----------------------
 
 @pytest.mark.parametrize("spec", [AWS_SPEC, AZ_SPEC],
