@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults test-overload test-audit audit-sweep bench bench-kernel examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload test-audit audit-sweep bench bench-kernel bench-campaign examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,12 @@ bench:
 # to BENCH_kernel.json at the repo root.
 bench-kernel:
 	PYTHONPATH=src python benchmarks/test_kernel_throughput.py
+
+# Macro benchmark: an audited idle-heavy campaign end to end, seed
+# kernel + sampled polling vs live kernel + idle-poll elision, written
+# to BENCH_campaign.json at the repo root.
+bench-campaign:
+	PYTHONPATH=src python benchmarks/test_macro_campaign.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,8 +29,10 @@ import _seed_kernel
 from repro.sim import kernel as live_kernel
 
 #: The optimization budget: the live kernel must dispatch at least this
-#: many times more events/sec than the seed kernel.
-SPEEDUP_FLOOR = 1.3
+#: many times more events/sec than the seed kernel.  Quiet-machine
+#: best-of runs land at 1.6-1.73x; the floor leaves headroom for noise
+#: since this assert is in tier-1.
+SPEEDUP_FLOOR = 1.5
 
 
 def _workload(kernel, n_processes: int, n_steps: int) -> float:
@@ -79,24 +82,31 @@ def _workload(kernel, n_processes: int, n_steps: int) -> float:
 
 
 def measure(n_processes: int = 50, n_steps: int = 400,
-            rounds: int = 5) -> dict:
+            rounds: int = 9) -> dict:
     """Best-of-``rounds`` events/sec for both kernels, plus the ratio.
 
-    Rounds are interleaved (seed, optimized, seed, ...) so clock-speed
-    drift on a busy machine hits both kernels alike instead of skewing
-    the ratio.
+    Rounds are interleaved (seed, optimized, seed, ...) and each side's
+    throughput is the max over its rounds: on a machine with bursty
+    background load, the max is the round that dodged the noise, so with
+    enough rounds both kernels are compared at quiet-machine speed.
+    Per-round ratios are reported for diagnostics but deliberately not
+    aggregated — load flipping mid-round makes individual ratios swing
+    both ways.
     """
-    live = 0.0
-    seed = 0.0
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS") or rounds)
+    seeds = []
+    lives = []
     for _ in range(rounds):
-        seed = max(seed, _workload(_seed_kernel, n_processes, n_steps))
-        live = max(live, _workload(live_kernel, n_processes, n_steps))
+        seeds.append(_workload(_seed_kernel, n_processes, n_steps))
+        lives.append(_workload(live_kernel, n_processes, n_steps))
     return {
         "workload": {"processes": n_processes * 3, "steps": n_steps,
                      "rounds": rounds},
-        "seed_events_per_sec": round(seed),
-        "optimized_events_per_sec": round(live),
-        "speedup": round(live / seed, 3),
+        "seed_events_per_sec": round(max(seeds)),
+        "optimized_events_per_sec": round(max(lives)),
+        "speedup": round(max(lives) / max(seeds), 3),
+        "round_speedups": [
+            round(live / seed, 3) for live, seed in zip(lives, seeds)],
         "speedup_floor": SPEEDUP_FLOOR,
     }
 

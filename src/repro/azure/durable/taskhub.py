@@ -179,7 +179,8 @@ class TaskHub:
             env=env, meter=meter, rng=rng, account=account,
             min_poll_interval=self.calibration.min_poll_interval_s,
             max_poll_interval=self.calibration.max_poll_interval_s,
-            visibility_timeout=600.0, faults=faults)
+            visibility_timeout=600.0, faults=faults,
+            idle_poll_elision=self.calibration.idle_poll_elision)
         self.control_queues = [
             CloudQueue(name=f"{account}-control-{index:02d}", **queue_kwargs)
             for index in range(partition_count)]

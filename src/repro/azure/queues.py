@@ -60,7 +60,9 @@ class QueueChain:
                        account=f"{name}-storage",
                        max_message_size=app.calibration
                        .queue_payload_limit_bytes,
-                       faults=getattr(app, "faults", None))
+                       faults=getattr(app, "faults", None),
+                       idle_poll_elision=getattr(
+                           app.calibration, "idle_poll_elision", False))
             for index in range(len(stages))]
         self._rng = rng
 

@@ -227,6 +227,12 @@ class AzureCalibration:
     #: Control/work-item queue polling backoff bounds while idle.
     min_poll_interval_s: float = 0.10
     max_poll_interval_s: float = 30.0
+    #: Skip simulating individual empty polls when a queue is provably
+    #: idle: consumers block on the enqueue wakeup and the elided polls
+    #: are metered in batches (identical bill, far fewer kernel events).
+    #: Queues under fault plans or depth bounds always fall back to
+    #: sampled polling regardless of this flag.
+    idle_poll_elision: bool = True
     #: Task hub control-queue partitions (Durable default).
     partition_count: int = 4
     #: Partition lease (blob) heartbeat interval — billed while idle.

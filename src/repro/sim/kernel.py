@@ -18,11 +18,37 @@ triggers push onto the queue directly instead of going through
 event)`` 3-tuples where ``order`` packs ``(priority, sequence)`` into one
 integer.  ``benchmarks/test_kernel_throughput.py`` tracks the events/sec
 budget against the frozen seed kernel.
+
+Second-round optimizations (still bit-identical to the original
+dispatch order — the total order over ``(time, priority, sequence)``
+keys is unchanged):
+
+* **Immediate-event batching.**  Events scheduled at the current clock
+  time (``succeed``/``fail``/``trigger``, :class:`Initialize`,
+  zero-delay timeouts) skip the heap entirely and land on two FIFO
+  deques (urgent / normal).  Appending is O(1) instead of O(log n), and
+  the dispatch loop drains a whole same-timestamp batch with O(1) pops,
+  comparing against the heap head only to preserve the exact global
+  ``(time, order)`` sequence.
+* **Timeout pooling.**  A dispatched :class:`Timeout` that nothing else
+  references (checked via ``sys.getrefcount``) is recycled onto a
+  per-environment free list together with its (cleared) callbacks list,
+  so the hottest allocation in storage-latency-bound campaigns reuses
+  warm objects instead of hitting the allocator.
+* **Inlined process stepping.**  The run loops recognize the dominant
+  dispatch shape — exactly one callback, and it is a
+  :meth:`Process._resume` bound method — and step the generator inline,
+  eliding one Python frame per dispatch.  :meth:`Environment.step` keeps
+  the readable, un-inlined reference implementation of the same
+  semantics.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
+from sys import getrefcount
+from types import MethodType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Event scheduling priorities.  Lower sorts earlier at equal times.
@@ -34,6 +60,11 @@ NORMAL = 1
 #: 2**53 keeps every sequence number exactly representable and leaves
 #: priorities dominant.
 _PRIORITY_STRIDE = 2 ** 53
+
+#: Upper bound on the per-environment :class:`Timeout` free list.  The
+#: pool only grows while dispatching, so this is a safety valve against
+#: pathological churn, not a tuning knob.
+_TIMEOUT_POOL_LIMIT = 4096
 
 
 class SimulationError(Exception):
@@ -102,8 +133,7 @@ class Event:
         self._value = value
         env = self.env
         sequence = env._sequence
-        heappush(env._queue,
-                 (env._now, _PRIORITY_STRIDE + sequence, self))
+        env._ready.append((_PRIORITY_STRIDE + sequence, self))
         env._sequence = sequence + 1
         return self
 
@@ -158,8 +188,11 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         sequence = env._sequence
-        heappush(env._queue,
-                 (env._now + delay, _PRIORITY_STRIDE + sequence, self))
+        if delay:
+            heappush(env._queue,
+                     (env._now + delay, _PRIORITY_STRIDE + sequence, self))
+        else:
+            env._ready.append((_PRIORITY_STRIDE + sequence, self))
         env._sequence = sequence + 1
 
 
@@ -175,7 +208,7 @@ class Initialize(Event):
         self._ok = True
         self._defused = False
         sequence = env._sequence
-        heappush(env._queue, (env._now, sequence, self))   # URGENT
+        env._urgent.append((sequence, self))   # URGENT
         env._sequence = sequence + 1
 
 
@@ -186,13 +219,16 @@ class Process(Event):
     (successfully, with the ``StopIteration`` value) or raises.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_send", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        # The bound ``send`` is cached because resuming is the single
+        # hottest call in the dispatch loop.
+        self._send = generator.send
         self._target: Optional[Event] = None
         Initialize(env, self)
 
@@ -230,7 +266,7 @@ class Process(Event):
         """Advance the generator with the value of the triggered event."""
         env = self.env
         env._active_process = self
-        send = self._generator.send
+        send = self._send
         while True:
             try:
                 if event._ok:
@@ -249,7 +285,9 @@ class Process(Event):
                 env.schedule(self)
                 break
 
-            if not isinstance(next_event, Event):
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 error = SimulationError(
                     f"process {self.name} yielded a non-event: {next_event!r}")
                 self._ok = False
@@ -257,7 +295,6 @@ class Process(Event):
                 env.schedule(self)
                 break
 
-            callbacks = next_event.callbacks
             if callbacks is not None:
                 # Event is pending or triggered-but-unprocessed: wait for it.
                 callbacks.append(self._resume)
@@ -315,18 +352,16 @@ class Condition(Event):
         self._events = events = list(events)
         self._evaluate = evaluate
         self._done = 0
-        for event in events:
-            if event.env is not env:
-                raise SimulationError("events from different environments")
-
         if not events:
             self.succeed(ConditionValue([]))
             return
 
-        # One bound method for every subscription instead of one per
-        # sub-event.
+        # One pass: validate and subscribe together, with one bound
+        # method shared by every subscription instead of one per event.
         check = self._check
         for event in events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
             if event.callbacks is None:
                 check(event)
             else:
@@ -400,15 +435,22 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: virtual clock plus event queue."""
 
-    __slots__ = ("_now", "_queue", "_sequence", "_active_process",
-                 "_monitor")
+    __slots__ = ("_now", "_queue", "_urgent", "_ready", "_sequence",
+                 "_active_process", "_monitor", "_timeout_pool")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
+        #: immediate (zero-delay) events, drained before the clock moves:
+        #: URGENT-priority entries and NORMAL-priority entries, each FIFO
+        #: in sequence order as ``(order, event)`` pairs.
+        self._urgent: deque = deque()
+        self._ready: deque = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self._monitor: Optional[Callable[[float], None]] = None
+        #: free list of recycled Timeout instances (see run()).
+        self._timeout_pool: list = []
 
     @property
     def now(self) -> float:
@@ -433,8 +475,20 @@ class Environment:
                  delay: float = 0.0) -> None:
         """Place ``event`` on the queue ``delay`` time units from now."""
         sequence = self._sequence
-        heappush(self._queue, (self._now + delay,
-                               priority * _PRIORITY_STRIDE + sequence, event))
+        if delay:
+            heappush(self._queue,
+                     (self._now + delay,
+                      priority * _PRIORITY_STRIDE + sequence, event))
+        elif priority == NORMAL:
+            self._ready.append((_PRIORITY_STRIDE + sequence, event))
+        elif priority == URGENT:
+            self._urgent.append((sequence, event))
+        else:
+            # Exotic priorities take the generic heap path; the dispatch
+            # loops order heap entries against the deques numerically.
+            heappush(self._queue,
+                     (self._now, priority * _PRIORITY_STRIDE + sequence,
+                      event))
         self._sequence = sequence + 1
 
     def process(self, generator: Generator) -> Process:
@@ -446,18 +500,31 @@ class Environment:
         # Inlined Timeout.__init__ (keep in sync): this is the single
         # hottest constructor, and skipping the __init__ frame is worth
         # the duplication.
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
-        event = Timeout.__new__(Timeout)
-        event.env = self
-        event.callbacks = []
-        event._value = value
-        event._ok = True
-        event._defused = False
-        event.delay = delay
+        pool = self._timeout_pool
+        if pool:
+            # Recycled instance: env/_ok/_defused are already correct and
+            # the callbacks list was cleared when it entered the pool.
+            event = pool.pop()
+            event._value = value
+            event.delay = delay
+        else:
+            event = Timeout.__new__(Timeout)
+            event.env = self
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
+            event.delay = delay
         sequence = self._sequence
-        heappush(self._queue,
-                 (self._now + delay, _PRIORITY_STRIDE + sequence, event))
+        if delay > 0:
+            heappush(self._queue,
+                     (self._now + delay, _PRIORITY_STRIDE + sequence, event))
+        elif delay == 0:
+            self._ready.append((_PRIORITY_STRIDE + sequence, event))
+        else:
+            # The ordering compare (not ``delay < 0``) also rejects NaN,
+            # which would poison the heap invariant.
+            raise ValueError(f"negative timeout delay: {delay}")
         self._sequence = sequence + 1
         return event
 
@@ -482,13 +549,49 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._urgent or self._ready:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
-    def step(self, _pop=heappop) -> None:
-        """Process the next scheduled event."""
-        if not self._queue:
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the next event in global ``(time, order)``
+        sequence, advancing the clock; ``None`` when nothing is left.
+
+        Immediate events (the deques) always carry the current clock
+        time, so the heap head competes with them only at equal times,
+        by packed order.  This is the readable reference for the
+        selection logic inlined into :meth:`run`.
+        """
+        queue = self._queue
+        urgent = self._urgent
+        if urgent:
+            if queue and queue[0][0] == self._now \
+                    and queue[0][1] < urgent[0][0]:
+                self._now, _, event = heappop(queue)
+                return event
+            return urgent.popleft()[1]
+        ready = self._ready
+        if ready:
+            if queue and queue[0][0] == self._now \
+                    and queue[0][1] < ready[0][0]:
+                self._now, _, event = heappop(queue)
+                return event
+            return ready.popleft()[1]
+        if queue:
+            self._now, _, event = heappop(queue)
+            return event
+        return None
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        This is the un-inlined reference implementation of one dispatch;
+        :meth:`run` repeats the same semantics with the hot paths
+        (single-process resume, timeout recycling) specialized inline.
+        """
+        event = self._pop_next()
+        if event is None:
             raise SimulationError("no scheduled events")
-        self._now, _, event = _pop(self._queue)
         monitor = self._monitor
         if monitor is not None:
             monitor(self._now)
@@ -516,41 +619,167 @@ class Environment:
                 raise SimulationError(
                     f"until ({stop_time}) lies in the past (now={self._now})")
 
-        # Both loops below inline step() — heap pop, clock advance,
-        # monitor hook, callback fan-out, failure check — so the hot
-        # path touches only locals.  Keep them in sync with step() when
-        # editing either.
+        # Both loops below inline one dispatch — event selection, clock
+        # advance, monitor hook, callback fan-out (with the dominant
+        # single-process resume stepped inline), failure check and
+        # timeout recycling — so the hot path touches only locals.  Keep
+        # them in sync with step()/_pop_next() when editing any of them.
         queue = self._queue
+        urgent = self._urgent
+        ready = self._ready
+        pool = self._timeout_pool
         monitor = self._monitor
-
-        if stop_event is None and stop_time == float("inf"):
-            # Drain to exhaustion: no stop checks at all.
-            while queue:
-                self._now, _, event = _pop(queue)
-                if monitor is not None:
-                    monitor(self._now)
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event._defused:
-                    # An unhandled failure crashes the simulation, loudly.
-                    raise event._value
-            return None
+        resume = Process._resume
+        # Hot-loop globals hoisted to locals: every name in the dispatch
+        # blocks below must resolve via LOAD_FAST.
+        grc = getrefcount
+        method_type = MethodType
+        timeout_cls = Timeout
+        stride = _PRIORITY_STRIDE
+        pool_limit = _TIMEOUT_POOL_LIMIT
+        allof_check = AllOf._check
+        anyof_check = AnyOf._check
+        cond_value = ConditionValue
 
         if stop_event is not None:
             # Dispatch until the stop event carries a value; as in
             # step()-driven runs, the stop event's own callbacks fire on
             # a later dispatch, not before returning.
-            while stop_event._ok is None and queue:
-                self._now, _, event = _pop(queue)
+            while stop_event._ok is None:
+                # -- selection (batched: immediates drain at O(1) before
+                # the heap moves the clock; ties resolve by packed order)
+                if urgent:
+                    if queue and queue[0][0] == self._now \
+                            and queue[0][1] < urgent[0][0]:
+                        self._now, _, event = _pop(queue)
+                    else:
+                        event = urgent.popleft()[1]
+                elif ready:
+                    if queue and queue[0][0] == self._now \
+                            and queue[0][1] < ready[0][0]:
+                        self._now, _, event = _pop(queue)
+                    else:
+                        event = ready.popleft()[1]
+                elif queue:
+                    self._now, _, event = _pop(queue)
+                else:
+                    break
                 if monitor is not None:
                     monitor(self._now)
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event._defused:
-                    # An unhandled failure crashes the simulation, loudly.
-                    raise event._value
+                # -- dispatch
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    cb = callbacks[0]
+                    func = cb.__func__ if cb.__class__ is method_type else None
+                    if func is resume:
+                        # Inlined Process._resume (keep in sync): step
+                        # the generator without the extra Python frame.
+                        # A failed event is defused by the throw branch,
+                        # so no unhandled-failure check is needed here.
+                        proc = cb.__self__
+                        self._active_process = proc
+                        send = proc._send
+                        step_event = event
+                        while True:
+                            try:
+                                if step_event._ok:
+                                    next_event = send(step_event._value)
+                                else:
+                                    step_event._defused = True
+                                    next_event = proc._generator.throw(
+                                        step_event._value)
+                            except StopIteration as stop:
+                                proc._ok = True
+                                proc._value = stop.value
+                                seq = self._sequence
+                                ready.append((stride + seq, proc))
+                                self._sequence = seq + 1
+                                break
+                            except BaseException as error:
+                                proc._ok = False
+                                proc._value = error
+                                seq = self._sequence
+                                ready.append((stride + seq, proc))
+                                self._sequence = seq + 1
+                                break
+                            try:
+                                next_callbacks = next_event.callbacks
+                            except AttributeError:
+                                proc._ok = False
+                                proc._value = SimulationError(
+                                    f"process {proc.name} yielded a "
+                                    f"non-event: {next_event!r}")
+                                seq = self._sequence
+                                ready.append((stride + seq, proc))
+                                self._sequence = seq + 1
+                                break
+                            if next_callbacks is not None:
+                                next_callbacks.append(cb)
+                                proc._target = next_event
+                                break
+                            step_event = next_event
+                        step_event = None
+                        self._active_process = None
+                    elif func is allof_check:
+                        # Inlined AllOf._check + Event.succeed (keep in sync):
+                        # conditions over timeout batches are the fan-out shape.
+                        cond = cb.__self__
+                        if cond._ok is None:
+                            done = cond._done = cond._done + 1
+                            if not event._ok:
+                                event._defused = True
+                                cond.fail(event._value)
+                            elif done == len(cond._events):
+                                value = cond_value.__new__(cond_value)
+                                value.events = cond._events[:]
+                                cond._ok = True
+                                cond._value = value
+                                ready.append(
+                                    (stride + self._sequence, cond))
+                                self._sequence += 1
+                        elif event._ok is False and not event._defused:
+                            raise event._value
+                    elif func is anyof_check:
+                        # Inlined AnyOf._check + _succeed_with_done (keep in
+                        # sync): `a | b` waits are the poll-backoff shape.
+                        cond = cb.__self__
+                        if cond._ok is None:
+                            cond._done += 1
+                            if not event._ok:
+                                event._defused = True
+                                cond.fail(event._value)
+                            else:
+                                value = cond_value.__new__(cond_value)
+                                value.events = [e for e in cond._events
+                                                if e._ok is not None and e._ok]
+                                cond._ok = True
+                                cond._value = value
+                                ready.append(
+                                    (stride + self._sequence, cond))
+                                self._sequence += 1
+                        elif event._ok is False and not event._defused:
+                            raise event._value
+                    else:
+                        cb(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        # An unhandled failure crashes the run, loudly.
+                        raise event._value
+                # -- timeout recycling: safe only when nothing else can
+                # observe the object (our local + getrefcount's argument).
+                if event.__class__ is timeout_cls and grc(event) == 2 \
+                        and len(pool) < pool_limit:
+                    if grc(callbacks) == 2:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                    else:
+                        event.callbacks = []
+                    pool.append(event)
             if stop_event._ok is not None:
                 if not stop_event._ok:
                     stop_event._defused = True
@@ -559,17 +788,137 @@ class Environment:
             raise SimulationError(
                 "run(until=event) finished but the event never triggered")
 
-        while queue:
-            if queue[0][0] > stop_time:
+        # Drain to exhaustion or to stop_time; immediates always carry
+        # the current clock time, so only heap pops consult stop_time.
+        while True:
+            if urgent:
+                if queue and queue[0][0] == self._now \
+                        and queue[0][1] < urgent[0][0]:
+                    self._now, _, event = _pop(queue)
+                else:
+                    event = urgent.popleft()[1]
+            elif ready:
+                if queue and queue[0][0] == self._now \
+                        and queue[0][1] < ready[0][0]:
+                    self._now, _, event = _pop(queue)
+                else:
+                    event = ready.popleft()[1]
+            elif queue:
+                if queue[0][0] > stop_time:
+                    break
+                self._now, _, event = _pop(queue)
+            else:
                 break
-            self._now, _, event = _pop(queue)
             if monitor is not None:
                 monitor(self._now)
-            callbacks, event.callbacks = event.callbacks, None
-            for callback in callbacks:
-                callback(event)
-            if event._ok is False and not event._defused:
-                # An unhandled failure crashes the simulation, loudly.
-                raise event._value
-        self._now = stop_time
+            # -- dispatch (same block as above; keep in sync)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if len(callbacks) == 1:
+                cb = callbacks[0]
+                func = cb.__func__ if cb.__class__ is method_type else None
+                if func is resume:
+                    proc = cb.__self__
+                    self._active_process = proc
+                    send = proc._send
+                    step_event = event
+                    while True:
+                        try:
+                            if step_event._ok:
+                                next_event = send(step_event._value)
+                            else:
+                                step_event._defused = True
+                                next_event = proc._generator.throw(
+                                    step_event._value)
+                        except StopIteration as stop:
+                            proc._ok = True
+                            proc._value = stop.value
+                            seq = self._sequence
+                            ready.append((stride + seq, proc))
+                            self._sequence = seq + 1
+                            break
+                        except BaseException as error:
+                            proc._ok = False
+                            proc._value = error
+                            seq = self._sequence
+                            ready.append((stride + seq, proc))
+                            self._sequence = seq + 1
+                            break
+                        try:
+                            next_callbacks = next_event.callbacks
+                        except AttributeError:
+                            proc._ok = False
+                            proc._value = SimulationError(
+                                f"process {proc.name} yielded a "
+                                f"non-event: {next_event!r}")
+                            seq = self._sequence
+                            ready.append((stride + seq, proc))
+                            self._sequence = seq + 1
+                            break
+                        if next_callbacks is not None:
+                            next_callbacks.append(cb)
+                            proc._target = next_event
+                            break
+                        step_event = next_event
+                    step_event = None
+                    self._active_process = None
+                elif func is allof_check:
+                    # Inlined AllOf._check + Event.succeed (keep in sync):
+                    # conditions over timeout batches are the fan-out shape.
+                    cond = cb.__self__
+                    if cond._ok is None:
+                        done = cond._done = cond._done + 1
+                        if not event._ok:
+                            event._defused = True
+                            cond.fail(event._value)
+                        elif done == len(cond._events):
+                            value = cond_value.__new__(cond_value)
+                            value.events = cond._events[:]
+                            cond._ok = True
+                            cond._value = value
+                            ready.append(
+                                (stride + self._sequence, cond))
+                            self._sequence += 1
+                    elif event._ok is False and not event._defused:
+                        raise event._value
+                elif func is anyof_check:
+                    # Inlined AnyOf._check + _succeed_with_done (keep in
+                    # sync): `a | b` waits are the poll-backoff shape.
+                    cond = cb.__self__
+                    if cond._ok is None:
+                        cond._done += 1
+                        if not event._ok:
+                            event._defused = True
+                            cond.fail(event._value)
+                        else:
+                            value = cond_value.__new__(cond_value)
+                            value.events = [e for e in cond._events
+                                            if e._ok is not None and e._ok]
+                            cond._ok = True
+                            cond._value = value
+                            ready.append(
+                                (stride + self._sequence, cond))
+                            self._sequence += 1
+                    elif event._ok is False and not event._defused:
+                        raise event._value
+                else:
+                    cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+            else:
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    # An unhandled failure crashes the run, loudly.
+                    raise event._value
+            if event.__class__ is timeout_cls and grc(event) == 2 \
+                    and len(pool) < pool_limit:
+                if grc(callbacks) == 2:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                else:
+                    event.callbacks = []
+                pool.append(event)
+        if stop_event is None and until is not None:
+            self._now = stop_time
         return None

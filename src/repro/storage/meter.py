@@ -42,6 +42,21 @@ class TransactionMeter:
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._clock = clock or (lambda: 0.0)
         self.records: List[TransactionRecord] = []
+        self._settlers: List[Callable[[], None]] = []
+
+    def register_settler(self, settle: Callable[[], None]) -> None:
+        """Register a callback that records lazily-accrued transactions.
+
+        Services that batch periodic traffic (idle-poll elision) settle
+        their outstanding bill here; every read method calls
+        :meth:`settle` first so reports never observe a stale total.
+        """
+        self._settlers.append(settle)
+
+    def settle(self) -> None:
+        """Flush all registered accrual providers into the record list."""
+        for settle in self._settlers:
+            settle()
 
     def record(self, service: str, account: str, operation: str,
                size: int = 0, billable: bool = True,
@@ -60,6 +75,7 @@ class TransactionMeter:
               account: Optional[str] = None,
               billable_only: bool = True) -> int:
         """Number of recorded transactions matching the filters."""
+        self.settle()
         return sum(entry.count for entry in self.records
                    if (service is None or entry.service == service)
                    and (operation is None or entry.operation == operation)
@@ -69,6 +85,7 @@ class TransactionMeter:
     def counts_by(self, key: str = "operation",
                   billable_only: bool = True) -> Dict[str, int]:
         """Histogram of transactions grouped by a record field."""
+        self.settle()
         histogram: Dict[str, int] = {}
         for entry in self.records:
             if billable_only and not entry.billable:
@@ -79,17 +96,20 @@ class TransactionMeter:
 
     def bytes_moved(self, service: Optional[str] = None) -> int:
         """Total payload bytes across matching transactions."""
+        self.settle()
         return sum(entry.size * entry.count for entry in self.records
                    if service is None or entry.service == service)
 
     def between(self, start: float, end: float) -> List[TransactionRecord]:
         """Records with ``start <= time < end``."""
+        self.settle()
         return [entry for entry in self.records if start <= entry.time < end]
 
     def window_counts(self, window: float) -> List[Tuple[float, int]]:
         """Per-window transaction counts — exposes idle-time polling load."""
         if window <= 0:
             raise ValueError("window must be positive")
+        self.settle()
         buckets: Dict[int, int] = {}
         for entry in self.records:
             buckets_key = int(entry.time // window)
@@ -98,9 +118,11 @@ class TransactionMeter:
 
     def merge(self, others: Iterable["TransactionMeter"]) -> "TransactionMeter":
         """Return a new meter containing this meter's and others' records."""
+        self.settle()
         merged = TransactionMeter(self._clock)
         merged.records = list(self.records)
         for other in others:
+            other.settle()
             merged.records.extend(other.records)
         merged.records.sort(key=lambda entry: entry.time)
         return merged
@@ -111,6 +133,7 @@ class TransactionMeter:
 
     def __len__(self) -> int:
         """Total transaction count (including batched records)."""
+        self.settle()
         return sum(entry.count for entry in self.records)
 
     def __repr__(self) -> str:

@@ -30,6 +30,38 @@ class MessageTooLarge(ValueError):
     """Raised when a message exceeds the queue's payload limit."""
 
 
+class _IdleAccrual:
+    """Backoff bookkeeping for one elided (blocking) receive wait.
+
+    Tracks where the sampled sleep/poll/double cycle *would* be: the
+    absolute time of the next would-be poll and the interval it would
+    sleep afterwards.  ``advance`` rolls the cycle forward to ``now``
+    and returns how many empty polls it passed — the bill the consumer
+    owes for the wait.  Poll service times are ignored — milliseconds
+    against intervals of 0.1-30 s — so the count can run a poll or so
+    ahead of a sampled loop over long windows; the *rate* (and hence
+    the bill) is the same.
+    """
+
+    __slots__ = ("due", "interval")
+
+    def __init__(self, now: float, interval: float):
+        self.due = now + interval
+        self.interval = interval
+
+    def advance(self, now: float, max_interval: float) -> int:
+        count = 0
+        due = self.due
+        interval = self.interval
+        while due <= now:
+            count += 1
+            interval = min(interval * 2.0, max_interval)
+            due += interval
+        self.due = due
+        self.interval = interval
+        return count
+
+
 class QueueFullError(RuntimeError):
     """A non-blocking enqueue hit the queue's ``max_depth`` bound."""
 
@@ -67,7 +99,8 @@ class CloudQueue:
                  min_poll_interval: float = 0.05,
                  max_poll_interval: float = 30.0,
                  max_depth: Optional[int] = None,
-                 faults: Optional[Any] = None):
+                 faults: Optional[Any] = None,
+                 idle_poll_elision: bool = False):
         if max_depth is not None and max_depth <= 0:
             raise ValueError("max_depth must be positive when set")
         self.env = env
@@ -82,6 +115,8 @@ class CloudQueue:
         self.min_poll_interval = min_poll_interval
         self.max_poll_interval = max_poll_interval
         self.max_depth = max_depth
+        self.idle_poll_elision = idle_poll_elision
+        self._idle_accruals: List[_IdleAccrual] = []
         self._messages: List[QueueMessage] = []
         self._waiters: List[Any] = []
         self._space_waiters: List[Any] = []
@@ -91,6 +126,11 @@ class CloudQueue:
         register = getattr(getattr(env, "monitor", None),
                            "register_queue", None)
         self._observer = register(self) if register is not None else None
+        # Cost readers settle elided idle polls before reporting, so
+        # bills stay current even while consumers are parked.
+        settle = getattr(meter, "register_settler", None)
+        if settle is not None:
+            settle(self.settle_idle_polls)
 
     def __len__(self) -> int:
         """Approximate queue depth (visible messages only)."""
@@ -183,6 +223,16 @@ class CloudQueue:
         Returns the message, or ``None`` if ``deadline`` (absolute
         simulated time) passes first.  Each poll is metered, so an idle
         consumer accrues transaction cost proportional to idle time.
+
+        With ``idle_poll_elision`` enabled and the queue *provably*
+        empty — no stored messages at all, no fault plan that could
+        delay or duplicate deliveries, no depth bound that could park
+        producers — the backoff loop is replaced by a blocking wait on
+        the enqueue wakeup: the polls that sampling would have issued
+        are reconstructed arithmetically and metered in one batched
+        record (the bill is the paper's point; the simulator events are
+        not).  Any condition that makes poll timing observable falls
+        back to honest sampled polling.
         """
         interval = self.min_poll_interval
         while True:
@@ -191,6 +241,10 @@ class CloudQueue:
                 return message
             if deadline is not None and self.env.now >= deadline:
                 return None
+            if (self.idle_poll_elision and not self._messages
+                    and self.faults is None and self.max_depth is None):
+                interval = yield from self._idle_wait(interval, deadline)
+                continue
             wait = interval
             if deadline is not None:
                 wait = min(wait, max(0.0, deadline - self.env.now))
@@ -200,6 +254,57 @@ class CloudQueue:
             if wakeup in self._waiters:
                 self._waiters.remove(wakeup)
             interval = min(interval * 2.0, self.max_poll_interval)
+
+    #: Elided idle waits also settle their accrued poll bill on a timer
+    #: at least this many backoff periods apart, bounding how stale the
+    #: meter's *timestamps* can get (totals are always exact — cost
+    #: readers settle on demand via the meter's settler hook).
+    SETTLE_PERIODS = 64.0
+
+    def settle_idle_polls(self) -> None:
+        """Bill the empty polls every parked consumer has accrued so far.
+
+        Called on a coarse timer from within elided waits and by the
+        meter before any cost read, so elision changes when poll
+        transactions are *recorded*, never how many are billed.
+        """
+        total = 0
+        now = self.env.now
+        for accrual in self._idle_accruals:
+            total += accrual.advance(now, self.max_poll_interval)
+        if total:
+            self.meter.record("queue", self.account, "poll", size=0,
+                              count=total)
+
+    def _idle_wait(self, interval: float,
+                   deadline: Optional[float]) -> Generator:
+        """Block until an enqueue wakeup instead of sampling an empty
+        queue; returns the backoff interval sampling would have reached.
+
+        The wait costs a handful of kernel events per settlement window
+        instead of several per backoff period, which is what lets long
+        idle campaigns simulate in seconds.
+        """
+        settle = self.max_poll_interval * self.SETTLE_PERIODS
+        accrual = _IdleAccrual(self.env.now, interval)
+        self._idle_accruals.append(accrual)
+        try:
+            while True:
+                wait = settle
+                if deadline is not None:
+                    wait = min(wait, max(0.0, deadline - self.env.now))
+                wakeup = self.env.event()
+                self._waiters.append(wakeup)
+                yield self.env.timeout(wait) | wakeup
+                if wakeup in self._waiters:
+                    self._waiters.remove(wakeup)
+                self.settle_idle_polls()
+                if wakeup.triggered or (deadline is not None
+                                        and self.env.now >= deadline):
+                    # Let the caller's loop issue the next *real* poll.
+                    return accrual.interval
+        finally:
+            self._idle_accruals.remove(accrual)
 
     def delete(self, message: QueueMessage) -> Generator:
         """Acknowledge (remove) a received message."""

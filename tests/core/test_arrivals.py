@@ -26,7 +26,7 @@ def rng():
 def test_poisson_rate_approximation(rng):
     times = PoissonArrivals(rate_per_s=5.0).schedule(rng, horizon_s=1000.0)
     assert abs(len(times) / 1000.0 - 5.0) < 0.5
-    assert times == sorted(times)
+    assert list(times) == sorted(times)
     assert all(0 <= t < 1000.0 for t in times)
 
 
@@ -97,7 +97,7 @@ def test_schedules_are_sorted_and_bounded(rate, horizon):
     rng = np.random.default_rng(0)
     for process in (PoissonArrivals(rate), UniformArrivals(rate)):
         times = process.schedule(rng, horizon)
-        assert times == sorted(times)
+        assert list(times) == sorted(times)
         assert all(0 <= t < horizon for t in times)
 
 
@@ -155,3 +155,87 @@ def test_load_generator_collects_all_latencies():
     assert all(run.latency > 0 for run in campaign.runs)
     assert [run.started_at for run in campaign.runs] == sorted(
         run.started_at for run in campaign.runs)
+
+
+# -- vectorization determinism regressions ---------------------------------------
+
+def test_poisson_vectorized_matches_scalar_loop():
+    """The chunked cumsum schedule is float-for-float identical to the
+    scalar ``now += rng.exponential(scale)`` loop it replaced."""
+    rate, horizon = 3.0, 200.0
+    vectorized = PoissonArrivals(rate).schedule(
+        np.random.default_rng(42), horizon)
+
+    reference_rng = np.random.default_rng(42)
+    times = []
+    now = float(reference_rng.exponential(1.0 / rate))
+    while now < horizon:
+        times.append(now)
+        now += float(reference_rng.exponential(1.0 / rate))
+    assert vectorized.tolist() == times
+
+
+def test_chunk_boundaries_preserve_exact_sums():
+    """Forcing tiny chunks (many boundary carries) changes nothing: the
+    running sum is carried into the next chunk's first gap exactly."""
+    from repro.core.arrivals import _exponential_arrivals
+
+    rate, horizon = 2.0, 500.0
+    whole = _exponential_arrivals(np.random.default_rng(5), rate, horizon)
+    chunked = _exponential_arrivals(np.random.default_rng(5), rate, horizon,
+                                    _chunk=16)
+    assert whole.tolist() == chunked.tolist()
+
+
+def test_uniform_vectorized_matches_scalar_comprehension():
+    rate, horizon = 2.0, 10.0
+    vectorized = UniformArrivals(rate).schedule(
+        np.random.default_rng(0), horizon)
+    interval = 1.0 / rate
+    count = int(horizon / interval)
+    reference = [interval * (index + 1) for index in range(count)
+                 if interval * (index + 1) < horizon]
+    assert vectorized.tolist() == reference
+
+
+def test_diurnal_vectorized_thinning_matches_scalar_draws():
+    """The one-shot vectorized uniform draw consumes the generator stream
+    exactly as one scalar ``rng.random()`` per candidate would."""
+    from repro.core.arrivals import _exponential_arrivals
+
+    arrivals = DiurnalArrivals(base_rate_per_s=1.0, amplitude_per_s=4.0,
+                               period_s=300.0)
+    vectorized = arrivals.schedule(np.random.default_rng(123),
+                                   horizon_s=500.0)
+
+    reference_rng = np.random.default_rng(123)
+    peak = arrivals.base_rate_per_s + arrivals.amplitude_per_s
+    candidates = _exponential_arrivals(reference_rng, peak, 500.0)
+    fractions = arrivals._keep_fraction(candidates)
+    kept = [t for t, p in zip(candidates.tolist(), fractions.tolist())
+            if reference_rng.random() < p]
+    assert vectorized.tolist() == kept
+
+
+def test_diurnal_schedule_stream_is_pinned():
+    """Golden values: the seeded diurnal stream must never drift across
+    refactors (exact float equality, not approx)."""
+    arrivals = DiurnalArrivals(base_rate_per_s=1.0, amplitude_per_s=4.0,
+                               period_s=300.0)
+    times = arrivals.schedule(np.random.default_rng(7), horizon_s=500.0)
+    assert len(times) == 1671
+    assert times[:4].tolist() == [
+        0.1415058511583843,
+        0.3465465208173653,
+        0.4602562522940156,
+        1.3592629714333502,
+    ]
+    assert float(times[-1]) == 499.50032279795437
+
+
+def test_bursty_same_seed_same_schedule():
+    arrivals = BurstyArrivals(rate_per_s=0.5, burst_size=5,
+                              bursts_per_hour=20.0)
+    first = arrivals.schedule(np.random.default_rng(3), horizon_s=1800.0)
+    second = arrivals.schedule(np.random.default_rng(3), horizon_s=1800.0)
+    assert first.tolist() == second.tolist()
