@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults test-overload test-audit audit-sweep bench bench-kernel bench-campaign examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload test-audit test-gcp audit-sweep bench bench-kernel bench-campaign examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,10 @@ test-overload:
 # Runtime invariant-auditor tests only.
 test-audit:
 	pytest tests/ -q -m audit
+
+# GCP backend tests only (Cloud Functions, Workflows, campaigns).
+test-gcp:
+	pytest tests/ -q -m gcp
 
 # Audited chaos + overload sweeps; exit 1 on any invariant violation.
 audit-sweep:

@@ -10,7 +10,10 @@
     python -m repro paper     # condensed everything
 
 Each subcommand builds fresh testbeds, runs the campaign on the simulated
-clock and prints the corresponding table/figure.
+clock and prints the corresponding table/figure.  Campaign commands
+accept ``--platforms``/``-p`` (a comma list of registered backends, e.g.
+``-p aws,gcp``) to restrict which platforms' variants run; the default
+is every registered backend.
 
 Campaigns fan out across ``--workers``/``-j`` worker processes and land
 in an on-disk result cache (``~/.cache/repro/campaigns`` or
@@ -33,10 +36,19 @@ from repro.core.parallel import CampaignSpec, ParallelRunner
 from repro.core.persistence import save_results
 from repro.core.metrics import percentile
 from repro.core.report import render_bars, render_table
+from repro.platforms.backend import backend_names
 from repro.platforms.faults import FaultPlan
 
 ML_VARIANTS = ["AWS-Lambda", "AWS-Step", "Az-Func", "Az-Queue", "Az-Dorch",
-               "Az-Dent"]
+               "Az-Dent", "GCP-Func", "GCP-Flows"]
+
+#: Which registered backend each deployment variant runs on.
+VARIANT_PLATFORMS = {
+    "AWS-Lambda": "aws", "AWS-Step": "aws",
+    "Az-Func": "azure", "Az-Queue": "azure",
+    "Az-Dorch": "azure", "Az-Dent": "azure",
+    "GCP-Func": "gcp", "GCP-Flows": "gcp",
+}
 
 
 def _variants(value: str) -> List[str]:
@@ -46,6 +58,32 @@ def _variants(value: str) -> List[str]:
         raise argparse.ArgumentTypeError(
             f"unknown variants: {unknown}; choose from {ML_VARIANTS}")
     return names
+
+
+def _platforms(value: str) -> List[str]:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    known = list(backend_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown platforms: {unknown}; choose from {known}")
+    return names
+
+
+def _selected_platforms(args: argparse.Namespace) -> List[str]:
+    """The ``--platforms`` selection, defaulting to every backend."""
+    return getattr(args, "platforms", None) or list(backend_names())
+
+
+def _filter_variants(names, platforms: List[str]) -> List[str]:
+    """The variants from ``names`` whose platform is selected."""
+    kept = [name for name in names
+            if VARIANT_PLATFORMS.get(name) in platforms]
+    if not kept:
+        raise SystemExit(
+            f"no variants left after --platforms {','.join(platforms)}; "
+            f"the requested variants were {list(names)}")
+    return kept
 
 
 def _positive_int(value: str) -> int:
@@ -101,13 +139,14 @@ def _runner(args: argparse.Namespace) -> ParallelRunner:
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
+    variants = _filter_variants(args.variants, _selected_platforms(args))
     specs = [CampaignSpec(deployment=name, workload="ml-training",
                           scale=args.scale, iterations=args.iterations,
                           warmup=1, seed=args.seed)
-             for name in args.variants]
+             for name in variants]
     outcomes = _runner(args).run(specs)
     rows = []
-    for name, outcome in zip(args.variants, outcomes):
+    for name, outcome in zip(variants, outcomes):
         stats = outcome.campaign.stats()
         rows.append([name, stats.median, stats.p95, stats.p99])
     print(render_table(["variant", "median s", "p95 s", "p99 s"], rows,
@@ -125,7 +164,8 @@ def cmd_latency(args: argparse.Namespace) -> int:
 
 
 def cmd_inference(args: argparse.Namespace) -> int:
-    variants = ["AWS-Step", "Az-Dorch", "Az-Dent"]
+    variants = _filter_variants(["AWS-Step", "Az-Dorch", "Az-Dent",
+                                 "GCP-Flows"], _selected_platforms(args))
     specs = [CampaignSpec(deployment=name, workload="ml-inference",
                           scale=args.scale, iterations=args.iterations,
                           warmup=1, seed=args.seed)
@@ -140,7 +180,9 @@ def cmd_inference(args: argparse.Namespace) -> int:
 
 
 def cmd_coldstart(args: argparse.Namespace) -> int:
-    variants = ["Az-Queue", "AWS-Step", "Az-Dorch", "Az-Dent"]
+    variants = _filter_variants(["Az-Queue", "AWS-Step", "Az-Dorch",
+                                 "Az-Dent", "GCP-Flows"],
+                                _selected_platforms(args))
     specs = [CampaignSpec(deployment=name, workload="ml-training",
                           scale="small", campaign="coldstart",
                           interval_s=3600.0, days=args.days, seed=args.seed)
@@ -156,7 +198,8 @@ def cmd_coldstart(args: argparse.Namespace) -> int:
 
 
 def cmd_video(args: argparse.Namespace) -> int:
-    variants = ("AWS-Step", "Az-Dorch")
+    variants = _filter_variants(["AWS-Step", "Az-Dorch", "GCP-Flows"],
+                                _selected_platforms(args))
     specs = []
     for workers in args.workers:
         for name in variants:
@@ -172,13 +215,14 @@ def cmd_video(args: argparse.Namespace) -> int:
         for _ in variants:
             row.append(next(outcomes).campaign.latencies[0])
         rows.append(row)
-    print(render_table(["workers", "AWS-Step (s)", "Az-Dorch (s)"], rows,
-                       title="Video processing latency vs workers"))
+    print(render_table(["workers"] + [f"{name} (s)" for name in variants],
+                       rows, title="Video processing latency vs workers"))
     return 0
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
-    variants = ("AWS-Step", "Az-Dorch")
+    variants = _filter_variants(["AWS-Step", "Az-Dorch", "GCP-Flows"],
+                                _selected_platforms(args))
     specs = [CampaignSpec(
         deployment=name, workload="video", fanout=args.workers,
         campaign="latency", iterations=args.measured_runs, warmup=0,
@@ -203,8 +247,9 @@ def cmd_cost(args: argparse.Namespace) -> int:
 
 
 def cmd_reliability(args: argparse.Namespace) -> int:
-    """Crash-probability sweep: the AWS-vs-Azure price of reliability."""
+    """Crash-probability sweep: the per-platform price of reliability."""
     audit = True if getattr(args, "audit", False) else None
+    variants = _filter_variants(args.variants, _selected_platforms(args))
     probabilities = args.sweep if args.sweep else [args.crash_prob]
     specs = []
     for probability in probabilities:
@@ -212,7 +257,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
                          error_probability=args.error_prob,
                          straggler_probability=args.straggler_prob,
                          retry_max_attempts=args.retries)
-        for name in args.variants:
+        for name in variants:
             specs.append(CampaignSpec(
                 deployment=name, workload="ml-training", scale=args.scale,
                 campaign="reliability", iterations=args.iterations,
@@ -223,7 +268,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     rows = []
     summaries = {}
     for probability in probabilities:
-        for name in args.variants:
+        for name in variants:
             summary = next(outcomes).reliability
             summaries[(probability, name)] = summary
             rows.append([
@@ -238,34 +283,42 @@ def cmd_reliability(args: argparse.Namespace) -> int:
                     f"{args.iterations} iterations, "
                     f"{args.retries} attempts)"))
 
-    aws = [summary for (_, name), summary in summaries.items()
-           if summary.platform == "aws"]
-    azure = [summary for (_, name), summary in summaries.items()
-             if summary.platform == "azure"]
-    if aws and azure:
-        aws_amp = max(summary.cost_amplification for summary in aws)
-        azure_amp = max(summary.cost_amplification for summary in azure)
-        cheaper = "AWS" if aws_amp <= azure_amp else "Azure"
-        print(f"\nTakeaways:")
-        print(f"- worst-case cost amplification: AWS {aws_amp:.2f}x vs "
-              f"Azure {azure_amp:.2f}x — {cheaper} absorbs this fault "
-              f"plan more cheaply")
-        aws_ok = min(summary.success_rate for summary in aws)
-        azure_ok = min(summary.success_rate for summary in azure)
-        print(f"- worst-case success rate: AWS {aws_ok:.0%} vs "
-              f"Azure {azure_ok:.0%} (platform retries absorb crashed "
-              f"containers on both)")
-        aws_waste = sum(summary.wasted_gb_s for summary in aws)
-        azure_waste = sum(summary.wasted_gb_s for summary in azure)
-        print(f"- GB-s billed to doomed attempts: AWS {aws_waste:.2f} vs "
-              f"Azure {azure_waste:.2f} — partial executions are billed "
-              f"on both platforms")
+    by_platform = _group_by_platform(summaries.values())
+    if by_platform:
+        print("\nTakeaways (per platform):")
+        amplifications = {}
+        for platform, group in by_platform.items():
+            amplification = max(s.cost_amplification for s in group)
+            amplifications[platform] = amplification
+            worst_ok = min(s.success_rate for s in group)
+            wasted = sum(s.wasted_gb_s for s in group)
+            print(f"- {platform}: worst-case cost amplification "
+                  f"{amplification:.2f}x, worst-case success rate "
+                  f"{worst_ok:.0%}, {wasted:.2f} GB-s billed to doomed "
+                  f"attempts")
+        if len(by_platform) > 1:
+            cheapest = min(amplifications, key=amplifications.get)
+            print(f"- {cheapest} absorbs this fault plan most cheaply "
+                  f"(lowest worst-case amplification); partial "
+                  f"executions are billed on every platform")
     return 0
+
+
+def _group_by_platform(summaries) -> dict:
+    """Summaries keyed by platform, in registry order."""
+    grouped = {}
+    for name in backend_names():
+        group = [summary for summary in summaries
+                 if summary.platform == name]
+        if group:
+            grouped[name] = group
+    return grouped
 
 
 def cmd_overload(args: argparse.Namespace) -> int:
     """Open-loop rate sweep past saturation: 429s, backpressure, shedding."""
     audit = True if getattr(args, "audit", False) else None
+    variants = _filter_variants(args.variants, _selected_platforms(args))
     overrides = {
         "aws.concurrency_limit": args.concurrency,
         "aws.burst_concurrency": args.burst,
@@ -273,10 +326,11 @@ def cmd_overload(args: argparse.Namespace) -> int:
         "azure.max_instances": args.max_instances,
         "azure.queue_depth_limit": args.queue_depth,
         "azure.shed_deadline_s": args.shed_deadline,
+        "gcp.max_instances": args.gcp_max_instances,
     }
     specs = []
     for rate in args.rates:
-        for name in args.variants:
+        for name in variants:
             specs.append(CampaignSpec(
                 deployment=name, workload="ml-training", scale=args.scale,
                 campaign="overload", arrival=args.arrival,
@@ -288,7 +342,7 @@ def cmd_overload(args: argparse.Namespace) -> int:
     rows = []
     summaries = {}
     for rate in args.rates:
-        for name in args.variants:
+        for name in variants:
             summary = next(outcomes).overload
             summaries[(rate, name)] = summary
             rows.append([
@@ -303,37 +357,30 @@ def cmd_overload(args: argparse.Namespace) -> int:
         rows, title=f"Overload sweep ({args.scale}, {args.arrival} "
                     f"arrivals, {args.horizon:.0f}s horizon)"))
 
-    aws = [summary for summary in summaries.values()
-           if summary.platform == "aws"]
-    azure = [summary for summary in summaries.values()
-             if summary.platform == "azure"]
-    if aws and azure:
+    by_platform = _group_by_platform(summaries.values())
+    if by_platform:
         top = max(args.rates)
-        print("\nTakeaways:")
-        aws_throttle = max(summary.throttle_rate for summary in aws)
-        azure_shed = max(summary.shed_rate + summary.throttle_rate
-                         for summary in azure)
-        print(f"- excess load: AWS rejects at admission (up to "
-              f"{aws_throttle:.0%} of offered requests 429'd after "
-              f"exhausted backoff); Azure pushes back at the queues "
-              f"(up to {azure_shed:.0%} rejected or shed)")
-        aws_amp = max(summary.retry_amplification for summary in aws)
-        print(f"- retry amplification: Step Functions' backoff multiplies "
-              f"offered load up to {aws_amp:.2f}x on AWS; Azure's 429s "
-              f"and deadline drops add no retry traffic")
-        for platform, summaries_ in (("AWS", aws), ("Azure", azure)):
-            best = max(summary.goodput_per_s for summary in summaries_)
-            at_top = [summary for summary in summaries_
+        print("\nTakeaways (per platform):")
+        for platform, group in by_platform.items():
+            rejected = max(summary.shed_rate + summary.throttle_rate
+                           for summary in group)
+            amplification = max(summary.retry_amplification
+                                for summary in group)
+            best = max(summary.goodput_per_s for summary in group)
+            at_top = [summary for summary in group
                       if summary.rate_per_s == top]
             kept = (_safe_ratio(at_top[0].goodput_per_s, best)
                     if at_top and best > 0 else 0.0)
-            print(f"- {platform} goodput holds {kept:.0%} of its peak at "
-                  f"{top:g} req/s — saturated but live")
-        aws_infl = _tail_inflation(aws)
-        azure_infl = _tail_inflation(azure)
-        print(f"- tail inflation (p99 at max rate / p99 at min rate): "
-              f"AWS {aws_infl:.2f}x vs Azure {azure_infl:.2f}x — bounded "
-              f"queues keep Azure's tail flat while it sheds")
+            inflation = _tail_inflation(group)
+            print(f"- {platform}: up to {rejected:.0%} of offered "
+                  f"requests rejected or shed, retry amplification "
+                  f"{amplification:.2f}x, goodput holds {kept:.0%} of "
+                  f"its peak at {top:g} req/s, tail inflation "
+                  f"{inflation:.2f}x (p99 at max rate / p99 at min)")
+        print("- mechanisms differ: AWS rejects at admission after "
+              "exhausted backoff, Azure pushes back at bounded queues "
+              "and sheds on deadline, GCP 429s at the gen1 instance cap "
+              "while Workflows' retry policy re-offers the load")
     return 0
 
 
@@ -359,6 +406,9 @@ def cmd_audit(args: argparse.Namespace) -> int:
     """
     from repro.core.audit import collect_violations, merge_reports
 
+    variants = _filter_variants(args.variants, _selected_platforms(args))
+    overload_variants = _filter_variants(
+        ["AWS-Step", "Az-Func", "GCP-Func"], _selected_platforms(args))
     plans = [
         FaultPlan(crash_probability=0.15,
                   retry_max_attempts=args.retries),
@@ -370,7 +420,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     ]
     specs = []
     for plan in plans:
-        for name in args.variants:
+        for name in variants:
             specs.append(CampaignSpec(
                 deployment=name, workload="ml-training", scale=args.scale,
                 campaign="reliability", iterations=args.iterations,
@@ -380,9 +430,10 @@ def cmd_audit(args: argparse.Namespace) -> int:
         "aws.concurrency_limit": 8, "aws.burst_concurrency": 8,
         "aws.refill_per_s": 1.0, "azure.max_instances": 2,
         "azure.queue_depth_limit": 12, "azure.shed_deadline_s": 30.0,
+        "gcp.max_instances": 2,
     }
     for rate in args.rates:
-        for name in ("AWS-Step", "Az-Func"):
+        for name in overload_variants:
             specs.append(CampaignSpec(
                 deployment=name, workload="ml-training", scale=args.scale,
                 campaign="overload", arrival="poisson",
@@ -400,8 +451,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
     print(render_table(
         ["invariant", "passes", "violations", "verdict"], rows,
         title=f"Invariant audit: {len(specs)} campaigns "
-              f"({len(plans)}x{len(args.variants)} reliability + "
-              f"{len(args.rates)}x2 overload)"))
+              f"({len(plans)}x{len(variants)} reliability + "
+              f"{len(args.rates)}x{len(overload_variants)} overload)"))
 
     failed = False
     for spec, report in zip(specs, reports):
@@ -489,10 +540,18 @@ def build_parser() -> argparse.ArgumentParser:
                             dest="jobs",
                             metavar="N", default=argparse.SUPPRESS,
                             help=argparse.SUPPRESS)
+    # Campaign commands take a backend selection; the default (None)
+    # means every registered backend.
+    platform_opts = argparse.ArgumentParser(add_help=False)
+    platform_opts.add_argument(
+        "--platforms", "-p", type=_platforms, default=None,
+        metavar="NAME,NAME,...",
+        help="restrict variants to these platform backends "
+             f"(default: all of {list(backend_names())})")
     commands = parser.add_subparsers(dest="command", required=True)
 
     latency = commands.add_parser(
-        "latency", parents=[cache_opts], help="ML training latency across variants (Fig 6)")
+        "latency", parents=[cache_opts, platform_opts], help="ML training latency across variants (Fig 6)")
     latency.add_argument("--scale", choices=["small", "large"],
                          default="small")
     latency.add_argument("--iterations", type=int, default=10)
@@ -504,7 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     latency.set_defaults(func=cmd_latency)
 
     inference = commands.add_parser(
-        "inference", parents=[cache_opts], help="ML inference latency (Fig 9)")
+        "inference", parents=[cache_opts, platform_opts], help="ML inference latency (Fig 9)")
     inference.add_argument("--scale", choices=["small", "large"],
                            default="small")
     inference.add_argument("--iterations", type=int, default=10)
@@ -515,7 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     inference.set_defaults(func=cmd_inference)
 
     coldstart = commands.add_parser(
-        "coldstart", parents=[cache_opts], help="hourly cold-start campaign (Fig 10)")
+        "coldstart", parents=[cache_opts, platform_opts], help="hourly cold-start campaign (Fig 10)")
     coldstart.add_argument("--days", type=float, default=4.0)
     coldstart.add_argument("--workers", type=_positive_int, dest="jobs",
                          metavar="N",
@@ -524,7 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
     coldstart.set_defaults(func=cmd_coldstart)
 
     video = commands.add_parser(
-        "video", parents=[cache_opts], help="video fan-out scaling (Fig 12); use -j for "
+        "video", parents=[cache_opts, platform_opts], help="video fan-out scaling (Fig 12); use -j for "
                       "worker processes")
     video.add_argument("--workers", type=_worker_list,
                        default=[1, 5, 10, 20, 40, 80],
@@ -532,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     video.set_defaults(func=cmd_video)
 
     cost = commands.add_parser(
-        "cost", parents=[cache_opts], help="monthly video cost projection (Fig 15); use -j for "
+        "cost", parents=[cache_opts, platform_opts], help="monthly video cost projection (Fig 15); use -j for "
                      "worker processes")
     cost.add_argument("--workers", type=int, default=20,
                       help="fan-out width of the measured deployment")
@@ -541,7 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     cost.set_defaults(func=cmd_cost)
 
     reliability = commands.add_parser(
-        "reliability", parents=[cache_opts],
+        "reliability", parents=[cache_opts, platform_opts],
         help="inject faults and measure the price of reliability")
     reliability.add_argument("--crash-prob", type=_probability, default=0.1,
                              help="per-invocation container crash "
@@ -559,7 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="total attempts synthesized per "
                                   "activity/state (default 3)")
     reliability.add_argument("--variants", type=_variants,
-                             default=["AWS-Step", "Az-Dorch"])
+                             default=["AWS-Step", "Az-Dorch", "GCP-Flows"])
     reliability.add_argument("--scale", choices=["small", "large"],
                              default="small")
     reliability.add_argument("--iterations", type=int, default=5)
@@ -572,7 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.set_defaults(func=cmd_reliability)
 
     overload = commands.add_parser(
-        "overload", parents=[cache_opts],
+        "overload", parents=[cache_opts, platform_opts],
         help="sweep open-loop arrival rates past saturation: throttling, "
              "backpressure and load shedding")
     overload.add_argument("--rates", type=_rate_list,
@@ -587,7 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default="poisson",
                           help="open-loop arrival process (default poisson)")
     overload.add_argument("--variants", type=_variants,
-                          default=["AWS-Step", "Az-Func"])
+                          default=["AWS-Step", "Az-Func", "GCP-Func"])
     overload.add_argument("--scale", choices=["small", "large"],
                           default="small")
     overload.add_argument("--concurrency", type=_positive_int, default=24,
@@ -607,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--shed-deadline", type=float, default=45.0,
                           help="Azure queue-wait budget in seconds before "
                                "work is shed (default 45)")
+    overload.add_argument("--gcp-max-instances", type=_positive_int,
+                          default=4,
+                          help="GCP Cloud Functions gen1 instance cap — "
+                               "one request per instance (default 4)")
     overload.add_argument("--workers", type=_positive_int, dest="jobs",
                           metavar="N", default=argparse.SUPPRESS,
                           help="campaign worker processes (alias for -j)")
@@ -616,13 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
     overload.set_defaults(func=cmd_overload)
 
     audit = commands.add_parser(
-        "audit", parents=[cache_opts],
+        "audit", parents=[cache_opts, platform_opts],
         help="verify runtime invariants (conservation, billing, delivery "
              "semantics) across chaos and overload sweeps")
     audit.add_argument("--variants", type=_variants,
-                       default=["AWS-Step", "Az-Dorch"],
+                       default=["AWS-Step", "Az-Dorch", "GCP-Flows"],
                        help="reliability-sweep variants "
-                            "(default AWS-Step,Az-Dorch)")
+                            "(default AWS-Step,Az-Dorch,GCP-Flows)")
     audit.add_argument("--scale", choices=["small", "large"],
                        default="small")
     audit.add_argument("--iterations", type=int, default=3,
@@ -655,7 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache.set_defaults(func=cmd_cache)
 
     paper = commands.add_parser(
-        "paper", parents=[cache_opts], help="condensed run of the main experiments")
+        "paper", parents=[cache_opts, platform_opts], help="condensed run of the main experiments")
     paper.set_defaults(func=cmd_paper)
     return parser
 

@@ -21,10 +21,11 @@ of invariants at quiesce:
     throttle/shed buckets are backed by platform-level counters.
 ``billing_soundness``
     Every billed GB-s interval maps to exactly one closed container
-    execution span; the platform rounding rules (AWS 100 ms granularity,
-    Azure 100 ms minimum + 128 MB memory rounding) are respected;
-    throttled and shed work is never compute-billed; faulted partial
-    work bills only the observed runtime.
+    execution span; each platform's declared
+    :class:`~repro.platforms.backend.BillingRules` (granularity,
+    minimum billed duration, memory rounding) are respected; throttled
+    and shed work is never compute-billed; faulted partial work bills
+    only the observed runtime.
 ``delivery_semantics``
     Every dequeued message was enqueued; broker duplicates appear only
     under a fault plan permitting them; same-message redeliveries are
@@ -36,7 +37,14 @@ of invariants at quiesce:
     quiesce (clean runs).
 ``replay_determinism``
     Re-replaying every finished orchestration's recorded history yields
-    an identical terminal state and identical scheduling actions, twice.
+    an identical terminal state and identical scheduling actions, twice
+    (platforms without history replay — GCP Workflows — contribute no
+    replays and trivially pass).
+
+Platform-specific evidence (throttle/shed counters, leak probes,
+duplicate-completion scans, replay drivers) comes from each registered
+:class:`~repro.platforms.backend.PlatformBackend`, so a new platform is
+audited the day it registers.
 
 Violations raise a typed :class:`InvariantViolation` carrying the
 evidence trail (deterministic event ordinals, span indices, RNG stream
@@ -51,6 +59,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.platforms.backend import get_backend
 from repro.platforms.base import round_up
 from repro.telemetry import SpanKind
 
@@ -335,16 +344,20 @@ class InvariantAuditor:
                 (f"buckets: {buckets}",))
         testbed = self.testbed
         if testbed is not None:
-            throttle_events = (testbed.lambdas.throttles
-                               + testbed.app.rejections)
+            throttle_events = sum(
+                get_backend(name).throttle_count(testbed)
+                for name in testbed.platform_names)
+            shed_events = sum(
+                get_backend(name).shed_count(testbed)
+                for name in testbed.platform_names)
             if self.outcomes["throttled"] > 0 and throttle_events == 0:
                 evidence.append(
                     f"{self.outcomes['throttled']} requests bucketed "
                     "throttled but no platform 429 counter moved")
-            if self.outcomes["shed"] > 0 and testbed.app.shed == 0:
+            if self.outcomes["shed"] > 0 and shed_events == 0:
                 evidence.append(
                     f"{self.outcomes['shed']} requests bucketed shed "
-                    "but app.shed == 0")
+                    "but no platform shed counter moved")
         if evidence:
             return CheckResult(
                 "request_conservation", False,
@@ -364,10 +377,10 @@ class InvariantAuditor:
                                "no testbed attached")
         evidence: List[str] = []
         total_pairs = 0
-        for platform in ("aws", "azure"):
+        for platform in testbed.platform_names:
+            backend = get_backend(platform)
             stack = testbed.stack(platform)
-            calibration = (testbed.aws_calibration if platform == "aws"
-                           else testbed.azure_calibration)
+            rules = backend.billing_rules(testbed.calibration(platform))
             spans = [(index, span)
                      for index, span in enumerate(stack.telemetry.spans)
                      if span.kind == SpanKind.EXECUTION and span.closed]
@@ -401,21 +414,21 @@ class InvariantAuditor:
                         f"duration {span.duration!r}s — billing not "
                         "bounded by observed runtime")
                 expected = round_up(max(charge.raw_duration, 1e-9),
-                                    calibration.billing_granularity_s)
-                if platform == "azure":
-                    expected = max(expected,
-                                   calibration.min_billed_execution_s)
-                    span_memory = span.attributes.get("memory_mb")
-                    if (span_memory is not None and charge.memory_mb
-                            != int(round_up(span_memory, 128))):
-                        evidence.append(
-                            f"{where}: billed memory {charge.memory_mb} "
-                            f"MB != 128 MB-rounded span memory "
-                            f"{span_memory} MB")
-                else:
-                    span_memory = span.attributes.get("memory_mb")
-                    if (span_memory is not None
-                            and charge.memory_mb != span_memory):
+                                    rules.granularity_s)
+                if rules.min_billed_s:
+                    expected = max(expected, rules.min_billed_s)
+                span_memory = span.attributes.get("memory_mb")
+                if span_memory is not None:
+                    if rules.memory_rounding_mb:
+                        rounded = int(round_up(span_memory,
+                                               rules.memory_rounding_mb))
+                        if charge.memory_mb != rounded:
+                            evidence.append(
+                                f"{where}: billed memory "
+                                f"{charge.memory_mb} MB != "
+                                f"{rules.memory_rounding_mb} MB-rounded "
+                                f"span memory {span_memory} MB")
+                    elif charge.memory_mb != span_memory:
                         evidence.append(
                             f"{where}: billed memory {charge.memory_mb} "
                             f"MB != configured {span_memory} MB")
@@ -428,20 +441,20 @@ class InvariantAuditor:
                     evidence.append(
                         f"{where}: gb_s {charge.gb_s!r} != "
                         f"billed × memory = {gb_s!r}")
-            # Request-level soundness: AWS throttles are rejected before
-            # the request is billed, Azure sheds after — so requests
-            # equal executions (AWS) or executions + sheds (Azure).
+            # Request-level soundness: throttles are rejected before the
+            # request is billed on every platform; platforms that shed
+            # *accepted* work after admission (Azure) still bill the
+            # request, per the backend's billing rules.
             requests = stack.billing.total_requests()
             executions = len(spans)
-            expected_requests = executions
-            if platform == "azure":
-                expected_requests += testbed.app.shed
+            shed = (backend.shed_count(testbed)
+                    if rules.bills_shed_requests else 0)
+            expected_requests = executions + shed
             if requests != expected_requests:
                 evidence.append(
                     f"{platform}: {requests} billed requests != "
                     f"{expected_requests} (executions {executions}"
-                    + (f" + sheds {testbed.app.shed}"
-                       if platform == "azure" else "")
+                    + (f" + sheds {shed}" if shed else "")
                     + ") — throttled/shed work must stay unbilled")
         if evidence:
             return CheckResult(
@@ -489,7 +502,10 @@ class InvariantAuditor:
                     f"queue {record.label}: "
                     f"{len(record.queue._messages)} orphaned message(s) "
                     "at quiesce of a clean run")
-        evidence.extend(self._duplicate_completions())
+        if testbed is not None:
+            for name in testbed.platform_names:
+                evidence.extend(
+                    get_backend(name).delivery_evidence(testbed))
         if evidence:
             return CheckResult(
                 "delivery_semantics", False,
@@ -500,33 +516,6 @@ class InvariantAuditor:
             f"{total_messages} messages across {len(self._queues)} "
             "queues delivered consistently")
 
-    def _duplicate_completions(self) -> List[str]:
-        """Duplicate completion events in any orchestration history.
-
-        Each scheduled operation owns one sequence number, so a second
-        completion event for the same ``seq`` means the completion
-        dedupe failed (double-processed — and double-billed — work).
-        """
-        testbed = self.testbed
-        if testbed is None:
-            return []
-        from repro.azure.durable import history as h
-        evidence: List[str] = []
-        hub = testbed.durable.taskhub
-        for instance_id in sorted(hub.instances):
-            instance = hub.instances[instance_id]
-            seen: Dict[int, int] = {}
-            for event in instance.history:
-                if isinstance(event, h.SUCCESS_EVENTS + h.FAILURE_EVENTS):
-                    seen[event.seq] = seen.get(event.seq, 0) + 1
-            for seq, count in sorted(seen.items()):
-                if count > 1:
-                    evidence.append(
-                        f"instance {instance_id}: {count} completion "
-                        f"events for seq {seq} — completion dedupe "
-                        "failed under duplication faults")
-        return evidence
-
     def _check_leaks(self) -> CheckResult:
         testbed = self.testbed
         if testbed is None or not self._clean_quiesce():
@@ -535,29 +524,8 @@ class InvariantAuditor:
                 "skipped (faulted or overloaded run: abandoned "
                 "in-flight work is legitimate)")
         evidence: List[str] = []
-        lambdas = testbed.lambdas
-        if lambdas._in_flight != 0:
-            evidence.append(
-                f"aws: {lambdas._in_flight} Lambda invocations still "
-                "in flight at quiesce")
-        busy = sum(1 for containers in lambdas._warm.values()
-                   for container in containers if container.busy)
-        if busy:
-            evidence.append(f"aws: {busy} Lambda containers still busy")
-        app = testbed.app
-        if app._pending:
-            evidence.append(
-                f"azure: {len(app._pending)} work items still pending")
-        in_use = sum(instance.in_use for instance in app.instances)
-        if in_use:
-            evidence.append(
-                f"azure: {in_use} app instance slots still in use")
-        hub = testbed.durable.taskhub
-        active = sorted(instance_id for instance_id, instance
-                        in hub.instances.items() if instance.episode_active)
-        if active:
-            evidence.append(
-                f"azure: episodes still active for {active}")
+        for name in testbed.platform_names:
+            evidence.extend(get_backend(name).leak_evidence(testbed))
         if evidence:
             return CheckResult(
                 "resource_leaks", False,
@@ -571,52 +539,13 @@ class InvariantAuditor:
         if testbed is None:
             return CheckResult("replay_determinism", True,
                                "no testbed attached")
-        from repro.azure.durable.context import (
-            OrchestrationContext,
-            run_orchestrator_turn,
-        )
-        hub = testbed.durable.taskhub
-        payload_limit = testbed.azure_calibration.durable_payload_limit_bytes
-        expected_state = {"Completed": "completed", "Failed": "failed"}
         evidence: List[str] = []
         replayed = 0
-        for instance_id in sorted(hub.instances):
-            instance = hub.instances[instance_id]
-            if not instance.is_finished or not instance.history:
-                continue
-            spec = hub.orchestrators.get(instance.orchestrator)
-            if spec is None:
-                continue
-            replayed += 1
-            outcomes = []
-            for _ in range(2):
-                ctx = OrchestrationContext(
-                    instance.instance_id, instance.input,
-                    instance.history, payload_limit,
-                    now=instance.completed_at or 0.0)
-                try:
-                    state, value = run_orchestrator_turn(spec, ctx)
-                except Exception as error:  # noqa: BLE001 - divergence datum
-                    outcomes.append(
-                        ("replay-error", f"{type(error).__name__}: "
-                                         f"{error}", ()))
-                    continue
-                outcomes.append(
-                    (state, repr(value),
-                     tuple(repr(action) for action in ctx.actions)))
-            if outcomes[0] != outcomes[1]:
-                evidence.append(
-                    f"instance {instance_id}: two replays of the same "
-                    f"history diverged: {outcomes[0][:2]} vs "
-                    f"{outcomes[1][:2]}")
-                continue
-            state, value, _ = outcomes[0]
-            want = expected_state.get(instance.status)
-            if want is not None and state != want:
-                evidence.append(
-                    f"instance {instance_id}: recorded status "
-                    f"{instance.status!r} but history replays to "
-                    f"{state!r} ({value})")
+        for name in testbed.platform_names:
+            count, platform_evidence = (
+                get_backend(name).replay_check(testbed))
+            replayed += count
+            evidence.extend(platform_evidence)
         if evidence:
             return CheckResult(
                 "replay_determinism", False,

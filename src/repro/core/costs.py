@@ -1,9 +1,12 @@
-"""Unified cost reporting across both platforms (§IV-A Price Calculation).
+"""Unified cost reporting across all platforms (§IV-A Price Calculation).
 
 "We measured two components of the price ...: computation cost, and
 transaction cost."  This module reads a deployment's billing and
 transaction meters and renders both components in dollars, plus the GB-s
-and transaction counts behind them (Fig 11, Fig 15).
+and transaction counts behind them (Fig 11, Fig 15).  The per-platform
+breakdown itself comes from the deployment's registered
+:class:`~repro.platforms.backend.PlatformBackend`, so new platforms
+report costs without touching this module.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.deployments.base import Deployment
+from repro.platforms.backend import get_backend
 
 
 @dataclass(frozen=True)
@@ -22,7 +26,8 @@ class CostReport:
     platform: str
     gb_s: float                 # raw compute volume (Fig 11a/11b)
     compute_cost: float         # GB-s × price + request/execution charges
-    transaction_cost: float     # transitions (AWS) or storage tx (Azure)
+    transaction_cost: float     # transitions (AWS), storage tx (Azure),
+                                # or workflow steps (GCP)
     transaction_count: int
     replay_gb_s: float = 0.0    # orchestrator replay share (Azure only)
 
@@ -43,28 +48,10 @@ def cost_report(deployment: Deployment,
     With ``per_runs`` the dollar/GB-s quantities are divided by that run
     count, giving per-execution cost (the paper's per-run charts).
     """
-    testbed = deployment.testbed
-    stack = deployment.stack
-    if deployment.platform == "aws":
-        breakdown = testbed.aws_prices.breakdown(stack.billing, stack.meter)
-        report = CostReport(
-            deployment=deployment.name, platform="aws",
-            gb_s=breakdown.gb_s, compute_cost=breakdown.stateless,
-            transaction_cost=breakdown.stateful,
-            transaction_count=breakdown.transition_count)
-    else:
-        breakdown = testbed.azure_prices.breakdown(stack.billing,
-                                                   stack.meter)
-        replay_gb_s = sum(
-            charge.gb_s for charge in stack.billing.compute
-            if charge.replay
-            or charge.function_name.startswith("orchestrator::"))
-        report = CostReport(
-            deployment=deployment.name, platform="azure",
-            gb_s=breakdown.gb_s, compute_cost=breakdown.stateless,
-            transaction_cost=breakdown.stateful,
-            transaction_count=breakdown.transaction_count,
-            replay_gb_s=replay_gb_s)
+    backend = get_backend(deployment.platform)
+    breakdown = backend.cost_breakdown(deployment.testbed)
+    report = CostReport(deployment=deployment.name,
+                        platform=deployment.platform, **breakdown)
     if per_runs and per_runs > 0:
         report = CostReport(
             deployment=report.deployment, platform=report.platform,

@@ -38,7 +38,7 @@ class Deployment:
 
     #: Table II metadata — overridden per subclass.
     name: str = ""
-    platform: str = ""           # 'aws' | 'azure'
+    platform: str = ""           # a registered backend name: 'aws' | 'azure' | 'gcp'
     stateful: bool = False
     description: str = ""
     function_count: int = 0

@@ -665,6 +665,116 @@ class AzureDentMLTraining(Deployment):
 
 
 # ---------------------------------------------------------------------------
+# GCP deployments (the cross-platform extension's third data point).
+# ---------------------------------------------------------------------------
+
+class GCPFuncMLTraining(Deployment):
+    """'GCP-Func': one stateless Cloud Function runs everything."""
+
+    name = "GCP-Func"
+    platform = "gcp"
+    stateful = False
+    description = "One stateless Cloud Function (gen1)."
+    function_count = 1
+    code_size_mb = 63.1
+
+    def __init__(self, testbed: Testbed, workload: MLWorkload):
+        super().__init__(testbed)
+        self.workload = workload
+        self.dataset_key = f"datasets/{workload.scale}"
+
+    def setup(self) -> Generator:
+        self.testbed.cloudfunctions.register(FunctionSpec(
+            name="gcp-ml-monolith",
+            handler=make_monolith_handler(self.workload),
+            memory_mb=1536, timeout_s=900.0,
+            work_models=ml_work_models(self.workload.scale)))
+        yield from self.testbed.gcp.blob.put(
+            self.dataset_key, self.workload.train_dataset,
+            size=self.workload.dataset_bytes)
+
+    def invoke(self) -> Generator:
+        run_id = self.next_run_id()
+        started = self.testbed.now
+        result = yield from self.testbed.cloudfunctions.invoke(
+            "gcp-ml-monolith",
+            {"run_id": run_id, "dataset_key": self.dataset_key})
+        return RunResult(
+            deployment=self.name, started_at=started,
+            finished_at=self.testbed.now, value=result.value,
+            cold_start_delay=result.cold_start_duration or None,
+            execution_time=result.duration)
+
+
+class GCPWorkflowsMLTraining(Deployment):
+    """'GCP-Flows': a 4-call-step workflow chaining one function per stage.
+
+    The structural analogue of AWS-Step — same four stages, same blob
+    hand-offs — expressed in the step dialect: each call step reads and
+    rebinds the ``data`` variable over a synchronous HTTP round-trip,
+    and every step (not every transition) is billed.
+    """
+
+    name = "GCP-Flows"
+    platform = "gcp"
+    stateful = True
+    description = ("Workflow implementation using GCP Workflows, calling "
+                   "Cloud Functions from each step.")
+    function_count = 4
+    code_size_mb = 271.2
+
+    workflow_name = "ml-training"
+
+    def __init__(self, testbed: Testbed, workload: MLWorkload):
+        super().__init__(testbed)
+        self.workload = workload
+        self.dataset_key = f"datasets/{workload.scale}"
+
+    def setup(self) -> Generator:
+        functions = self.testbed.cloudfunctions
+        models = ml_work_models(self.workload.scale)
+        stages = [
+            ("gcp-ml-prepare", make_prepare_handler(self.workload)),
+            ("gcp-ml-reduce", make_reduce_handler(self.workload)),
+            ("gcp-ml-train", make_train_all_handler(self.workload)),
+            ("gcp-ml-select", make_select_handler(self.workload)),
+        ]
+        for name, handler in stages:
+            functions.register(FunctionSpec(
+                name=name, handler=handler, memory_mb=1536,
+                timeout_s=900.0, work_models=models))
+        self.testbed.workflows.create_workflow(self.workflow_name, [
+            {"name": "Prepare", "call": "gcp-ml-prepare",
+             "args": "$.data", "result": "data"},
+            {"name": "Reduce", "call": "gcp-ml-reduce",
+             "args": "$.data", "result": "data"},
+            {"name": "Train", "call": "gcp-ml-train",
+             "args": "$.data", "result": "data"},
+            {"name": "Select", "call": "gcp-ml-select",
+             "args": "$.data", "result": "data"},
+            {"name": "Done", "return": "$.data"},
+        ])
+        yield from self.testbed.gcp.blob.put(
+            self.dataset_key, self.workload.train_dataset,
+            size=self.workload.dataset_bytes)
+
+    def invoke(self) -> Generator:
+        run_id = self.next_run_id()
+        started = self.testbed.now
+        record = yield from self.testbed.workflows.execute(
+            self.workflow_name,
+            {"run_id": run_id, "dataset_key": self.dataset_key})
+        if record.status != "SUCCEEDED":
+            raise RuntimeError(
+                f"GCP-Flows training failed: {record.error}")
+        cold = _first_execution_delay(self.testbed.gcp.telemetry, started)
+        return RunResult(
+            deployment=self.name, started_at=started,
+            finished_at=self.testbed.now, value=record.output,
+            cold_start_delay=cold)
+
+
+# ---------------------------------------------------------------------------
 # Inference deployments (paper Figure 4 / Figure 9).
 # ---------------------------------------------------------------------------
 
@@ -785,6 +895,78 @@ class AWSStepMLInference(Deployment):
         if record.status != "SUCCEEDED":
             raise RuntimeError(f"AWS-Step inference failed: {record.error}")
         cold = _first_execution_delay(self.testbed.aws.telemetry, started)
+        return RunResult(
+            deployment=self.name, started_at=started,
+            finished_at=self.testbed.now, value=record.output,
+            cold_start_delay=cold)
+
+
+class GCPWorkflowsMLInference(Deployment):
+    """GCP-Flows inference: the model comes from slow remote storage.
+
+    Mirrors the AWS-Step inference shape — GCP Workflows has no live
+    entities, so like AWS the model is re-hydrated from blob storage on
+    every run; an assign step plays the role of ASL ``Parameters``,
+    injecting the static model key into the document.
+    """
+
+    name = "GCP-Flows"
+    platform = "gcp"
+    stateful = True
+    description = "Inference workflow as GCP Workflows steps."
+    function_count = 3
+    code_size_mb = 271.2
+
+    workflow_name = "ml-inference"
+    model_key = "trained/best-model"
+
+    def __init__(self, testbed: Testbed, workload: MLWorkload):
+        super().__init__(testbed)
+        self.workload = workload
+        self.dataset_key = "datasets/test"
+
+    def setup(self) -> Generator:
+        workload = self.workload
+        models = ml_work_models(workload.scale)
+        (apply_prepare, apply_reduce,
+         infer_from_blob, _) = make_inference_stage_handlers(workload)
+        for name, handler in [("gcp-infer-prepare", apply_prepare),
+                              ("gcp-infer-reduce", apply_reduce),
+                              ("gcp-infer-predict", infer_from_blob)]:
+            self.testbed.cloudfunctions.register(FunctionSpec(
+                name=name, handler=handler, memory_mb=1536,
+                timeout_s=900.0, work_models=models))
+        self.testbed.workflows.create_workflow(self.workflow_name, [
+            {"name": "Prepare", "call": "gcp-infer-prepare",
+             "args": "$.data", "result": "data"},
+            {"name": "Reduce", "call": "gcp-infer-reduce",
+             "args": "$.data", "result": "data"},
+            {"name": "BindModel", "assign": [
+                ["data", {"run_id": "$.data.run_id",
+                          "reduced_key": "$.data.reduced_key",
+                          "model_key": self.model_key}]]},
+            {"name": "Predict", "call": "gcp-infer-predict",
+             "args": "$.data", "result": "data"},
+            {"name": "Done", "return": "$.data"},
+        ])
+        # The pre-trained model and test data live in Cloud Storage.
+        yield from self.testbed.gcp.blob.put(
+            self.model_key, workload.trained.best.model,
+            size=workload.best_model_bytes)
+        yield from self.testbed.gcp.blob.put(
+            self.dataset_key, workload.test_dataset,
+            size=workload.test_dataset_bytes)
+
+    def invoke(self) -> Generator:
+        run_id = self.next_run_id()
+        started = self.testbed.now
+        record = yield from self.testbed.workflows.execute(
+            self.workflow_name,
+            {"run_id": run_id, "dataset_key": self.dataset_key})
+        if record.status != "SUCCEEDED":
+            raise RuntimeError(
+                f"GCP-Flows inference failed: {record.error}")
+        cold = _first_execution_delay(self.testbed.gcp.telemetry, started)
         return RunResult(
             deployment=self.name, started_at=started,
             finished_at=self.testbed.now, value=record.output,
@@ -995,25 +1177,37 @@ def _first_execution_delay(telemetry, since: float) -> Optional[float]:
 
 def build_ml_training_deployments(testbed: Testbed, scale: str,
                                   seed: int = 0) -> Dict[str, Deployment]:
-    """All six Table II variants of the ML training workflow."""
+    """All six Table II variants plus the GCP extension variants.
+
+    Variants whose platform the testbed did not build (``platforms=``
+    restriction) are omitted.
+    """
     workload = ml_workload(scale, seed)
     deployments = {
-        "AWS-Lambda": AWSLambdaMLTraining(testbed, workload),
-        "AWS-Step": AWSStepMLTraining(testbed, workload),
-        "Az-Func": AzureFuncMLTraining(testbed, workload),
-        "Az-Queue": AzureQueueMLTraining(testbed, workload),
-        "Az-Dorch": AzureDorchMLTraining(testbed, workload),
-        "Az-Dent": AzureDentMLTraining(testbed, workload),
+        "AWS-Lambda": AWSLambdaMLTraining,
+        "AWS-Step": AWSStepMLTraining,
+        "Az-Func": AzureFuncMLTraining,
+        "Az-Queue": AzureQueueMLTraining,
+        "Az-Dorch": AzureDorchMLTraining,
+        "Az-Dent": AzureDentMLTraining,
+        "GCP-Func": GCPFuncMLTraining,
+        "GCP-Flows": GCPWorkflowsMLTraining,
     }
-    return deployments
+    return {name: cls(testbed, workload)
+            for name, cls in deployments.items()
+            if cls.platform in testbed.platform_names}
 
 
 def build_ml_inference_deployments(testbed: Testbed, scale: str,
                                    seed: int = 0) -> Dict[str, Deployment]:
-    """The three variants the paper evaluates for inference (Fig 9)."""
+    """The paper's three inference variants (Fig 9) plus GCP-Flows."""
     workload = ml_workload(scale, seed)
-    return {
-        "AWS-Step": AWSStepMLInference(testbed, workload),
-        "Az-Dorch": AzureDorchMLInference(testbed, workload),
-        "Az-Dent": AzureDentMLInference(testbed, workload),
+    deployments = {
+        "AWS-Step": AWSStepMLInference,
+        "Az-Dorch": AzureDorchMLInference,
+        "Az-Dent": AzureDentMLInference,
+        "GCP-Flows": GCPWorkflowsMLInference,
     }
+    return {name: cls(testbed, workload)
+            for name, cls in deployments.items()
+            if cls.platform in testbed.platform_names}

@@ -1,4 +1,4 @@
-"""Overload campaigns: drive both platforms past saturation, openly.
+"""Overload campaigns: drive every platform past saturation, openly.
 
 The paper's closed-loop protocol never saturates either platform; an
 overload campaign does it on purpose.  It reuses the open-loop arrival
@@ -10,7 +10,14 @@ layer did with the excess:
   Functions absorbs with capped, jittered backoff until attempts run out;
 * Azure pushes back at the queues — a bounded dispatch queue answering
   HTTP 429 at the trigger, plus deadline-based load shedding of accepted
-  work that waited too long.
+  work that waited too long;
+* GCP rejects at the instance cap — gen1's one-request-per-instance
+  model 429s the excess, and Workflows retries with capped exponential
+  backoff.
+
+Per-platform throttle/retry counters come from the platform's
+:class:`~repro.platforms.backend.PlatformBackend`, so a new backend
+plugs into overload reporting without touching this module.
 
 Every request therefore ends in exactly one of four buckets — succeeded,
 throttled, shed, failed — and the :class:`OverloadSummary` reports
@@ -37,6 +44,7 @@ from repro.core.costs import cost_report
 from repro.core.experiment import CampaignResult
 from repro.core.metrics import percentile
 from repro.core.testbed import Testbed
+from repro.platforms.backend import get_backend
 from repro.platforms.base import LoadShedError, ThrottlingError
 
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard
@@ -152,9 +160,7 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
     from repro.core.parallel import CampaignOutcome
     Deployment._run_ids = itertools.count(1)
 
-    aws, azure = spec.calibrations()
-    testbed = Testbed(seed=spec.seed, aws_calibration=aws,
-                      azure_calibration=azure,
+    testbed = Testbed(seed=spec.seed, calibrations=spec.calibrations(),
                       fault_plan=spec.fault_plan_obj(),
                       audit=audit_mod.enabled_for(spec.audit))
     deployment = spec.build_deployment(testbed)
@@ -194,12 +200,9 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
 
     offered = len(offsets)
     succeeded = len(campaign.runs)
-    if deployment.platform == "aws":
-        throttle_events = testbed.lambdas.throttles
-        retries = testbed.stepfunctions.throttle_retries
-    else:
-        throttle_events = testbed.app.rejections
-        retries = 0
+    backend = get_backend(deployment.platform)
+    throttle_events = backend.throttle_count(testbed)
+    retries = backend.retry_count(testbed)
     if testbed.faults is not None:
         retries += testbed.faults.platform_retries
     latencies = campaign.latencies

@@ -53,10 +53,7 @@ from repro.core.experiment import (
     ExperimentRunner,
 )
 from repro.core.testbed import Testbed
-from repro.platforms.calibration import (
-    default_aws_calibration,
-    default_azure_calibration,
-)
+from repro.platforms.backend import backend_names, get_backend
 from repro.platforms.faults import FaultPlan
 
 WORKLOADS = ("ml-training", "ml-inference", "video")
@@ -83,8 +80,9 @@ class CampaignSpec:
     ``calibration_overrides`` and ``invoke_kwargs`` accept plain dicts
     for convenience; they are normalized to sorted tuples so the spec
     stays hashable and picklable.  Override keys use the
-    ``"aws.field"`` / ``"azure.field"`` convention of
-    :class:`repro.core.sweep.GridSweep`.
+    ``"<platform>.field"`` convention of
+    :class:`repro.core.sweep.GridSweep` (``"aws.field"``,
+    ``"azure.field"``, ``"gcp.field"``, ...).
     """
 
     deployment: str
@@ -140,12 +138,13 @@ class CampaignSpec:
                 for name, value in self.fault_plan))
             object.__setattr__(self, "fault_plan", normalized)
             FaultPlan.from_items(normalized)   # validate eagerly
+        known_platforms = backend_names()
         for name, _ in self.calibration_overrides:
             platform, _, parameter = str(name).partition(".")
-            if platform not in ("aws", "azure") or not parameter:
+            if platform not in known_platforms or not parameter:
                 raise ValueError(
-                    f"override keys look like 'aws.field' or "
-                    f"'azure.field', got {name!r}")
+                    f"override keys look like '<platform>.field' with a "
+                    f"registered platform {known_platforms}, got {name!r}")
         if self.audit:
             for name, value in self.calibration_overrides:
                 if str(name).endswith(".telemetry_spans") and not value:
@@ -175,10 +174,11 @@ class CampaignSpec:
 
     def calibration_hash(self) -> str:
         """Content hash of the *effective* calibrations (defaults plus
-        this spec's overrides), so editing a default constant in
-        :mod:`repro.platforms.calibration` invalidates cached results."""
-        aws, azure = self.calibrations()
-        blob = repr((asdict(aws), asdict(azure)))
+        this spec's overrides), so editing a default constant in any
+        platform's calibration module invalidates cached results."""
+        blob = repr(sorted((name, asdict(calibration))
+                           for name, calibration
+                           in self.calibrations().items()))
         return hashlib.sha256(blob.encode()).hexdigest()
 
     # -- materialization -------------------------------------------------------
@@ -189,21 +189,22 @@ class CampaignSpec:
             return None
         return FaultPlan.from_items(self.fault_plan)
 
-    def calibrations(self):
-        """Fresh default calibrations with this spec's overrides applied."""
-        aws = default_aws_calibration()
-        azure = default_azure_calibration()
+    def calibrations(self) -> Dict[str, Any]:
+        """Fresh default calibrations (one per registered platform) with
+        this spec's overrides applied, keyed by backend name."""
+        calibrations = {name: get_backend(name).default_calibration()
+                        for name in backend_names()}
         for name, value in self.calibration_overrides:
             platform, _, parameter = str(name).partition(".")
-            target = aws if platform == "aws" else azure
+            target = calibrations[platform]
             if not hasattr(target, parameter):
                 raise AttributeError(
                     f"{type(target).__name__} has no field {parameter!r}")
             setattr(target, parameter, value)
         # setattr bypasses __post_init__, so re-validate the results.
-        aws.validate()
-        azure.validate()
-        return aws, azure
+        for calibration in calibrations.values():
+            calibration.validate()
+        return calibrations
 
     def build_deployment(self, testbed: Testbed):
         """Build this spec's deployment variant on ``testbed``."""
@@ -268,9 +269,7 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
 
     from repro.core import audit as audit_mod
 
-    aws, azure = spec.calibrations()
-    testbed = Testbed(seed=spec.seed, aws_calibration=aws,
-                      azure_calibration=azure,
+    testbed = Testbed(seed=spec.seed, calibrations=spec.calibrations(),
                       fault_plan=spec.fault_plan_obj(),
                       audit=audit_mod.enabled_for(spec.audit))
     deployment = spec.build_deployment(testbed)

@@ -80,10 +80,8 @@ def _run_pass(spec: "CampaignSpec", fault_plan, audit: bool = False
     from repro.core.overload import classify_error
     Deployment._run_ids = itertools.count(1)
 
-    aws, azure = spec.calibrations()
-    testbed = Testbed(seed=spec.seed, aws_calibration=aws,
-                      azure_calibration=azure, fault_plan=fault_plan,
-                      audit=audit)
+    testbed = Testbed(seed=spec.seed, calibrations=spec.calibrations(),
+                      fault_plan=fault_plan, audit=audit)
     deployment = spec.build_deployment(testbed)
     deployment.deploy()
     auditor = testbed.auditor

@@ -26,10 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.testbed import Testbed
-from repro.platforms.calibration import (
-    default_aws_calibration,
-    default_azure_calibration,
-)
+from repro.platforms.backend import backend_names, get_backend
 
 
 def _evaluate_point(overrides: Dict[str, Any], seed: int,
@@ -37,18 +34,16 @@ def _evaluate_point(overrides: Dict[str, Any], seed: int,
     """Worker: one grid point on a fresh testbed (module-level so it
     pickles into worker processes).
 
-    ``overrides`` keys are ``"aws.field"`` / ``"azure.field"`` names; a
-    bare field name is applied to the platform given by the sweep (see
-    the callers, which prefix it).
+    ``overrides`` keys are ``"<platform>.field"`` names; a bare field
+    name is applied to the platform given by the sweep (see the callers,
+    which prefix it).
     """
-    aws = default_aws_calibration()
-    azure = default_azure_calibration()
+    calibrations = {name: get_backend(name).default_calibration()
+                    for name in backend_names()}
     for name, value in overrides.items():
         platform, _, parameter = name.partition(".")
-        target = aws if platform == "aws" else azure
-        setattr(target, parameter, value)
-    testbed = Testbed(seed=seed, aws_calibration=aws,
-                      azure_calibration=azure)
+        setattr(calibrations[platform], parameter, value)
+    testbed = Testbed(seed=seed, calibrations=calibrations)
     return measure(testbed)
 
 
@@ -93,12 +88,12 @@ class CalibrationSweep:
 
     def __init__(self, platform: str, parameter: str,
                  values: Sequence[Any], seed: int = 0):
-        if platform not in ("aws", "azure"):
-            raise ValueError("platform must be 'aws' or 'azure'")
+        if platform not in backend_names():
+            raise ValueError(
+                f"platform must be one of {backend_names()}")
         if not values:
             raise ValueError("sweep needs at least one value")
-        template = (default_aws_calibration() if platform == "aws"
-                    else default_azure_calibration())
+        template = get_backend(platform).default_calibration()
         if not hasattr(template, parameter):
             raise AttributeError(
                 f"{type(template).__name__} has no field {parameter!r}")
@@ -132,10 +127,11 @@ class CalibrationSweep:
 
 
 class GridSweep:
-    """A multi-parameter grid over both calibrations.
+    """A multi-parameter grid over any registered platforms' calibrations.
 
-    ``grid`` maps ``"aws.field"`` / ``"azure.field"`` names to value
-    lists; the cartesian product is evaluated.
+    ``grid`` maps ``"<platform>.field"`` names (``"aws.field"``,
+    ``"azure.field"``, ``"gcp.field"``, ...) to value lists; the
+    cartesian product is evaluated.
     """
 
     def __init__(self, grid: Dict[str, Sequence[Any]], seed: int = 0):
@@ -143,12 +139,11 @@ class GridSweep:
             raise ValueError("grid must not be empty")
         for name in grid:
             platform, _, parameter = name.partition(".")
-            if platform not in ("aws", "azure") or not parameter:
+            if platform not in backend_names() or not parameter:
                 raise ValueError(
-                    f"grid keys look like 'aws.field' or 'azure.field', "
-                    f"got {name!r}")
-            template = (default_aws_calibration() if platform == "aws"
-                        else default_azure_calibration())
+                    f"grid keys look like '<platform>.field' with a "
+                    f"registered platform {backend_names()}, got {name!r}")
+            template = get_backend(platform).default_calibration()
             if not hasattr(template, parameter):
                 raise AttributeError(
                     f"{type(template).__name__} has no field {parameter!r}")

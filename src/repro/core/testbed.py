@@ -1,31 +1,31 @@
-"""The testbed: one simulated world holding both cloud platforms.
+"""The testbed: one simulated world holding every registered platform.
 
 A :class:`Testbed` owns a single simulation environment plus, per
-platform, a complete service stack (runtime, storage, telemetry, billing
-and transaction meters).  Deployments register their functions into the
-testbed; the experiment runner drives invocations and reads measurements
-back out of it.
+registered :class:`~repro.platforms.backend.PlatformBackend`, a complete
+service stack (runtime, storage, telemetry, billing and transaction
+meters).  Deployments register their functions into the testbed; the
+experiment runner drives invocations and reads measurements back out of
+it.
+
+The testbed names no platform: it iterates
+:func:`~repro.platforms.backend.registered_backends` and lets each
+backend construct its services.  Per-platform attributes the platform
+modules historically exposed (``testbed.lambdas``, ``testbed.durable``,
+``testbed.aws_calibration``, ``testbed.azure_prices``, ...) are set by
+the backends' ``build`` hooks and by generic ``<name>_calibration`` /
+``<name>_prices`` setattr loops, so existing deployments and tests keep
+working unchanged.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Iterable, Optional
 
-from repro.aws import AWSPriceModel, LambdaService, StepFunctionsService
-from repro.azure import (
-    AzurePriceModel,
-    DurableFunctionsRuntime,
-    FunctionAppService,
-)
+from repro.platforms.backend import get_backend, registered_backends
 from repro.platforms.billing import BillingMeter
 from repro.platforms.faults import FaultInjector, FaultPlan
-from repro.platforms.calibration import (
-    AWSCalibration,
-    AzureCalibration,
-    default_aws_calibration,
-    default_azure_calibration,
-)
 from repro.sim import Environment, RandomStreams
 from repro.storage import BlobStore, TransactionMeter
 from repro.telemetry import Telemetry
@@ -48,21 +48,58 @@ class PlatformStack:
 
 
 class Testbed:
-    """A fresh simulated world with AWS and Azure stacks side by side."""
+    """A fresh simulated world with every registered platform side by side."""
 
     #: not a pytest test class, despite the name
     __test__ = False
 
     def __init__(self, seed: int = 0,
-                 aws_calibration: Optional[AWSCalibration] = None,
-                 azure_calibration: Optional[AzureCalibration] = None,
+                 calibrations: Optional[Dict[str, Any]] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 audit: bool = False):
+                 audit: bool = False,
+                 platforms: Optional[Iterable[str]] = None,
+                 aws_calibration: Any = None,
+                 azure_calibration: Any = None):
+        """Build one stack per registered backend.
+
+        ``calibrations`` maps backend names to calibration objects;
+        unnamed backends get their defaults.  ``platforms`` restricts the
+        build to a subset of backend names (all by default).  The old
+        ``aws_calibration``/``azure_calibration`` kwargs remain as thin
+        deprecation shims folding into the mapping.
+        """
         self.env = Environment()
         self.streams = RandomStreams(seed=seed)
-        self.aws_calibration = aws_calibration or default_aws_calibration()
-        self.azure_calibration = (azure_calibration
-                                  or default_azure_calibration())
+        calibrations = dict(calibrations or {})
+        for legacy_name, legacy_value in (("aws", aws_calibration),
+                                          ("azure", azure_calibration)):
+            if legacy_value is None:
+                continue
+            warnings.warn(
+                f"Testbed({legacy_name}_calibration=...) is deprecated; "
+                f"use calibrations={{{legacy_name!r}: ...}}",
+                DeprecationWarning, stacklevel=2)
+            if calibrations.get(legacy_name, legacy_value) is not legacy_value:
+                raise ValueError(
+                    f"calibration for {legacy_name!r} passed twice "
+                    "(mapping and legacy kwarg)")
+            calibrations[legacy_name] = legacy_value
+
+        backends = registered_backends()
+        if platforms is not None:
+            wanted = list(platforms)
+            for name in wanted:
+                get_backend(name)   # fail fast on unknown names
+            backends = tuple(backend for backend in backends
+                             if backend.name in wanted)
+        known = {backend.name for backend in backends}
+        for name in calibrations:
+            if name not in known:
+                get_backend(name)   # raises with the registered names
+                raise ValueError(
+                    f"calibration for {name!r} but that platform is "
+                    f"excluded by platforms={sorted(known)}")
+
         # The auditor must become the kernel monitor before the stacks
         # exist so every CloudQueue (the task hub's control/work-item
         # queues included) self-registers at construction; it learns the
@@ -81,41 +118,25 @@ class Testbed:
             self.faults = FaultInjector(plan=fault_plan,
                                         streams=self.streams)
 
-        clock = lambda: self.env.now  # noqa: E731 - tiny clock closure
-
-        # -- AWS stack ----------------------------------------------------------
-        aws_telemetry = Telemetry(
-            clock, enabled=self.aws_calibration.telemetry_spans)
-        aws_billing = BillingMeter(clock)
-        aws_meter = TransactionMeter(clock)
-        aws_blob = BlobStore(self.env, aws_meter,
-                             self.streams.get("aws.blob"), account="s3")
-        self.aws = PlatformStack(aws_telemetry, aws_billing, aws_meter,
-                                 aws_blob)
-        self.lambdas = LambdaService(
-            self.env, aws_telemetry, aws_billing, self.streams,
-            calibration=self.aws_calibration,
-            services={"blob": aws_blob}, faults=self.faults)
-        self.stepfunctions = StepFunctionsService(
-            self.env, self.lambdas, aws_telemetry, aws_meter,
-            faults=self.faults)
-        self.aws_prices = AWSPriceModel(self.aws_calibration)
-
-        # -- Azure stack ---------------------------------------------------------
-        azure_telemetry = Telemetry(
-            clock, enabled=self.azure_calibration.telemetry_spans)
-        azure_billing = BillingMeter(clock)
-        azure_meter = TransactionMeter(clock)
-        azure_blob = BlobStore(self.env, azure_meter,
-                               self.streams.get("azure.blob"),
-                               account="azblob")
-        self.azure = PlatformStack(azure_telemetry, azure_billing,
-                                   azure_meter, azure_blob)
-        self.durable = DurableFunctionsRuntime(
-            self.env, azure_telemetry, azure_billing, azure_meter,
-            self.streams, calibration=self.azure_calibration,
-            services={"blob": azure_blob}, faults=self.faults)
-        self.azure_prices = AzurePriceModel(self.azure_calibration)
+        self.platform_names: tuple = tuple(backend.name
+                                           for backend in backends)
+        self.stacks: Dict[str, PlatformStack] = {}
+        self.calibrations: Dict[str, Any] = {}
+        self.price_models: Dict[str, Any] = {}
+        for backend in backends:
+            calibration = calibrations.get(backend.name)
+            if calibration is None:
+                calibration = backend.default_calibration()
+            stack = backend.build(self, calibration)
+            prices = backend.price_model(calibration)
+            self.stacks[backend.name] = stack
+            self.calibrations[backend.name] = calibration
+            self.price_models[backend.name] = prices
+            # Back-compat attribute surface: testbed.aws,
+            # testbed.azure_calibration, testbed.gcp_prices, ...
+            setattr(self, backend.name, stack)
+            setattr(self, f"{backend.name}_calibration", calibration)
+            setattr(self, f"{backend.name}_prices", prices)
 
         if self.faults is not None and self.faults.plan.host_crash_times:
             self.env.process(self._host_crash_schedule())
@@ -124,11 +145,13 @@ class Testbed:
             self.auditor.attach(self)
 
     def _host_crash_schedule(self) -> Generator:
-        """Crash every host at each scheduled time, then recover Azure.
+        """Crash every platform's hosts at each scheduled time.
 
+        Each backend decides what a host crash means for it (dropping
+        warm containers, recovering orchestrations from history, ...).
         Runs as an unmonitored background process, so it must never
-        raise: recovery failures are swallowed (the affected instance
-        simply stays un-recovered, which is itself a fault outcome).
+        raise: backends swallow recovery failures themselves (an
+        un-recovered instance is itself a fault outcome).
         """
         faults = self.faults
         for crash_time in faults.plan.host_crash_times:
@@ -137,19 +160,14 @@ class Testbed:
                 yield self.env.timeout(delay)
             crashed_at = self.env.now
             faults.host_crashes += 1
-            self.lambdas.simulate_host_crash()
-            self.app.simulate_host_crash()
-            hub = self.durable.taskhub
-            pending = list(hub.simulate_host_crash())
-            for instance_id in pending:
-                try:
-                    yield from hub.recover_instance(instance_id)
-                except Exception:
-                    pass
+            for name in self.platform_names:
+                recovery = get_backend(name).crash_host(self)
+                if recovery is not None:
+                    yield from recovery
             faults.host_recovery_times.append(self.env.now - crashed_at)
 
     @property
-    def app(self) -> FunctionAppService:
+    def app(self):
         """The Azure function app (shared by durable and plain functions)."""
         return self.durable.app
 
@@ -171,9 +189,19 @@ class Testbed:
         self.env.run(until=self.env.now + seconds)
 
     def stack(self, platform: str) -> PlatformStack:
-        """The meter stack for 'aws' or 'azure'."""
-        if platform == "aws":
-            return self.aws
-        if platform == "azure":
-            return self.azure
-        raise ValueError(f"unknown platform: {platform!r}")
+        """The meter stack for a registered platform name."""
+        try:
+            return self.stacks[platform]
+        except KeyError:
+            raise ValueError(
+                f"unknown platform: {platform!r} (this testbed built "
+                f"{list(self.platform_names)})") from None
+
+    def calibration(self, platform: str) -> Any:
+        """The calibration a registered platform was built with."""
+        try:
+            return self.calibrations[platform]
+        except KeyError:
+            raise ValueError(
+                f"unknown platform: {platform!r} (this testbed built "
+                f"{list(self.platform_names)})") from None

@@ -271,6 +271,60 @@ class Workflow:
             measured_memory_mb=measured_memory_mb))
         return self.name
 
+    # -- GCP compilation --------------------------------------------------------------
+
+    def to_gcp_steps(self) -> List[Dict[str, Any]]:
+        """Compile to a GCP Workflows step list.
+
+        The graph threads its document through the ``data`` variable —
+        the convention :mod:`repro.gcp.workflows` executes against: each
+        task becomes a call step reading and rebinding ``data``, fixed
+        branches become a parallel step, and a map becomes a parallel
+        ``for`` over the list the items path selects out of ``data``.
+        """
+        counter = itertools.count()
+
+        def step_name(label: str) -> str:
+            return f"{self.name}-{next(counter)}-{label}"
+
+        def compile_node(node: Node) -> List[Dict[str, Any]]:
+            if isinstance(node, TaskNode):
+                return [{"name": step_name(node.function),
+                         "call": node.function, "args": "$.data",
+                         "result": "data"}]
+            if isinstance(node, SequenceNode):
+                steps: List[Dict[str, Any]] = []
+                for step in node.steps:
+                    steps.extend(compile_node(step))
+                return steps
+            if isinstance(node, ParallelNode):
+                return [{"name": step_name("parallel"),
+                         "parallel": {
+                             "branches": [compile_node(branch)
+                                          for branch in node.branches],
+                             "result": "data"}}]
+            if isinstance(node, MapNode):
+                # The items path addresses the document, which lives in
+                # the 'data' variable: '$.items' -> '$.data.items'.
+                items_ref = "$.data" + node.items_path[1:]
+                return [{"name": step_name("map"),
+                         "for": {"value": "item", "in": items_ref,
+                                 "steps": compile_node(node.iterator),
+                                 "concurrency": node.max_concurrency,
+                                 "result": "data"}}]
+            raise TypeError(f"unknown node type: {type(node).__name__}")
+
+        steps = compile_node(self.root)
+        steps.append({"name": step_name("done"), "return": "$.data"})
+        return steps
+
+    def deploy_gcp(self, testbed) -> str:
+        """Create the workflow on the testbed; returns its name."""
+        for function in self.functions():
+            testbed.cloudfunctions.get_function(function)   # fail fast
+        testbed.workflows.create_workflow(self.name, self.to_gcp_steps())
+        return self.name
+
     def __repr__(self) -> str:
         return (f"Workflow(name={self.name!r}, "
                 f"functions={self.functions()})")

@@ -1,0 +1,39 @@
+"""GCP platform simulation: Workflows + Cloud Functions (gen1).
+
+The third simulated platform, built entirely on the
+:mod:`repro.platforms.backend` registry — no testbed, campaign or CLI
+code names it.  The model captures what the cross-provider measurement
+literature reports as Google's distinguishing mechanisms:
+
+* **step-based synchronous workflows**: a list of assign/call/switch/
+  parallel/for steps executed against named variables, chained over
+  synchronous HTTP round-trips — no queue hops, no history replay —
+  billed **per step** (internal vs external-call rates),
+* **one request per instance** (gen1): the instance cap is the
+  concurrency cap, excess requests are 429 ``RESOURCE_EXHAUSTED``,
+* **memory tiers** with CPU clock coupled to the tier, ~1.5-4 s Python
+  cold starts and a long keep-alive,
+* tight **64 KB payload limits** on values crossing step boundaries,
+* a default retry-on-429 policy with capped exponential backoff.
+"""
+
+from repro.gcp.calibration import GCPCalibration, default_gcp_calibration
+from repro.gcp.functions import CloudFunctionsService, FunctionInstance
+from repro.gcp.pricing import GCPCostBreakdown, GCPPriceModel
+from repro.gcp.workflows import (
+    GCPWorkflowsService,
+    WorkflowExecutionRecord,
+    WorkflowValidationError,
+)
+
+__all__ = [
+    "CloudFunctionsService",
+    "FunctionInstance",
+    "GCPCalibration",
+    "GCPCostBreakdown",
+    "GCPPriceModel",
+    "GCPWorkflowsService",
+    "WorkflowExecutionRecord",
+    "WorkflowValidationError",
+    "default_gcp_calibration",
+]

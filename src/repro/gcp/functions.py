@@ -1,0 +1,245 @@
+"""GCP Cloud Functions (gen1) runtime simulation.
+
+Structurally a sibling of :class:`~repro.aws.lambda_service.LambdaService`
+— per-request instances, keep-alive pools, 100 ms billing granularity —
+with the gen1 differences that make GCP a distinct data point:
+
+* **one request per instance**: gen1 has no per-instance concurrency, so
+  the instance cap is also the in-flight cap and excess requests are
+  rejected ``429 RESOURCE_EXHAUSTED``;
+* **memory tiers**: configurations round up to the next power-of-two
+  tier, and CPU clock scales with the tier;
+* **slower cold starts** (~1.5-4 s for Python) with a longer keep-alive;
+* timeouts are clamped to the 540 s gen1 cap rather than rejected, so
+  workload function specs shared across platforms stay portable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.gcp.calibration import GCPCalibration
+from repro.platforms.base import (
+    FunctionContext,
+    FunctionSpec,
+    FunctionTimeout,
+    InvocationResult,
+    ThrottlingError,
+    round_up,
+)
+from repro.platforms.billing import BillingMeter
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+from repro.telemetry import SpanKind, Telemetry
+
+
+@dataclass
+class FunctionInstance:
+    """One warm gen1 instance, bound to a function, one request at a time."""
+
+    instance_id: int
+    function_name: str
+    created_at: float
+    expires_at: float
+    busy: bool = False
+    invocations: int = 0
+
+
+class CloudFunctionsService:
+    """The Cloud Functions control plane: registry plus instance pools."""
+
+    _instance_ids = itertools.count(1)
+
+    def __init__(self, env: Environment, telemetry: Telemetry,
+                 billing: BillingMeter, streams: RandomStreams,
+                 calibration: Optional[GCPCalibration] = None,
+                 services: Optional[Dict[str, Any]] = None,
+                 faults: Optional[Any] = None):
+        self.env = env
+        self.telemetry = telemetry
+        self.billing = billing
+        self.streams = streams
+        self.faults = faults
+        self.calibration = calibration or GCPCalibration()
+        self.services = dict(services or {})
+        self._functions: Dict[str, FunctionSpec] = {}
+        self._warm: Dict[str, List[FunctionInstance]] = {}
+        self._in_flight = 0
+        #: requests rejected 429 RESOURCE_EXHAUSTED (instance cap)
+        self.throttles = 0
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, spec: FunctionSpec) -> FunctionSpec:
+        """Deploy a function; its name becomes invokable.
+
+        The configured memory rounds up to the next gen1 tier and the
+        timeout clamps to the 540 s cap, so specs written for the other
+        platforms deploy unchanged.
+        """
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name!r} already registered")
+        calibration = self.calibration
+        tier = calibration.round_to_tier(spec.memory_mb)
+        timeout = min(spec.timeout_s, calibration.time_limit_s)
+        if tier != spec.memory_mb or timeout != spec.timeout_s:
+            spec = dataclasses.replace(spec, memory_mb=tier,
+                                       timeout_s=timeout)
+        if (self.faults is not None and self.faults.plan.handler_faults
+                and self.faults.plan.applies_to(spec.name)):
+            spec = dataclasses.replace(
+                spec, handler=self.faults.wrap(spec.handler, spec.name))
+        self._functions[spec.name] = spec
+        self._warm.setdefault(spec.name, [])
+        return spec
+
+    def get_function(self, name: str) -> FunctionSpec:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(
+                f"no such Cloud Function: {name!r}") from None
+
+    @property
+    def function_names(self) -> List[str]:
+        return sorted(self._functions)
+
+    def warm_instance_count(self, name: str) -> int:
+        """Idle warm instances available for ``name`` right now."""
+        self._prune(name)
+        return sum(1 for instance in self._warm.get(name, [])
+                   if not instance.busy)
+
+    # -- invocation ---------------------------------------------------------------
+
+    def invoke(self, name: str, event: Any,
+               parent_span=None) -> Generator:
+        """Invoke a function; drive with ``yield from``.
+
+        Returns an :class:`InvocationResult`.  Raises whatever the handler
+        raises, or :class:`FunctionTimeout` past the configured limit.
+        """
+        spec = self.get_function(name)
+        rng = self.streams.get(f"gcp.fn.{name}")
+        calibration = self.calibration
+        self._admit()
+        self.billing.charge_request(name)
+        self._in_flight += 1
+        try:
+            invoked_at = self.env.now
+            instance, cold = self._claim_instance(name)
+            cold_duration = 0.0
+            if cold:
+                cold_duration = calibration.cold_start.sample(rng)
+                span = self.telemetry.start_span(
+                    name, SpanKind.COLD_START, parent=parent_span,
+                    platform="gcp")
+                yield self.env.timeout(cold_duration)
+                self.telemetry.end_span(span)
+            else:
+                yield self.env.timeout(calibration.warm_start.sample(rng))
+
+            started_at = self.env.now
+            span = self.telemetry.start_span(
+                name, SpanKind.EXECUTION, parent=parent_span,
+                platform="gcp", cold=cold, memory_mb=spec.memory_mb)
+            ctx = FunctionContext(
+                self.env, spec, rng, services=self.services,
+                telemetry=self.telemetry, span=span,
+                jitter=calibration.execution_jitter,
+                cpu_factor=calibration.cpu_factor(spec.memory_mb))
+            try:
+                value = yield from self._run_with_timeout(ctx, spec, event)
+            finally:
+                finished_at = self.env.now
+                self.telemetry.end_span(span,
+                                        duration=finished_at - started_at)
+                self._release_instance(instance)
+                raw = finished_at - started_at
+                billed = round_up(max(raw, 1e-9),
+                                  calibration.billing_granularity_s)
+                self.billing.charge_compute(
+                    name, raw_duration=raw, billed_duration=billed,
+                    memory_mb=spec.memory_mb)
+
+            return InvocationResult(
+                value=value, started_at=started_at, finished_at=finished_at,
+                cold_start=cold, cold_start_duration=cold_duration,
+                queue_wait=started_at - invoked_at - cold_duration,
+                billed_gb_s=billed * spec.memory_gb, function_name=name)
+        finally:
+            self._in_flight -= 1
+
+    # -- admission control ---------------------------------------------------------
+
+    def _admit(self) -> None:
+        """One request per instance: past the instance cap, reject 429.
+
+        Rejected requests are not billed (no request charge, no compute).
+        """
+        calibration = self.calibration
+        if self._in_flight >= calibration.max_instances:
+            self.throttles += 1
+            raise ThrottlingError(
+                f"instance limit ({calibration.max_instances}) reached: "
+                "RESOURCE_EXHAUSTED — 429 TooManyRequests",
+                retry_after_s=calibration.throttle_retry_interval_s)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _run_with_timeout(self, ctx: FunctionContext, spec: FunctionSpec,
+                          event: Any) -> Generator:
+        handler_process = self.env.process(spec.handler(ctx, event))
+        deadline = self.env.timeout(spec.timeout_s)
+        result = yield handler_process | deadline
+        if handler_process in result:
+            return handler_process.value
+        handler_process.interrupt(cause="timeout")
+        # The interrupt will surface as the process's failure value; mark
+        # it handled so the unwound process cannot crash the simulation.
+        handler_process.defuse()
+        yield self.env.timeout(0)
+        raise FunctionTimeout(
+            f"function {spec.name!r} exceeded its {spec.timeout_s}s limit")
+
+    def _claim_instance(self, name: str) -> tuple:
+        """Return ``(instance, cold)`` — reuse warm or provision new."""
+        self._prune(name)
+        for instance in self._warm[name]:
+            if not instance.busy:
+                instance.busy = True
+                instance.invocations += 1
+                return instance, False
+        instance = FunctionInstance(
+            instance_id=next(self._instance_ids), function_name=name,
+            created_at=self.env.now,
+            expires_at=self.env.now + self.calibration.keep_alive_s,
+            busy=True, invocations=1)
+        self._warm[name].append(instance)
+        return instance, True
+
+    def _release_instance(self, instance: FunctionInstance) -> None:
+        instance.busy = False
+        instance.expires_at = self.env.now + self.calibration.keep_alive_s
+
+    def simulate_host_crash(self) -> int:
+        """Kill every idle warm instance (busy ones finish their run).
+
+        Returns how many instances were dropped; the next invocations pay
+        cold starts again.
+        """
+        dropped = 0
+        for name, instances in self._warm.items():
+            keep = [instance for instance in instances if instance.busy]
+            dropped += len(instances) - len(keep)
+            self._warm[name] = keep
+        return dropped
+
+    def _prune(self, name: str) -> None:
+        now = self.env.now
+        self._warm[name] = [
+            instance for instance in self._warm.get(name, [])
+            if instance.busy or instance.expires_at > now]

@@ -1,0 +1,85 @@
+"""GCP price model: Cloud Functions GB-s + Workflows per-step charges.
+
+GCP's stateful cost component is neither AWS's per-transition price nor
+Azure's storage transactions: Workflows bills every executed *step*, at
+a higher rate for steps making external calls.  Idle workflows bill
+nothing (like AWS, unlike Azure's constant polling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gcp.calibration import GCPCalibration
+from repro.platforms.billing import BillingMeter
+from repro.storage.meter import TransactionMeter
+
+
+@dataclass
+class GCPCostBreakdown:
+    """Dollar cost split into the paper's two components."""
+
+    compute: float            # Cloud Functions GB-s ("computation cost")
+    requests: float           # per-invocation charge
+    steps: float              # Workflows step charges ("transaction cost")
+    gb_s: float
+    internal_steps: int
+    external_steps: int
+
+    @property
+    def stateless(self) -> float:
+        """The paper's 'computation cost' component."""
+        return self.compute + self.requests
+
+    @property
+    def stateful(self) -> float:
+        """The paper's 'transaction cost' component."""
+        return self.steps
+
+    @property
+    def total(self) -> float:
+        return self.stateless + self.stateful
+
+    @property
+    def step_count(self) -> int:
+        return self.internal_steps + self.external_steps
+
+    @property
+    def stateful_share(self) -> float:
+        """Step cost as a fraction of the total."""
+        return self.stateful / self.total if self.total else 0.0
+
+
+class GCPPriceModel:
+    """Prices a deployment's billing and transaction meters."""
+
+    def __init__(self, calibration: GCPCalibration):
+        self.calibration = calibration
+
+    def breakdown(self, billing: BillingMeter,
+                  meter: TransactionMeter) -> GCPCostBreakdown:
+        """Cost of everything recorded so far."""
+        gb_s = billing.total_gb_s()
+        internal = meter.count(service="workflows",
+                               operation="internal_step")
+        external = meter.count(service="workflows",
+                               operation="external_step")
+        return GCPCostBreakdown(
+            compute=gb_s * self.calibration.gb_s_price,
+            requests=(billing.total_requests()
+                      * self.calibration.request_price),
+            steps=(internal * self.calibration.internal_step_price
+                   + external * self.calibration.external_step_price),
+            gb_s=gb_s,
+            internal_steps=internal,
+            external_steps=external)
+
+    def monthly_cost(self, breakdown_per_run: GCPCostBreakdown,
+                     runs_per_month: int) -> float:
+        """Project a single run's cost to a monthly bill.
+
+        Workflows charges nothing while idle, so the projection is
+        linear in the number of runs (the AWS-like end of the paper's
+        idle-cost spectrum).
+        """
+        return breakdown_per_run.total * runs_per_month

@@ -1,0 +1,461 @@
+"""GCP Workflows execution engine: a step-based workflow interpreter.
+
+Google Cloud Workflows executes a YAML-defined list of *steps* against
+named variables — a genuinely different model from both Step Functions'
+state machine (data document threaded through states) and Durable
+Functions' replayed code (event sourcing).  The differences this module
+captures, from Google's documentation and the cross-provider measurement
+literature (Wen et al.; SeBS-Flow):
+
+* **synchronous HTTP-style chaining**: call steps invoke Cloud Functions
+  over a synchronous round-trip — no queue hop, no history replay — so
+  latency is tight but every call pays an HTTP overhead;
+* **per-step billing**: every executed step is billable, at a higher
+  rate for steps making external calls (our function invocations);
+* **tight payload limits**: 64 KB on values crossing step boundaries;
+* a **default retry policy** absorbing 429s from called functions with
+  capped exponential backoff.
+
+The simulated step dialect (a Python-literal rendering of the YAML):
+each step is a dict ``{"name": ..., <op>}`` with exactly one op —
+
+``{"assign": [[var, value], ...]}``
+    Bind variables.  Values may be literals, ``"$.var.path"`` reference
+    strings (resolved against the variable scope via the shared jsonpath
+    subset), or dict/list templates resolved recursively.
+``{"call": fn, "args": value, "result": var, "retry": {...}}``
+    Invoke a deployed Cloud Function with the resolved ``args``; bind
+    the result.  ``retry`` (``max_attempts``/``interval_s``/``backoff``)
+    re-attempts application errors.
+``{"switch": [{"condition": {"var", "op", "value"}, "next": step}, ...]}``
+    Jump to the first matching rule (ops: eq/ne/lt/lte/gt/gte); an entry
+    without a condition is the default.
+``{"parallel": {"branches": [[steps], ...], "result": var}}``
+    Run branch step-lists concurrently in copied scopes; each branch's
+    value is its final ``data`` variable; bind the list.
+``{"for": {"value": var, "in": ref, "steps": [...], "result": var,
+"concurrency": n}}``
+    Parallel iteration over a list; each iteration runs in a copied
+    scope with the loop variable *and* ``data`` bound to the item; bind
+    the list of per-item ``data`` values.
+``{"return": value}``
+    End the execution with the resolved value (top level only).
+
+Any step may carry ``"next"`` to jump within its step list.  Execution
+starts with the scope ``{"data": argument}`` — the convention
+:meth:`repro.core.workflow.Workflow.to_gcp_steps` compiles against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.aws.jsonpath import PathError, get_path
+from repro.gcp.functions import CloudFunctionsService
+from repro.platforms.base import ThrottlingError, enforce_payload_limit
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+from repro.storage.meter import TransactionMeter
+from repro.telemetry import SpanKind, Telemetry
+
+#: Step ops a workflow step may carry (exactly one per step).
+STEP_OPS = ("assign", "call", "switch", "parallel", "for", "return")
+
+_SWITCH_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "lte": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "gte": lambda a, b: a >= b,
+}
+
+
+class WorkflowValidationError(ValueError):
+    """A workflow definition failed validation at creation time."""
+
+
+class _StepError(Exception):
+    """Internal: a step failed; carries the error text for the record."""
+
+
+class _WorkflowReturn(Exception):
+    """Internal: a return step ended the execution with a value."""
+
+    def __init__(self, value: Any):
+        super().__init__("workflow returned")
+        self.value = value
+
+
+@dataclass
+class WorkflowExecutionRecord:
+    """Everything observable about one workflow execution."""
+
+    execution_id: int
+    workflow_name: str
+    started_at: float
+    finished_at: Optional[float] = None
+    status: str = "RUNNING"       # RUNNING / SUCCEEDED / FAILED
+    output: Any = None
+    error: Optional[str] = None
+    internal_steps: int = 0
+    external_steps: int = 0
+    steps_entered: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.finished_at is None:
+            raise ValueError("execution still running")
+        return self.finished_at - self.started_at
+
+
+class GCPWorkflowsService:
+    """Registry and executor for step-based workflows."""
+
+    _execution_ids = itertools.count(1)
+
+    def __init__(self, env: Environment, functions: CloudFunctionsService,
+                 telemetry: Telemetry, meter: TransactionMeter,
+                 faults: Optional[Any] = None):
+        self.env = env
+        self.functions = functions
+        self.telemetry = telemetry
+        self.meter = meter
+        self.faults = faults
+        self.calibration = functions.calibration
+        self._workflows: Dict[str, List[dict]] = {}
+        self.executions: List[WorkflowExecutionRecord] = []
+        #: call-step invocations re-attempted after a function 429
+        self.throttle_retries = 0
+
+    # -- registry -----------------------------------------------------------------
+
+    def create_workflow(self, name: str, steps: List[dict]) -> List[dict]:
+        """Validate and register a step list under ``name``."""
+        if name in self._workflows:
+            raise ValueError(f"workflow {name!r} already exists")
+        self._validate_steps(steps, top_level=True)
+        self._workflows[name] = steps
+        return steps
+
+    def get_workflow(self, name: str) -> List[dict]:
+        try:
+            return self._workflows[name]
+        except KeyError:
+            raise KeyError(f"no such workflow: {name!r}") from None
+
+    def list_executions(self, name: Optional[str] = None,
+                        status: Optional[str] = None
+                        ) -> List[WorkflowExecutionRecord]:
+        """Executions, newest first, optionally filtered."""
+        records = [record for record in self.executions
+                   if (name is None or record.workflow_name == name)
+                   and (status is None or record.status == status)]
+        return sorted(records, key=lambda record: -record.execution_id)
+
+    def _validate_steps(self, steps: Any, top_level: bool) -> None:
+        if not isinstance(steps, list) or not steps:
+            raise WorkflowValidationError(
+                "a workflow needs a non-empty step list")
+        names = []
+        for step in steps:
+            if not isinstance(step, dict) or "name" not in step:
+                raise WorkflowValidationError(
+                    f"every step needs a 'name': {step!r}")
+            ops = [op for op in STEP_OPS if op in step]
+            if len(ops) != 1:
+                raise WorkflowValidationError(
+                    f"step {step['name']!r} needs exactly one op from "
+                    f"{STEP_OPS}, found {ops}")
+            names.append(step["name"])
+            op = ops[0]
+            if op == "return" and not top_level:
+                raise WorkflowValidationError(
+                    f"step {step['name']!r}: 'return' is only allowed at "
+                    "the top level (branches yield their 'data' variable)")
+            if op == "call":
+                # Fail at creation time if a call target is undeployed.
+                self.functions.get_function(step["call"])
+            elif op == "parallel":
+                for branch in step["parallel"]["branches"]:
+                    self._validate_steps(branch, top_level=False)
+            elif op == "for":
+                self._validate_steps(step["for"]["steps"], top_level=False)
+        if len(set(names)) != len(names):
+            raise WorkflowValidationError(
+                f"duplicate step names in {names}")
+        for step in steps:
+            target = step.get("next")
+            if target is not None and target not in names:
+                raise WorkflowValidationError(
+                    f"step {step['name']!r} jumps to unknown step "
+                    f"{target!r}")
+            for rule in step.get("switch", []):
+                if rule["next"] not in names:
+                    raise WorkflowValidationError(
+                        f"switch in {step['name']!r} jumps to unknown "
+                        f"step {rule['next']!r}")
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, name: str, argument: Any) -> Generator:
+        """Run one execution to completion; drive with ``yield from``.
+
+        Returns the :class:`WorkflowExecutionRecord`.  A failed execution
+        returns a record with ``status='FAILED'`` rather than raising,
+        matching the service API (and the Step Functions simulation).
+        """
+        steps = self.get_workflow(name)
+        record = WorkflowExecutionRecord(
+            execution_id=next(self._execution_ids), workflow_name=name,
+            started_at=self.env.now)
+        self.executions.append(record)
+        span = self.telemetry.start_span(
+            name, SpanKind.WORKFLOW, platform="gcp",
+            execution_id=record.execution_id)
+        try:
+            self._check_payload(argument, "workflow argument")
+            scope = {"data": argument}
+            yield from self._run_steps(steps, scope, record, span, name)
+            output = scope.get("data")
+        except _WorkflowReturn as outcome:
+            output = outcome.value
+        except _StepError as error:
+            record.status = "FAILED"
+            record.error = str(error)
+            record.finished_at = self.env.now
+            self.telemetry.end_span(span, status="FAILED",
+                                    error=record.error)
+            return record
+        record.status = "SUCCEEDED"
+        record.output = output
+        record.finished_at = self.env.now
+        self.telemetry.end_span(span, status="SUCCEEDED")
+        return record
+
+    # -- step interpreter -------------------------------------------------------------
+
+    def _run_steps(self, steps: List[dict], scope: Dict[str, Any],
+                   record: WorkflowExecutionRecord, parent_span,
+                   workflow_name: str) -> Generator:
+        """Run one step list against ``scope``; returns its final
+        ``data`` variable (the branch/iteration value convention)."""
+        index = {step["name"]: position
+                 for position, step in enumerate(steps)}
+        position = 0
+        while position < len(steps):
+            step = steps[position]
+            jump = yield from self._run_step(
+                step, scope, record, parent_span, workflow_name)
+            if jump is None:
+                jump = step.get("next")
+            position = index[jump] if jump is not None else position + 1
+        return scope.get("data")
+
+    def _run_step(self, step: dict, scope: Dict[str, Any],
+                  record: WorkflowExecutionRecord, parent_span,
+                  workflow_name: str) -> Generator:
+        """Execute one step; returns an explicit jump target or None."""
+        external = "call" in step
+        yield from self._transition(step, record, workflow_name, external)
+
+        if "assign" in step:
+            for variable, value in step["assign"]:
+                resolved = self._resolve(value, scope)
+                self._check_payload(
+                    resolved, f"assign of {variable!r} in {step['name']!r}")
+                scope[variable] = resolved
+            return None
+        if "call" in step:
+            args = self._resolve(step.get("args"), scope)
+            self._check_payload(args, f"call args of {step['name']!r}")
+            value = yield from self._call_function(
+                step["call"], args, step.get("retry"), parent_span,
+                workflow_name)
+            self._check_payload(value, f"call result of {step['name']!r}")
+            if "result" in step:
+                scope[step["result"]] = value
+            return None
+        if "switch" in step:
+            for rule in step["switch"]:
+                condition = rule.get("condition")
+                if condition is None or self._matches(condition, scope):
+                    return rule["next"]
+            raise _StepError(
+                f"no switch condition matched in step {step['name']!r}")
+        if "parallel" in step:
+            spec = step["parallel"]
+            processes = [
+                self.env.process(self._branch_runner(
+                    branch, dict(scope), record, parent_span,
+                    workflow_name))
+                for branch in spec["branches"]]
+            yield self.env.all_of(processes)
+            results = [process.value for process in processes]
+            if "result" in spec:
+                scope[spec["result"]] = results
+            return None
+        if "for" in step:
+            spec = step["for"]
+            items = self._resolve(spec["in"], scope)
+            if not isinstance(items, list):
+                raise _StepError(
+                    f"'in' of step {step['name']!r} did not resolve to "
+                    "a list")
+            gate = None
+            if spec.get("concurrency", 0) > 0:
+                gate = Resource(self.env, capacity=spec["concurrency"])
+            processes = []
+            for item in items:
+                iteration_scope = dict(scope)
+                iteration_scope[spec["value"]] = item
+                iteration_scope["data"] = item
+                processes.append(self.env.process(self._iteration_runner(
+                    spec["steps"], iteration_scope, gate, record,
+                    parent_span, workflow_name)))
+            yield self.env.all_of(processes)
+            results = [process.value for process in processes]
+            if "result" in spec:
+                scope[spec["result"]] = results
+            return None
+        if "return" in step:
+            value = self._resolve(step["return"], scope)
+            self._check_payload(value, f"return of {step['name']!r}")
+            raise _WorkflowReturn(value)
+        raise _StepError(f"step {step['name']!r} has no recognized op")
+
+    def _branch_runner(self, steps: List[dict], scope: Dict[str, Any],
+                       record: WorkflowExecutionRecord, parent_span,
+                       workflow_name: str) -> Generator:
+        value = yield from self._run_steps(
+            steps, scope, record, parent_span, workflow_name)
+        return value
+
+    def _iteration_runner(self, steps: List[dict], scope: Dict[str, Any],
+                          gate, record: WorkflowExecutionRecord,
+                          parent_span, workflow_name: str) -> Generator:
+        if gate is None:
+            value = yield from self._run_steps(
+                steps, scope, record, parent_span, workflow_name)
+            return value
+        with gate.request() as slot:
+            yield slot
+            value = yield from self._run_steps(
+                steps, scope, record, parent_span, workflow_name)
+            return value
+
+    # -- step mechanics ---------------------------------------------------------------
+
+    def _transition(self, step: dict, record: WorkflowExecutionRecord,
+                    workflow_name: str, external: bool) -> Generator:
+        """Enter a step: bill it, meter it, pay the scheduler latency."""
+        record.steps_entered.append(step["name"])
+        if external:
+            record.external_steps += 1
+            self.meter.record("workflows", workflow_name, "external_step")
+        else:
+            record.internal_steps += 1
+            self.meter.record("workflows", workflow_name, "internal_step")
+        rng = self.functions.streams.get(f"gcp.flow.{workflow_name}")
+        latency = self.calibration.transition_latency.sample(rng)
+        span = self.telemetry.start_span(
+            step["name"], SpanKind.TRANSITION, platform="gcp",
+            step_op=[op for op in STEP_OPS if op in step][0])
+        yield self.env.timeout(latency)
+        self.telemetry.end_span(span)
+        return None
+
+    def _call_function(self, function: str, args: Any,
+                       retry: Optional[dict], parent_span,
+                       workflow_name: str) -> Generator:
+        """Invoke a Cloud Function from a call step.
+
+        Two retry layers, mirroring the real service: the built-in
+        policy absorbs 429s with capped exponential backoff (counted in
+        :attr:`throttle_retries`); application errors re-attempt per the
+        step's ``retry`` config, or per the fault plan's synthesized
+        default retrier during reliability campaigns (counted in
+        ``faults.platform_retries``).  Retry delays run on the simulated
+        clock.  The synchronous HTTP hop costs ``http_call_overhead``
+        per attempt.
+        """
+        calibration = self.calibration
+        if (retry is None and self.faults is not None
+                and self.faults.plan.retry_max_attempts > 1):
+            plan = self.faults.plan
+            retry = {"max_attempts": plan.retry_max_attempts - 1,
+                     "interval_s": plan.retry_interval_s,
+                     "backoff": plan.retry_backoff}
+        rng = self.functions.streams.get(
+            f"gcp.flow.throttle.{function}")
+        throttle_attempt = 0
+        app_attempt = 0
+        while True:
+            yield self.env.timeout(
+                calibration.http_call_overhead.sample(rng))
+            try:
+                result = yield from self.functions.invoke(
+                    function, args, parent_span=parent_span)
+                return result.value
+            except ThrottlingError as error:
+                throttle_attempt += 1
+                if (throttle_attempt
+                        >= calibration.throttle_retry_max_attempts):
+                    raise _StepError(
+                        f"call {function!r} failed: {error}") from error
+                self.throttle_retries += 1
+                ceiling = min(
+                    calibration.throttle_retry_cap_s,
+                    calibration.throttle_retry_interval_s
+                    * 2.0 ** (throttle_attempt - 1))
+                delay = max(error.retry_after_s,
+                            ceiling * float(rng.uniform(0.5, 1.0)))
+                yield self.env.timeout(delay)
+            except _StepError:
+                raise
+            except Exception as error:  # noqa: BLE001 - the step outcome
+                if retry is not None and app_attempt < retry["max_attempts"]:
+                    delay = (retry["interval_s"]
+                             * retry.get("backoff", 2.0) ** app_attempt)
+                    app_attempt += 1
+                    if self.faults is not None:
+                        self.faults.platform_retries += 1
+                    yield self.env.timeout(delay)
+                    continue
+                raise _StepError(
+                    f"call {function!r} failed: {error}") from error
+
+    def _resolve(self, value: Any, scope: Dict[str, Any]) -> Any:
+        """Resolve refs/templates against the variable scope."""
+        if isinstance(value, str) and (value == "$"
+                                       or value.startswith("$.")):
+            try:
+                return get_path(scope, value)
+            except (PathError, KeyError, IndexError, TypeError) as error:
+                raise _StepError(
+                    f"reference {value!r} failed to resolve: "
+                    f"{error}") from error
+        if isinstance(value, dict):
+            return {key: self._resolve(item, scope)
+                    for key, item in value.items()}
+        if isinstance(value, list):
+            return [self._resolve(item, scope) for item in value]
+        return value
+
+    def _matches(self, condition: dict, scope: Dict[str, Any]) -> bool:
+        left = self._resolve(condition["var"], scope)
+        op = condition.get("op", "eq")
+        if op not in _SWITCH_OPS:
+            raise _StepError(
+                f"unknown switch op {op!r}; choose from "
+                f"{sorted(_SWITCH_OPS)}")
+        return _SWITCH_OPS[op](left, condition["value"])
+
+    def _check_payload(self, value: Any, where: str) -> None:
+        try:
+            enforce_payload_limit(
+                value, self.calibration.payload_limit_bytes, where)
+        except Exception as error:
+            raise _StepError(str(error)) from error

@@ -1,0 +1,227 @@
+"""Pluggable platform backends: one interface, N simulated clouds.
+
+The paper compares exactly two stateful-workflow stacks; the testbed
+originally hard-coded both.  This module is the seam that removes that
+limit: a :class:`PlatformBackend` bundles everything the harness needs
+to know about one cloud —
+
+* identity (``name``) and its calibration dataclass,
+* how to build the platform's service stack on a testbed,
+* how to deploy and invoke functions and compiled workflows,
+* the billing rules the invariant auditor checks charges against,
+* the admission/shedding counters overload campaigns read,
+* the cost-breakdown recipe, leak/replay evidence, and host-crash
+  behaviour for fault campaigns.
+
+Backends self-register into a process-global registry; the testbed, the
+campaign executors, the auditor and the CLI all iterate
+:func:`registered_backends` instead of naming platforms.  Adding a new
+cloud (the ROADMAP's OpenWhisk item) is one module subclassing
+:class:`PlatformBackend` plus one :func:`register_backend` call — the
+backend-parametrized contract suite (``tests/platforms/
+test_backend_contract.py``) then covers it automatically.  See
+DESIGN.md's "Adding a platform backend" walkthrough.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+#: Modules that provide the built-in backends; imported lazily the first
+#: time the registry is read, so ``repro.platforms`` stays import-light
+#: and free of cycles.
+_BUILTIN_MODULES = ("repro.aws.backend", "repro.azure.backend",
+                    "repro.gcp.backend")
+
+_REGISTRY: Dict[str, "PlatformBackend"] = {}
+_BUILTINS_LOADED = False
+
+
+@dataclass(frozen=True)
+class BillingRules:
+    """How one platform rounds charges — the auditor's rulebook.
+
+    ``memory_rounding_mb`` of ``None`` means compute is billed on the
+    exact memory recorded in the execution span (AWS/GCP bill configured
+    memory); a value means the span's measured memory is rounded up to
+    that multiple first (Azure's 128 MB buckets).
+    ``bills_shed_requests`` marks platforms whose request charge lands
+    before deadline shedding, so billed requests exceed executions by
+    the shed count.
+    """
+
+    granularity_s: float
+    min_billed_s: float = 0.0
+    memory_rounding_mb: Optional[int] = None
+    bills_shed_requests: bool = False
+
+
+class PlatformBackend(abc.ABC):
+    """Everything the harness needs to drive one simulated cloud."""
+
+    #: registry key and the prefix of ``"<name>.field"`` override keys
+    name: str = ""
+    #: deployment-variant name prefix (``"AWS-Step"`` → ``"AWS"``),
+    #: used by the CLI's ``--platforms`` filter
+    variant_prefix: str = ""
+
+    # -- calibration -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def calibration_type(self) -> type:
+        """The platform's calibration dataclass."""
+
+    @abc.abstractmethod
+    def default_calibration(self) -> Any:
+        """A fresh calibration with the documented defaults."""
+
+    # -- stack construction ----------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self, testbed: Any, calibration: Any) -> Any:
+        """Build the platform's services on ``testbed``.
+
+        Returns the :class:`~repro.core.testbed.PlatformStack` and sets
+        the platform's service attributes (``testbed.lambdas``,
+        ``testbed.durable``, ...) for deployments to use.  Must not
+        schedule kernel events — a freshly built testbed is quiescent.
+        """
+
+    @abc.abstractmethod
+    def price_model(self, calibration: Any) -> Any:
+        """The platform's price model for ``calibration``."""
+
+    # -- deploy / invoke (the conformance surface) ------------------------------
+
+    @abc.abstractmethod
+    def register_function(self, testbed: Any, spec: Any) -> Any:
+        """Deploy one function; returns the (possibly adjusted) spec."""
+
+    @abc.abstractmethod
+    def invoke_function(self, testbed: Any, name: str,
+                        event: Any) -> Generator:
+        """Invoke a deployed function; yields an ``InvocationResult``."""
+
+    @abc.abstractmethod
+    def deploy_workflow(self, testbed: Any, workflow: Any) -> str:
+        """Compile and deploy a :class:`~repro.core.workflow.Workflow`."""
+
+    @abc.abstractmethod
+    def invoke_workflow(self, testbed: Any, name: str,
+                        payload: Any) -> Generator:
+        """Run one workflow execution; returns ``(status, output)`` with
+        ``status`` in ``("SUCCEEDED", "FAILED")``."""
+
+    # -- limits ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def payload_limit_bytes(self, calibration: Any) -> int:
+        """Byte limit on values crossing the workflow boundary."""
+
+    # -- billing / accounting hooks (audit + overload) --------------------------
+
+    @abc.abstractmethod
+    def billing_rules(self, calibration: Any) -> BillingRules:
+        """Rounding rules the auditor validates compute charges against."""
+
+    @abc.abstractmethod
+    def throttle_count(self, testbed: Any) -> int:
+        """Platform-level 429 rejections so far."""
+
+    def shed_count(self, testbed: Any) -> int:
+        """Accepted requests dropped past a wait budget (0 if the
+        platform has no shedding path)."""
+        return 0
+
+    def retry_count(self, testbed: Any) -> int:
+        """Invocation re-attempts the platform performed absorbing 429s
+        (0 if the platform never retries on its own)."""
+        return 0
+
+    # -- cost reporting ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def cost_breakdown(self, testbed: Any) -> Dict[str, Any]:
+        """Raw numbers for a :class:`~repro.core.costs.CostReport`:
+        ``gb_s``, ``compute_cost``, ``transaction_cost``,
+        ``transaction_count`` and ``replay_gb_s``."""
+
+    # -- audit evidence ----------------------------------------------------------
+
+    def leak_evidence(self, testbed: Any) -> List[str]:
+        """Resources still held at the quiesce of a clean run."""
+        return []
+
+    def delivery_evidence(self, testbed: Any) -> List[str]:
+        """Platform-specific delivery-semantics violations."""
+        return []
+
+    def replay_check(self, testbed: Any) -> Tuple[int, List[str]]:
+        """``(replayed_count, evidence)`` for replay determinism; the
+        default covers platforms without history replay."""
+        return 0, []
+
+    # -- chaos ------------------------------------------------------------------
+
+    def crash_host(self, testbed: Any) -> Optional[Generator]:
+        """Kill this platform's warm infrastructure at the current time.
+
+        Synchronous crashes happen inside the call; platforms that also
+        *recover* on the simulated clock return a generator the testbed
+        drives to completion.
+        """
+        return None
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Mark loaded first: the builtin modules call register_backend at
+    # import, and a second ensure during that import must not recurse.
+    _BUILTINS_LOADED = True
+    import importlib
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def register_backend(backend: PlatformBackend) -> PlatformBackend:
+    """Add ``backend`` to the registry; its name becomes addressable
+    everywhere (``Testbed``, ``CampaignSpec`` overrides, the CLI's
+    ``--platforms``, the contract test suite)."""
+    if not backend.name:
+        raise ValueError("backend needs a non-empty name")
+    if backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (tests registering throwaway backends only)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> PlatformBackend:
+    """Look up a backend by name; raises with the known names."""
+    _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; registered backends: "
+            f"{backend_names()}") from None
+
+
+def registered_backends() -> Tuple[PlatformBackend, ...]:
+    """Every registered backend, in registration order."""
+    _load_builtins()
+    return tuple(_REGISTRY.values())
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    _load_builtins()
+    return tuple(_REGISTRY)

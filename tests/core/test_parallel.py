@@ -81,8 +81,7 @@ def test_calibration_override_changes_cache_key_only_via_calibration():
         calibration_overrides={"azure.scale_interval_s": 99.0})
     assert base.calibration_hash() != tweaked.calibration_hash()
     assert cache_key(base) != cache_key(tweaked)
-    aws, azure = tweaked.calibrations()
-    assert azure.scale_interval_s == 99.0
+    assert tweaked.calibrations()["azure"].scale_interval_s == 99.0
     with pytest.raises(AttributeError):
         CampaignSpec(deployment="Az-Dorch",
                      calibration_overrides={"azure.not_a_field": 1}
@@ -102,9 +101,7 @@ VIDEO_SPEC = CampaignSpec(deployment="AWS-Step", workload="video",
 def serial_reference(spec: CampaignSpec) -> CampaignOutcome:
     """The spec's campaign, hand-driven through the serial runner."""
     Deployment._run_ids = itertools.count(1)
-    aws, azure = spec.calibrations()
-    testbed = Testbed(seed=spec.seed, aws_calibration=aws,
-                      azure_calibration=azure)
+    testbed = Testbed(seed=spec.seed, calibrations=spec.calibrations())
     if spec.workload == "ml-training":
         deployment = build_ml_training_deployments(
             testbed, spec.scale, seed=spec.workload_seed)[spec.deployment]

@@ -8,7 +8,7 @@ from repro.core.sweep import CalibrationSweep, GridSweep, SweepPoint, tabulate
 
 def test_sweep_validates_platform_and_parameter():
     with pytest.raises(ValueError, match="platform"):
-        CalibrationSweep("gcp", "scale_interval_s", [1.0])
+        CalibrationSweep("openwhisk", "scale_interval_s", [1.0])
     with pytest.raises(AttributeError, match="no field"):
         CalibrationSweep("azure", "warp_factor", [1.0])
     with pytest.raises(ValueError, match="at least one"):

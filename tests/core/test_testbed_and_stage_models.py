@@ -25,8 +25,10 @@ def test_testbed_isolated_stacks():
     assert testbed.aws.blob is not testbed.azure.blob
     assert testbed.stack("aws") is testbed.aws
     assert testbed.stack("azure") is testbed.azure
+    assert testbed.stack("gcp") is testbed.gcp
+    assert testbed.gcp.meter is not testbed.aws.meter
     with pytest.raises(ValueError):
-        testbed.stack("gcp")
+        testbed.stack("openwhisk")
 
 
 def test_testbed_accepts_custom_calibrations():

@@ -1,0 +1,51 @@
+"""Tests for the GCP calibration constants and their validation."""
+
+import pytest
+
+from repro.gcp.calibration import GCPCalibration, default_gcp_calibration
+
+pytestmark = pytest.mark.gcp
+
+
+def test_defaults_are_fresh_and_sane():
+    first = default_gcp_calibration()
+    second = default_gcp_calibration()
+    assert first is not second
+    assert first.time_limit_s == 540.0
+    assert first.billing_granularity_s == 0.1
+    assert first.payload_limit_bytes == 64 * 1024
+    assert first.internal_step_price < first.external_step_price
+
+
+def test_round_to_tier_picks_next_tier():
+    calibration = GCPCalibration()
+    assert calibration.round_to_tier(128) == 128
+    assert calibration.round_to_tier(129) == 256
+    assert calibration.round_to_tier(1536) == 2048
+    assert calibration.round_to_tier(8192) == 8192
+    with pytest.raises(ValueError, match="largest"):
+        calibration.round_to_tier(8193)
+
+
+def test_cpu_factor_scales_with_tier_and_is_bounded():
+    calibration = GCPCalibration()
+    assert calibration.cpu_factor(2048) == 1.0
+    assert calibration.cpu_factor(1024) == 2.0
+    # Bounded both ways: tiny tiers don't slow without limit, huge
+    # tiers don't speed up below the full-vCPU floor.
+    assert calibration.cpu_factor(128) == 3.0
+    assert calibration.cpu_factor(8192) == 0.5
+
+
+def test_validation_rejects_nonsense():
+    with pytest.raises(ValueError, match="sorted"):
+        GCPCalibration(memory_tiers=(512, 128))
+    with pytest.raises(ValueError, match="non-empty"):
+        GCPCalibration(memory_tiers=())
+    with pytest.raises(ValueError, match="max_instances"):
+        GCPCalibration(max_instances=0)
+    with pytest.raises(ValueError, match="throttle_retry_max_attempts"):
+        GCPCalibration(throttle_retry_max_attempts=0)
+    with pytest.raises(ValueError, match="throttle_retry_cap_s"):
+        GCPCalibration(throttle_retry_interval_s=4.0,
+                       throttle_retry_cap_s=2.0)

@@ -1,0 +1,173 @@
+"""Tests for the Cloud Functions (gen1) runtime simulation."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.gcp.calibration import GCPCalibration
+from repro.platforms.base import (
+    FunctionSpec,
+    FunctionTimeout,
+    ThrottlingError,
+)
+
+pytestmark = pytest.mark.gcp
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(seed=11, platforms=["gcp"])
+
+
+def _echo(ctx, event):
+    yield from ctx.busy(0.2)
+    return event
+
+
+def _register(testbed, name="fn", handler=_echo, **kwargs):
+    return testbed.cloudfunctions.register(
+        FunctionSpec(name=name, handler=handler, **kwargs))
+
+
+# -- registration ----------------------------------------------------------------
+
+
+def test_register_rounds_memory_and_clamps_timeout(testbed):
+    deployed = _register(testbed, memory_mb=1536, timeout_s=900.0)
+    assert deployed.memory_mb == 2048          # next gen1 tier
+    assert deployed.timeout_s == 540.0         # gen1 execution cap
+    assert testbed.cloudfunctions.get_function("fn") is deployed
+
+
+def test_register_rejects_duplicates(testbed):
+    _register(testbed)
+    with pytest.raises(ValueError, match="already registered"):
+        _register(testbed)
+
+
+# -- cold / warm behaviour --------------------------------------------------------
+
+
+def test_first_invocation_is_cold_then_warm(testbed):
+    _register(testbed, memory_mb=2048, timeout_s=60.0)
+
+    def two_runs():
+        first = yield from testbed.cloudfunctions.invoke("fn", {"n": 1})
+        second = yield from testbed.cloudfunctions.invoke("fn", {"n": 2})
+        return first, second
+
+    first, second = testbed.run(two_runs())
+    calibration = testbed.calibration("gcp")
+    assert first.cold_start
+    assert (calibration.cold_start.low <= first.cold_start_duration
+            <= calibration.cold_start.high)
+    assert not second.cold_start
+    assert second.cold_start_duration == 0.0
+    assert testbed.cloudfunctions.warm_instance_count("fn") == 1
+
+
+def test_keep_alive_expiry_forces_new_cold_start(testbed):
+    _register(testbed, memory_mb=2048, timeout_s=60.0)
+    testbed.run(testbed.cloudfunctions.invoke("fn", {}))
+    testbed.advance(testbed.calibration("gcp").keep_alive_s + 1.0)
+    assert testbed.cloudfunctions.warm_instance_count("fn") == 0
+    result = testbed.run(testbed.cloudfunctions.invoke("fn", {}))
+    assert result.cold_start
+
+
+def test_host_crash_drops_idle_instances(testbed):
+    _register(testbed, memory_mb=2048, timeout_s=60.0)
+    testbed.run(testbed.cloudfunctions.invoke("fn", {}))
+    assert testbed.cloudfunctions.simulate_host_crash() == 1
+    result = testbed.run(testbed.cloudfunctions.invoke("fn", {}))
+    assert result.cold_start
+
+
+def test_cpu_factor_stretches_small_tiers():
+    """The same handler takes longer on a 128 MB tier than on 2048 MB."""
+    def timed(memory_mb):
+        testbed = Testbed(seed=5, platforms=["gcp"])
+        testbed.cloudfunctions.register(FunctionSpec(
+            name="fn", handler=_echo, memory_mb=memory_mb, timeout_s=60.0))
+        result = testbed.run(testbed.cloudfunctions.invoke("fn", {}))
+        return result.duration
+
+    assert timed(128) > 2.0 * timed(2048)
+
+
+# -- admission control -------------------------------------------------------------
+
+
+def test_instance_cap_rejects_429(testbed):
+    calibration = GCPCalibration(max_instances=2)
+    testbed = Testbed(seed=11, platforms=["gcp"],
+                      calibrations={"gcp": calibration})
+
+    def slow(ctx, event):
+        yield from ctx.busy(10.0)
+        return event
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="slow", handler=slow, memory_mb=2048, timeout_s=60.0))
+
+    errors = []
+
+    def one(index):
+        try:
+            yield from testbed.cloudfunctions.invoke("slow", {"i": index})
+        except ThrottlingError as error:
+            errors.append(str(error))
+
+    def storm():
+        procs = [testbed.env.process(one(index)) for index in range(5)]
+        yield testbed.env.all_of(procs)
+
+    testbed.run(storm())
+    assert testbed.cloudfunctions.throttles == 3
+    assert len(errors) == 3
+    assert all("RESOURCE_EXHAUSTED" in error and "429" in error
+               for error in errors)
+    # Rejected requests are not billed.
+    assert testbed.gcp.billing.total_requests() == 2
+
+
+def test_throttle_text_matches_error_classifier():
+    """Even once wrapped by a workflow layer (losing the exception
+    type), GCP's 429 text still lands in the throttled bucket."""
+    from repro.core.overload import classify_error
+    wrapped = RuntimeError(
+        "call 'fn' failed: instance limit (2) reached: "
+        "RESOURCE_EXHAUSTED — 429 TooManyRequests")
+    assert classify_error(wrapped) == "throttled"
+
+
+# -- billing / timeout --------------------------------------------------------------
+
+
+def test_billing_rounds_to_100ms_on_tier_memory(testbed):
+    _register(testbed, memory_mb=1536, timeout_s=60.0)
+    testbed.run(testbed.cloudfunctions.invoke("fn", {}))
+    (charge,) = testbed.gcp.billing.compute
+    assert charge.memory_mb == 2048
+    assert charge.billed_duration >= charge.raw_duration
+    # 100 ms granularity: billed is a whole number of tenths.
+    assert round(charge.billed_duration * 10, 6) == int(
+        round(charge.billed_duration * 10, 6))
+    assert testbed.gcp.billing.total_requests() == 1
+
+
+def test_timeout_interrupts_handler(testbed):
+    def forever(ctx, event):
+        yield from ctx.busy(100.0)
+        return event
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="forever", handler=forever, memory_mb=2048, timeout_s=2.0))
+
+    def run():
+        yield from testbed.cloudfunctions.invoke("forever", {})
+
+    with pytest.raises(FunctionTimeout, match="2.0s limit"):
+        testbed.run(run())
+    # The doomed attempt is still billed (partial executions cost money).
+    (charge,) = testbed.gcp.billing.compute
+    assert charge.billed_duration >= 2.0

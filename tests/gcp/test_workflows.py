@@ -1,0 +1,284 @@
+"""Tests for the GCP Workflows step interpreter."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.core.workflow import Workflow, map_over, sequence, task
+from repro.gcp.calibration import GCPCalibration
+from repro.gcp.workflows import WorkflowValidationError
+from repro.platforms.base import FunctionSpec
+
+pytestmark = pytest.mark.gcp
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(seed=13, platforms=["gcp"])
+
+
+def _double(ctx, event):
+    yield from ctx.busy(0.1)
+    return event * 2
+
+
+def _register_double(testbed, name="double"):
+    testbed.cloudfunctions.register(FunctionSpec(
+        name=name, handler=_double, memory_mb=256, timeout_s=60.0))
+
+
+def _execute(testbed, name, argument):
+    return testbed.run(testbed.workflows.execute(name, argument))
+
+
+# -- step ops ---------------------------------------------------------------------
+
+
+def test_assign_call_and_return(testbed):
+    _register_double(testbed)
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Init", "assign": [["data", 5], ["label", "run"]]},
+        {"name": "Double", "call": "double", "args": "$.data",
+         "result": "data"},
+        {"name": "Done", "return": {"label": "$.label", "value": "$.data"}},
+    ])
+    record = _execute(testbed, "wf", None)
+    assert record.status == "SUCCEEDED"
+    assert record.output == {"label": "run", "value": 10}
+    assert record.steps_entered == ["Init", "Double", "Done"]
+    assert record.internal_steps == 2
+    assert record.external_steps == 1
+    assert record.duration > 0
+
+
+def test_default_output_is_final_data(testbed):
+    _register_double(testbed)
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Double", "call": "double", "args": "$.data",
+         "result": "data"},
+    ])
+    record = _execute(testbed, "wf", 3)
+    assert record.status == "SUCCEEDED"
+    assert record.output == 6
+
+
+def test_switch_jumps_and_next_jumps(testbed):
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Route", "switch": [
+            {"condition": {"var": "$.data", "op": "gt", "value": 10},
+             "next": "Big"},
+            {"next": "Small"},
+        ]},
+        {"name": "Small", "assign": [["data", "small"]], "next": "Done"},
+        {"name": "Big", "assign": [["data", "big"]], "next": "Done"},
+        {"name": "Done", "return": "$.data"},
+    ])
+    assert _execute(testbed, "wf", 50).output == "big"
+    assert _execute(testbed, "wf", 2).output == "small"
+
+
+def test_switch_without_match_fails(testbed):
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Route", "switch": [
+            {"condition": {"var": "$.data", "op": "eq", "value": 1},
+             "next": "Route"},
+        ]},
+    ])
+    record = _execute(testbed, "wf", 7)
+    assert record.status == "FAILED"
+    assert "no switch condition matched" in record.error
+
+
+def test_parallel_branches_run_concurrently(testbed):
+    _register_double(testbed)
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Fan", "parallel": {"branches": [
+            [{"name": "A", "call": "double", "args": "$.data",
+              "result": "data"}],
+            [{"name": "B", "call": "double", "args": 10,
+              "result": "data"}],
+        ], "result": "data"}},
+        {"name": "Done", "return": "$.data"},
+    ])
+    record = _execute(testbed, "wf", 4)
+    assert record.status == "SUCCEEDED"
+    assert record.output == [8, 20]
+    # Two 0.1 s calls overlapped: well under the serial sum plus
+    # per-call overheads run back to back.
+    assert record.duration < 4.5  # one cold start, not two in sequence
+
+
+def test_for_binds_loop_var_and_data(testbed):
+    _register_double(testbed)
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Map", "for": {"value": "item", "in": "$.data.items",
+                                "steps": [
+            {"name": "Double", "call": "double", "args": "$.item",
+             "result": "data"}],
+            "concurrency": 2, "result": "data"}},
+        {"name": "Done", "return": "$.data"},
+    ])
+    record = _execute(testbed, "wf", {"items": [1, 2, 3]})
+    assert record.status == "SUCCEEDED"
+    assert record.output == [2, 4, 6]
+
+
+def test_for_over_non_list_fails(testbed):
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Map", "for": {"value": "item", "in": "$.data",
+                                "steps": [
+            {"name": "Noop", "assign": [["x", 1]]}]}},
+    ])
+    record = _execute(testbed, "wf", "not-a-list")
+    assert record.status == "FAILED"
+    assert "did not resolve to a list" in record.error
+
+
+def test_unresolvable_reference_fails_the_execution(testbed):
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Bad", "assign": [["x", "$.data.missing.deep"]]},
+    ])
+    record = _execute(testbed, "wf", {})
+    assert record.status == "FAILED"
+    assert "failed to resolve" in record.error
+
+
+# -- validation --------------------------------------------------------------------
+
+
+def test_validation_rejects_bad_definitions(testbed):
+    _register_double(testbed)
+    create = testbed.workflows.create_workflow
+    with pytest.raises(WorkflowValidationError, match="non-empty"):
+        create("w1", [])
+    with pytest.raises(WorkflowValidationError, match="needs a 'name'"):
+        create("w2", [{"assign": [["x", 1]]}])
+    with pytest.raises(WorkflowValidationError, match="exactly one op"):
+        create("w3", [{"name": "S", "assign": [], "return": 1}])
+    with pytest.raises(WorkflowValidationError, match="duplicate"):
+        create("w4", [{"name": "S", "assign": [["x", 1]]},
+                      {"name": "S", "assign": [["y", 2]]}])
+    with pytest.raises(WorkflowValidationError, match="unknown step"):
+        create("w5", [{"name": "S", "assign": [["x", 1]],
+                       "next": "Nowhere"}])
+    with pytest.raises(WorkflowValidationError, match="top level"):
+        create("w6", [{"name": "Fan", "parallel": {"branches": [
+            [{"name": "Inner", "return": 1}]]}}])
+    with pytest.raises(KeyError, match="no such Cloud Function"):
+        create("w7", [{"name": "S", "call": "undeployed"}])
+    with pytest.raises(ValueError, match="already exists"):
+        create("wf-dup", [{"name": "S", "assign": [["x", 1]]}])
+        create("wf-dup", [{"name": "S", "assign": [["x", 1]]}])
+
+
+# -- payload limits ----------------------------------------------------------------
+
+
+def test_oversized_call_result_fails(testbed):
+    limit = testbed.calibration("gcp").payload_limit_bytes
+
+    def huge(ctx, event):
+        yield from ctx.busy(0.05)
+        return "x" * (2 * limit)
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="huge", handler=huge, memory_mb=256, timeout_s=60.0))
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Huge", "call": "huge", "result": "data"},
+    ])
+    record = _execute(testbed, "wf", None)
+    assert record.status == "FAILED"
+    assert "call result" in record.error
+
+
+def test_oversized_argument_fails(testbed):
+    limit = testbed.calibration("gcp").payload_limit_bytes
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Noop", "assign": [["x", 1]]},
+    ])
+    record = _execute(testbed, "wf", "x" * (2 * limit))
+    assert record.status == "FAILED"
+    assert "workflow argument" in record.error
+
+
+# -- throttle retries ---------------------------------------------------------------
+
+
+def test_retry_policy_absorbs_429s():
+    """With one gen1 instance, a concurrency-3 fan-out 429s; the built-in
+    retry policy re-offers the calls and the execution still succeeds."""
+    calibration = GCPCalibration(max_instances=1)
+    testbed = Testbed(seed=13, platforms=["gcp"],
+                      calibrations={"gcp": calibration})
+
+    def slow_double(ctx, event):
+        yield from ctx.busy(1.0)
+        return event * 2
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="double", handler=slow_double, memory_mb=256, timeout_s=60.0))
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Map", "for": {"value": "item", "in": "$.data",
+                                "steps": [
+            {"name": "Double", "call": "double", "args": "$.item",
+             "result": "data"}],
+            "result": "data"}},
+        {"name": "Done", "return": "$.data"},
+    ])
+    record = testbed.run(testbed.workflows.execute("wf", [1, 2, 3]))
+    assert record.status == "SUCCEEDED"
+    assert record.output == [2, 4, 6]
+    assert testbed.workflows.throttle_retries >= 1
+    assert testbed.cloudfunctions.throttles >= 1
+
+
+def test_exhausted_retries_fail_the_step():
+    calibration = GCPCalibration(max_instances=1,
+                                 throttle_retry_max_attempts=1)
+    testbed = Testbed(seed=13, platforms=["gcp"],
+                      calibrations={"gcp": calibration})
+
+    def slow(ctx, event):
+        yield from ctx.busy(5.0)
+        return event
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="slow", handler=slow, memory_mb=256, timeout_s=60.0))
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Fan", "parallel": {"branches": [
+            [{"name": "A", "call": "slow", "args": 1, "result": "data"}],
+            [{"name": "B", "call": "slow", "args": 2, "result": "data"}],
+        ], "result": "data"}},
+    ])
+    record = testbed.run(testbed.workflows.execute("wf", None))
+    assert record.status == "FAILED"
+    assert "429" in record.error
+    assert testbed.workflows.throttle_retries == 0
+
+
+# -- the neutral IR compiles and runs -----------------------------------------------
+
+
+def test_workflow_ir_compiles_to_gcp_steps(testbed):
+    _register_double(testbed)
+    workflow = Workflow("ir", sequence(
+        task("double"),
+        map_over("$.items", task("double")),
+    ))
+    steps = workflow.to_gcp_steps()
+    assert steps[-1]["return"] == "$.data"
+    # Map items paths re-anchor onto the data variable.
+    for_step = next(step for step in steps if "for" in step)
+    assert for_step["for"]["in"] == "$.data.items"
+
+
+def test_list_executions_filters(testbed):
+    _register_double(testbed)
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Double", "call": "double", "args": "$.data",
+         "result": "data"},
+    ])
+    _execute(testbed, "wf", 1)
+    _execute(testbed, "wf", 2)
+    records = testbed.workflows.list_executions("wf", status="SUCCEEDED")
+    assert len(records) == 2
+    assert records[0].execution_id > records[1].execution_id

@@ -1,0 +1,285 @@
+"""Backend conformance contract, parametrized over every registered backend.
+
+Any :class:`~repro.platforms.backend.PlatformBackend` in the registry —
+the three builtins and any future addition (the ROADMAP's OpenWhisk
+item) — must pass this suite unchanged: metadata sanity, a function
+deploy/invoke round-trip, billing-span pairing, workflow compilation and
+payload-limit enforcement, throttle/shed accounting buckets, audit
+observer registration, cost-breakdown shape, and host-crash recovery.
+Platform-*specific* behaviour (exact prices, queue models, replay) lives
+in the per-platform suites; this file is only the shared surface.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Testbed
+from repro.core.costs import CostReport
+from repro.core.workflow import Workflow, sequence, task
+from repro.platforms.backend import (
+    BillingRules,
+    PlatformBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+from repro.platforms.base import FunctionSpec, PayloadLimitExceeded, round_up
+from repro.telemetry import SpanKind
+
+BACKENDS = registered_backends()
+
+
+@pytest.fixture(params=BACKENDS, ids=[backend.name for backend in BACKENDS])
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def testbed(backend):
+    """A testbed restricted to the backend under test."""
+    return Testbed(seed=7, platforms=[backend.name])
+
+
+def _echo_handler(ctx, event):
+    yield from ctx.busy(0.25)
+    return {"doubled": event["x"] * 2}
+
+
+def _register_echo(backend, testbed, name="contract-echo"):
+    spec = FunctionSpec(name=name, handler=_echo_handler,
+                        memory_mb=512, timeout_s=60.0)
+    return backend.register_function(testbed, spec)
+
+
+# -- registry ---------------------------------------------------------------------
+
+
+def test_registry_is_deterministic_and_consistent():
+    names = backend_names()
+    assert len(names) == len(set(names))
+    assert names[:3] == ("aws", "azure", "gcp")
+    for name in names:
+        assert get_backend(name) is get_backend(name)
+        assert get_backend(name).name == name
+
+
+def test_register_rejects_duplicates_and_unregister_removes():
+    class _Dummy(get_backend("aws").__class__):
+        name = "contract-dummy"
+        variant_prefix = "Dummy"
+
+    dummy = _Dummy()
+    register_backend(dummy)
+    try:
+        assert "contract-dummy" in backend_names()
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(_Dummy())
+    finally:
+        unregister_backend("contract-dummy")
+    assert "contract-dummy" not in backend_names()
+    with pytest.raises(ValueError, match="registered backends"):
+        get_backend("contract-dummy")
+
+
+def test_metadata_contract(backend):
+    assert isinstance(backend, PlatformBackend)
+    assert backend.name
+    assert backend.variant_prefix
+    calibration_type = backend.calibration_type()
+    assert dataclasses.is_dataclass(calibration_type)
+    calibration = backend.default_calibration()
+    assert isinstance(calibration, calibration_type)
+    # Fresh object per call: campaigns mutate their own copies.
+    assert backend.default_calibration() is not calibration
+    assert backend.payload_limit_bytes(calibration) > 0
+    rules = backend.billing_rules(calibration)
+    assert isinstance(rules, BillingRules)
+    assert rules.granularity_s > 0
+    assert rules.min_billed_s >= 0
+
+
+# -- deploy / invoke round-trip -----------------------------------------------------
+
+
+def test_function_roundtrip(backend, testbed):
+    deployed = _register_echo(backend, testbed)
+    assert deployed.name == "contract-echo"
+
+    result = testbed.run(
+        backend.invoke_function(testbed, "contract-echo", {"x": 21}))
+    assert result.value == {"doubled": 42}
+    assert result.finished_at > result.started_at
+    assert result.function_name == "contract-echo"
+    assert result.cold_start_duration >= 0.0
+
+
+def test_billing_span_pairing(backend, testbed):
+    """Every execution span pairs with exactly one compute charge, and
+    every charge obeys the backend's published rounding rules."""
+    _register_echo(backend, testbed)
+
+    def run_twice():
+        for x in (1, 2):
+            yield from backend.invoke_function(
+                testbed, "contract-echo", {"x": x})
+    testbed.run(run_twice())
+
+    stack = testbed.stack(backend.name)
+    spans = [span for span in stack.telemetry.spans
+             if span.kind == SpanKind.EXECUTION and span.closed]
+    charges = stack.billing.compute
+    assert len(spans) == 2
+    assert len(charges) == len(spans)
+    assert stack.billing.total_requests() == 2
+
+    rules = backend.billing_rules(testbed.calibration(backend.name))
+    for charge in charges:
+        assert charge.raw_duration > 0
+        expected = round_up(charge.raw_duration, rules.granularity_s)
+        if rules.min_billed_s:
+            expected = max(expected, rules.min_billed_s)
+        assert charge.billed_duration == pytest.approx(expected)
+        assert charge.gb_s == pytest.approx(
+            charge.billed_duration * charge.memory_mb / 1024.0)
+
+
+def test_workflow_roundtrip(backend, testbed):
+    _register_echo(backend, testbed)
+    workflow = Workflow("contract-wf", sequence(task("contract-echo")))
+    name = backend.deploy_workflow(testbed, workflow)
+    assert name == "contract-wf"
+
+    status, output = testbed.run(
+        backend.invoke_workflow(testbed, name, {"x": 4}))
+    assert status == "SUCCEEDED"
+    assert output == {"doubled": 8}
+
+
+def test_workflow_rejects_unknown_function(backend, testbed):
+    workflow = Workflow("contract-missing", sequence(task("not-deployed")))
+    with pytest.raises(Exception):
+        backend.deploy_workflow(testbed, workflow)
+
+
+def test_payload_limit_enforced(backend, testbed):
+    """Oversized data crossing the workflow boundary must not succeed."""
+    limit = backend.payload_limit_bytes(testbed.calibration(backend.name))
+
+    def oversize_handler(ctx, event):
+        yield from ctx.busy(0.05)
+        return {"blob": "x" * (2 * limit)}
+
+    backend.register_function(testbed, FunctionSpec(
+        name="contract-oversize", handler=oversize_handler,
+        memory_mb=512, timeout_s=60.0))
+    workflow = Workflow("contract-big",
+                        sequence(task("contract-oversize")))
+    backend.deploy_workflow(testbed, workflow)
+
+    try:
+        status, output = testbed.run(
+            backend.invoke_workflow(testbed, "contract-big", {"x": 1}))
+    except PayloadLimitExceeded:
+        return   # surfaced synchronously: equally conformant
+    assert status == "FAILED"
+
+
+# -- accounting buckets --------------------------------------------------------------
+
+
+def test_counters_start_at_zero(backend, testbed):
+    assert backend.throttle_count(testbed) == 0
+    assert backend.shed_count(testbed) == 0
+    assert backend.retry_count(testbed) == 0
+
+
+#: Tiny admission limits per builtin backend; a new backend passes the
+#: rest of the contract without an entry here (and should add one to
+#: exercise its throttle path).
+THROTTLE_OVERRIDES = {
+    "aws": {"concurrency_limit": 1, "burst_concurrency": 1,
+            "refill_per_s": 0.01},
+    "azure": {"max_instances": 1, "queue_depth_limit": 1},
+    "gcp": {"max_instances": 1},
+}
+
+
+def test_throttle_buckets_move_under_pressure(backend):
+    if backend.name not in THROTTLE_OVERRIDES:
+        pytest.skip(f"no tiny-limit overrides for {backend.name!r}")
+    calibration = backend.default_calibration()
+    for field_name, value in THROTTLE_OVERRIDES[backend.name].items():
+        setattr(calibration, field_name, value)
+    testbed = Testbed(seed=7, platforms=[backend.name],
+                      calibrations={backend.name: calibration})
+
+    def slow_handler(ctx, event):
+        yield from ctx.busy(5.0)
+        return event
+
+    backend.register_function(testbed, FunctionSpec(
+        name="contract-slow", handler=slow_handler,
+        memory_mb=512, timeout_s=60.0))
+
+    rejected = []
+
+    def one(index):
+        try:
+            yield from backend.invoke_function(
+                testbed, "contract-slow", {"i": index})
+        except RuntimeError as error:
+            rejected.append(str(error))
+
+    def storm():
+        procs = [testbed.env.process(one(index)) for index in range(8)]
+        yield testbed.env.all_of(procs)
+
+    testbed.run(storm())
+    moved = (backend.throttle_count(testbed)
+             + backend.shed_count(testbed))
+    assert moved >= 1
+    assert rejected or backend.shed_count(testbed) >= 1
+
+
+# -- audit / cost / chaos -------------------------------------------------------------
+
+
+def test_audit_observer_registration(backend):
+    """An audited testbed watches this backend's stack: a clean run
+    finalizes with every invariant passing."""
+    testbed = Testbed(seed=7, platforms=[backend.name], audit=True)
+    assert testbed.auditor is not None
+    _register_echo(backend, testbed)
+    testbed.run(backend.invoke_function(testbed, "contract-echo", {"x": 3}))
+    report = testbed.auditor.finalize()
+    assert report.passed, [check.detail for check in report.violations]
+
+
+def test_cost_breakdown_shape(backend, testbed):
+    _register_echo(backend, testbed)
+    testbed.run(backend.invoke_function(testbed, "contract-echo", {"x": 1}))
+    breakdown = backend.cost_breakdown(testbed)
+    assert set(breakdown) == {"gb_s", "compute_cost", "transaction_cost",
+                              "transaction_count", "replay_gb_s"}
+    assert breakdown["gb_s"] > 0
+    assert breakdown["compute_cost"] > 0
+    # The keys feed CostReport verbatim — the seam cost_report() uses.
+    report = CostReport(deployment="contract", platform=backend.name,
+                        **breakdown)
+    assert report.total >= breakdown["compute_cost"]
+
+
+def test_crash_host_recovers(backend, testbed):
+    _register_echo(backend, testbed)
+    first = testbed.run(
+        backend.invoke_function(testbed, "contract-echo", {"x": 1}))
+    recovery = backend.crash_host(testbed)
+    if recovery is not None:
+        testbed.run(recovery)
+    second = testbed.run(
+        backend.invoke_function(testbed, "contract-echo", {"x": 2}))
+    assert second.value == {"doubled": 4}
+    assert second.finished_at > first.finished_at
