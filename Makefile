@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults test-overload test-audit test-gcp audit-sweep bench bench-kernel bench-campaign examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload test-audit test-gcp test-resilience audit-sweep resilience-sweep bench bench-kernel bench-campaign examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,9 +29,18 @@ test-audit:
 test-gcp:
 	pytest tests/ -q -m gcp
 
+# Correlated-outage, mitigation-policy and SLO-campaign tests only.
+test-resilience:
+	pytest tests/ -q -m resilience
+
 # Audited chaos + overload sweeps; exit 1 on any invariant violation.
 audit-sweep:
 	python -m repro audit
+
+# Audited outage-window sweep with client-side mitigation across all
+# registered backends; prints availability/MTTR/SLO verdicts.
+resilience-sweep:
+	python -m repro resilience --audit
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -85,7 +85,7 @@ class LambdaService:
             raise ValueError(
                 f"timeout {spec.timeout_s}s exceeds the Lambda limit of "
                 f"{self.calibration.time_limit_s}s")
-        if (self.faults is not None and self.faults.plan.handler_faults
+        if (self.faults is not None and self.faults.plan.wraps_handlers
                 and self.faults.plan.applies_to(spec.name)):
             spec = dataclasses.replace(
                 spec, handler=self.faults.wrap(spec.handler, spec.name))
@@ -160,15 +160,25 @@ class LambdaService:
             invoked_at = self.env.now
             container, cold = self._claim_container(name)
             cold_duration = 0.0
-            if cold:
-                cold_duration = calibration.cold_start.sample(rng)
-                span = self.telemetry.start_span(
-                    name, SpanKind.COLD_START, parent=parent_span,
-                    platform="aws")
-                yield self.env.timeout(cold_duration)
-                self.telemetry.end_span(span)
-            else:
-                yield self.env.timeout(calibration.warm_start.sample(rng))
+            # A mitigation layer may interrupt (cancel) this invocation
+            # while it waits out the start-up delay; release the claimed
+            # container so cancellation cannot leak busy capacity.
+            try:
+                if cold:
+                    cold_duration = calibration.cold_start.sample(rng)
+                    span = self.telemetry.start_span(
+                        name, SpanKind.COLD_START, parent=parent_span,
+                        platform="aws")
+                    try:
+                        yield self.env.timeout(cold_duration)
+                    finally:
+                        self.telemetry.end_span(span)
+                else:
+                    yield self.env.timeout(
+                        calibration.warm_start.sample(rng))
+            except BaseException:
+                self._release_container(container)
+                raise
 
             started_at = self.env.now
             span = self.telemetry.start_span(
@@ -243,7 +253,16 @@ class LambdaService:
                           event: Any) -> Generator:
         handler_process = self.env.process(spec.handler(ctx, event))
         deadline = self.env.timeout(spec.timeout_s)
-        result = yield handler_process | deadline
+        try:
+            result = yield handler_process | deadline
+        except BaseException:
+            # Interrupted from outside (hedge cancellation, deadline
+            # abandonment): reap the orphaned handler so a later failure
+            # of it cannot crash the dispatch loop.
+            if handler_process.is_alive:
+                handler_process.interrupt(cause="abandoned")
+            handler_process.defuse()
+            raise
         if handler_process in result:
             return handler_process.value
         handler_process.interrupt(cause="timeout")

@@ -131,7 +131,7 @@ class FunctionAppService:
             raise ValueError(
                 f"timeout {spec.timeout_s}s exceeds the plan limit of "
                 f"{self.calibration.time_limit_s}s")
-        if (self.faults is not None and self.faults.plan.handler_faults
+        if (self.faults is not None and self.faults.plan.wraps_handlers
                 and self.faults.plan.applies_to(spec.name)
                 and not spec.name.startswith("orchestrator::")):
             # Orchestrator episode handlers are excluded: episodes are
@@ -215,27 +215,43 @@ class FunctionAppService:
         self._pending.append(item)
         self._dispatch()
         shed_deadline = calibration.shed_deadline_s
-        if shed_deadline is None or trigger == TRIGGER_DURABLE:
-            yield item.granted
-        else:
-            # Deadline-based load shedding: accepted work still waiting
-            # for a slot past the budget is dropped, not failed.
-            yield item.granted | self.env.timeout(shed_deadline)
-            if not item.granted.triggered:
-                self._pending.remove(item)
-                self.shed += 1
-                waited = self.env.now - submitted_at
-                self.telemetry.end_span(scheduling_span, shed=True,
-                                        queue_wait=waited)
-                raise LoadShedError(
-                    f"execution of {name!r} shed after waiting "
-                    f"{waited:.1f}s for an instance slot "
-                    f"(deadline {shed_deadline}s)",
-                    waited_s=waited, deadline_s=shed_deadline)
-        instance = item.instance
+        try:
+            if shed_deadline is None or trigger == TRIGGER_DURABLE:
+                yield item.granted
+            else:
+                # Deadline-based load shedding: accepted work still
+                # waiting for a slot past the budget is dropped, not
+                # failed.
+                yield item.granted | self.env.timeout(shed_deadline)
+                if not item.granted.triggered:
+                    self._pending.remove(item)
+                    self.shed += 1
+                    waited = self.env.now - submitted_at
+                    self.telemetry.end_span(scheduling_span, shed=True,
+                                            queue_wait=waited)
+                    raise LoadShedError(
+                        f"execution of {name!r} shed after waiting "
+                        f"{waited:.1f}s for an instance slot "
+                        f"(deadline {shed_deadline}s)",
+                        waited_s=waited, deadline_s=shed_deadline)
+            instance = item.instance
 
-        # Warm dispatch hop (queue/poll latency inside the platform).
-        yield self.env.timeout(calibration.durable_dispatch.sample(rng))
+            # Warm dispatch hop (queue/poll latency inside the platform).
+            yield self.env.timeout(calibration.durable_dispatch.sample(rng))
+        except LoadShedError:
+            raise
+        except BaseException:
+            # A mitigation layer may interrupt (cancel) this invocation
+            # while it queues for a slot or rides the dispatch hop; give
+            # back whatever was claimed so cancellation cannot leak slots.
+            if item in self._pending:
+                self._pending.remove(item)
+            elif item.instance is not None:
+                self._release(item.instance)
+            self.telemetry.end_span(
+                scheduling_span, abandoned=True,
+                queue_wait=self.env.now - submitted_at)
+            raise
         queue_wait = self.env.now - submitted_at
         self.telemetry.end_span(scheduling_span, cold=demanded_cold,
                                 queue_wait=queue_wait)
@@ -292,7 +308,16 @@ class FunctionAppService:
                           event: Any) -> Generator:
         handler_process = self.env.process(spec.handler(ctx, event))
         deadline = self.env.timeout(spec.timeout_s)
-        result = yield handler_process | deadline
+        try:
+            result = yield handler_process | deadline
+        except BaseException:
+            # Interrupted from outside (hedge cancellation, deadline
+            # abandonment): reap the orphaned handler so a later failure
+            # of it cannot crash the dispatch loop.
+            if handler_process.is_alive:
+                handler_process.interrupt(cause="abandoned")
+            handler_process.defuse()
+            raise
         if handler_process in result:
             return handler_process.value
         handler_process.interrupt(cause="timeout")

@@ -43,6 +43,13 @@ from repro.core.parallel import (
 from repro.core.cache import ResultCache
 from repro.core.reliability import ReliabilitySummary, execute_reliability_spec
 from repro.core.overload import OverloadSummary, execute_overload_spec
+from repro.core.mitigation import (
+    CircuitOpenError,
+    MitigationEngine,
+    MitigationPolicy,
+    MitigationTimeout,
+)
+from repro.core.resilience import ResilienceSummary, execute_resilience_spec
 from repro.platforms.faults import FaultInjector, FaultPlan
 from repro.core.workflow import (
     Workflow,
@@ -75,6 +82,12 @@ __all__ = [
     "execute_reliability_spec",
     "OverloadSummary",
     "execute_overload_spec",
+    "CircuitOpenError",
+    "MitigationEngine",
+    "MitigationPolicy",
+    "MitigationTimeout",
+    "ResilienceSummary",
+    "execute_resilience_spec",
     "LatencyBreakdown",
     "LatencyStats",
     "RunResult",

@@ -199,7 +199,7 @@ class _QueueRecord:
     """
 
     __slots__ = ("label", "queue", "next_ordinal", "enqueues", "dequeues",
-                 "duplicates")
+                 "duplicates", "drops")
 
     def __init__(self, label: str, queue: Any):
         self.label = label
@@ -211,6 +211,8 @@ class _QueueRecord:
         self.dequeues: Dict[int, List[float]] = {}
         #: ordinals enqueued as broker duplicates
         self.duplicates: List[int] = []
+        #: ordinals the broker dropped (partition windows)
+        self.drops: List[int] = []
 
     def note_enqueue(self, message: Any, duplicate: bool) -> None:
         ordinal = self.next_ordinal
@@ -228,6 +230,11 @@ class _QueueRecord:
         # Deletion evidence is implied by quiesce-time queue contents;
         # nothing to record, but the hook stays for symmetry/extension.
         pass
+
+    def note_drop(self, message: Any) -> None:
+        ordinal = getattr(message, "_audit_ordinal", None)
+        if ordinal is not None:
+            self.drops.append(ordinal)
 
 
 class InvariantAuditor:
@@ -497,6 +504,13 @@ class InvariantAuditor:
                     f"queue {record.label}: {len(record.duplicates)} "
                     "broker duplicates without a fault plan permitting "
                     f"them (stream faults.queue.{record.queue.name})")
+            if record.drops and (
+                    plan is None
+                    or plan.partition_drop_probability <= 0):
+                evidence.append(
+                    f"queue {record.label}: {len(record.drops)} "
+                    "broker-dropped message(s) without a fault plan "
+                    "permitting partition drops")
             if self._clean_quiesce() and record.queue._messages:
                 evidence.append(
                     f"queue {record.label}: "

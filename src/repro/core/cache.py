@@ -40,6 +40,8 @@ from repro.core.persistence import (
     overload_to_dict,
     reliability_from_dict,
     reliability_to_dict,
+    resilience_from_dict,
+    resilience_to_dict,
 )
 
 FORMAT_VERSION = 1
@@ -89,6 +91,7 @@ class ResultCache:
                 return None
             reliability = document.get("reliability")
             overload = document.get("overload")
+            resilience = document.get("resilience")
             audit = document.get("audit")
             return CampaignOutcome(
                 spec=spec,
@@ -99,6 +102,8 @@ class ResultCache:
                              if reliability else None),
                 overload=(overload_from_dict(overload)
                           if overload else None),
+                resilience=(resilience_from_dict(resilience)
+                            if resilience else None),
                 audit=audit_from_dict(audit) if audit else None,
                 cached=True)
         except (KeyError, TypeError, ValueError):
@@ -124,6 +129,8 @@ class ResultCache:
                             if outcome.reliability is not None else None),
             "overload": (overload_to_dict(outcome.overload)
                          if outcome.overload is not None else None),
+            "resilience": (resilience_to_dict(outcome.resilience)
+                           if outcome.resilience is not None else None),
             "audit": (audit_to_dict(outcome.audit)
                       if outcome.audit is not None else None),
         }

@@ -58,7 +58,7 @@ from repro.platforms.faults import FaultPlan
 
 WORKLOADS = ("ml-training", "ml-inference", "video")
 CAMPAIGN_TYPES = ("latency", "coldstart", "fanout", "reliability",
-                  "overload")
+                  "overload", "resilience")
 #: arrival models an ``overload`` campaign may name (mirrors
 #: :data:`repro.core.overload.ARRIVAL_KINDS`, kept literal to avoid an
 #: import cycle)
@@ -71,6 +71,14 @@ def _frozen_items(value: Any) -> Tuple[Tuple[str, Any], ...]:
     pairs = value.items() if isinstance(value, dict) else value
     return tuple(sorted((tuple(pair) for pair in pairs),
                         key=lambda pair: pair[0]))
+
+
+def _deep_freeze(value: Any) -> Any:
+    """Recursively turn lists/tuples into tuples so nested structures
+    (outage windows, ...) stay hashable inside a frozen spec."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_freeze(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -107,6 +115,12 @@ class CampaignSpec:
     invoke_kwargs: Tuple[Tuple[str, Any], ...] = ()
     #: sorted ``FaultPlan.to_items()`` pairs; empty = fault-free
     fault_plan: Tuple[Tuple[str, Any], ...] = ()
+    #: sorted ``MitigationPolicy.to_items()`` pairs (resilience
+    #: campaigns); empty = the default policy (hard timeout only)
+    mitigation: Tuple[Tuple[str, Any], ...] = ()
+    #: resilience: SLO targets the summary renders verdicts against
+    slo_availability: float = 0.999
+    slo_p99_s: float = 0.0            # 0 = no latency SLO
     #: run the invariant auditor?  None defers to
     #: :data:`repro.core.audit.DEFAULT_AUDIT` at execution time.
     audit: Optional[bool] = None
@@ -116,8 +130,13 @@ class CampaignSpec:
             raise ValueError(f"workload must be one of {WORKLOADS}")
         if self.campaign not in CAMPAIGN_TYPES:
             raise ValueError(f"campaign must be one of {CAMPAIGN_TYPES}")
-        if self.campaign in ("latency", "reliability") and self.iterations <= 0:
+        if (self.campaign in ("latency", "reliability", "resilience")
+                and self.iterations <= 0):
             raise ValueError("iterations must be positive")
+        if not 0.0 < self.slo_availability <= 1.0:
+            raise ValueError("slo_availability must lie in (0, 1]")
+        if self.slo_p99_s < 0:
+            raise ValueError("slo_p99_s must be non-negative")
         if self.campaign == "overload":
             if self.arrival not in ARRIVAL_KINDS:
                 raise ValueError(
@@ -133,11 +152,17 @@ class CampaignSpec:
                            _frozen_items(self.invoke_kwargs))
         if self.fault_plan:
             normalized = tuple(sorted(
-                (str(name), tuple(value)
-                 if isinstance(value, (list, tuple)) else value)
+                (str(name), _deep_freeze(value))
                 for name, value in self.fault_plan))
             object.__setattr__(self, "fault_plan", normalized)
             FaultPlan.from_items(normalized)   # validate eagerly
+        if self.mitigation:
+            from repro.core.mitigation import MitigationPolicy
+            normalized = tuple(sorted(
+                (str(name), _deep_freeze(value))
+                for name, value in self.mitigation))
+            object.__setattr__(self, "mitigation", normalized)
+            MitigationPolicy.from_items(normalized)   # validate eagerly
         known_platforms = backend_names()
         for name, _ in self.calibration_overrides:
             platform, _, parameter = str(name).partition(".")
@@ -189,6 +214,12 @@ class CampaignSpec:
             return None
         return FaultPlan.from_items(self.fault_plan)
 
+    def mitigation_obj(self):
+        """The spec's :class:`~repro.core.mitigation.MitigationPolicy`
+        (the hard-timeout-only default when no pairs were given)."""
+        from repro.core.mitigation import MitigationPolicy
+        return MitigationPolicy.from_items(self.mitigation)
+
     def calibrations(self) -> Dict[str, Any]:
         """Fresh default calibrations (one per registered platform) with
         this spec's overrides applied, keyed by backend name."""
@@ -237,6 +268,8 @@ class CampaignOutcome:
     reliability: Optional[Any] = None
     #: overload campaigns attach their summary report here
     overload: Optional[Any] = None
+    #: resilience campaigns attach their summary report here
+    resilience: Optional[Any] = None
     #: :class:`repro.core.audit.AuditReport` when the spec was audited
     audit: Optional[Any] = None
     #: True when this outcome was served from a result cache
@@ -266,6 +299,9 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
     if spec.campaign == "overload":
         from repro.core.overload import execute_overload_spec
         return execute_overload_spec(spec)
+    if spec.campaign == "resilience":
+        from repro.core.resilience import execute_resilience_spec
+        return execute_resilience_spec(spec)
 
     from repro.core import audit as audit_mod
 

@@ -19,6 +19,7 @@ from repro.core.experiment import CampaignResult
 from repro.core.metrics import LatencyBreakdown
 from repro.core.overload import OverloadSummary
 from repro.core.reliability import ReliabilitySummary
+from repro.core.resilience import ResilienceSummary
 
 FORMAT_VERSION = 1
 
@@ -74,6 +75,25 @@ def reliability_from_dict(data: Dict[str, Any]) -> ReliabilitySummary:
     fields = {key: value for key, value in data.items()
               if key not in ("format_version", "kind")}
     return ReliabilitySummary(**fields)
+
+
+def resilience_to_dict(summary: ResilienceSummary) -> Dict[str, Any]:
+    """A JSON-ready representation of a resilience summary."""
+    payload = asdict(summary)
+    payload.update({"format_version": FORMAT_VERSION,
+                    "kind": "resilience"})
+    return payload
+
+
+def resilience_from_dict(data: Dict[str, Any]) -> ResilienceSummary:
+    """Inverse of :func:`resilience_to_dict` (tuples restored)."""
+    _check(data, "resilience")
+    fields = {key: value for key, value in data.items()
+              if key not in ("format_version", "kind")}
+    fields["outage_windows"] = tuple(
+        tuple(window) for window in fields.get("outage_windows", ()))
+    fields["recovery_times_s"] = tuple(fields.get("recovery_times_s", ()))
+    return ResilienceSummary(**fields)
 
 
 def overload_to_dict(summary: OverloadSummary) -> Dict[str, Any]:

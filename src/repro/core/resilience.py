@@ -1,0 +1,265 @@
+"""Resilience campaigns: SLO verdicts through correlated outages.
+
+A resilience campaign drives a closed-loop workload straight through
+injected outage windows (zone crashes, gray degradation, brownouts,
+partitions — see :mod:`repro.platforms.faults`) with a client-side
+:class:`~repro.core.mitigation.MitigationPolicy` in front of every
+invoke, and asks the operator's questions: what availability did the
+deployment actually deliver, how fast did it recover after each window
+(MTTR), how much of the error budget burned, what did the mitigation
+itself cost (hedge overspend GB-s, cost overhead vs an unmitigated
+baseline), and did the p99/availability SLOs hold?
+
+Like every campaign type, the outcome is a pure function of the
+:class:`~repro.core.parallel.CampaignSpec`: bit-identical across the
+serial runner, :class:`~repro.core.parallel.ParallelRunner` workers and
+cache replay, and audit-clean under the invariant auditor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.costs import CostReport, cost_report
+from repro.core.experiment import CampaignResult
+from repro.core.metrics import breakdown_from_spans, percentile
+from repro.core.mitigation import MitigationEngine, MitigationPolicy
+from repro.core.testbed import Testbed
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.core.parallel import CampaignOutcome, CampaignSpec
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """One deployment's report card for surviving correlated outages."""
+
+    deployment: str
+    platform: str
+    total_runs: int
+    successes: int
+    failures: int
+    #: measured fraction of measured iterations that succeeded
+    availability: float
+    #: same workload, no faults, no mitigation (sanity anchor)
+    baseline_availability: float
+    #: failure rate / SLO-permitted failure rate (1.0 = budget gone)
+    error_budget_burn: float
+    #: the targets and their verdicts
+    slo_availability: float
+    slo_p99_s: float
+    slo_availability_met: bool
+    slo_p99_met: bool
+    #: materialized outage windows, absolute ``(start, end)`` seconds
+    outage_windows: Tuple[Tuple[float, float], ...]
+    #: per-window time from outage start to the next observed success
+    #: (censored at end-of-campaign when service never recovered)
+    recovery_times_s: Tuple[float, ...]
+    mean_recovery_time_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    baseline_p99_latency_s: float
+    #: mitigation accounting
+    hedges_launched: int
+    hedge_wins: int
+    hedges_cancelled: int
+    hedge_overspend_gb_s: float
+    breaker_opens: int
+    short_circuits: int
+    deadline_abandons: int
+    request_timeouts: int
+    #: chaos accounting
+    outages: int
+    dropped_messages: int
+    browned_out_messages: int
+    gray_errors: int
+    cost_per_run: float
+    baseline_cost_per_run: float
+    #: mitigated faulted cost / unmitigated fault-free cost
+    mitigation_cost_overhead: float
+
+    @property
+    def success_rate(self) -> float:
+        if self.total_runs == 0:
+            return 0.0
+        return self.successes / self.total_runs
+
+    @property
+    def slo_met(self) -> bool:
+        return self.slo_availability_met and self.slo_p99_met
+
+
+def _run_pass(spec: "CampaignSpec", fault_plan, policy: MitigationPolicy,
+              audit: bool = False):
+    """One mitigated campaign pass, tolerant of failed runs.
+
+    Same settle/think cadence and breakdown windows as the reliability
+    executor, but every invoke goes through one persistent
+    :class:`MitigationEngine` (breaker state and latency estimates
+    carry across iterations, like a real client library's).  Returns
+    ``(testbed, campaign, cost, failures, engine, success_times)``
+    where ``success_times`` are absolute completion times of *every*
+    successful run, warmup included — the MTTR evidence.
+    """
+    from repro.core.deployments.base import Deployment
+    from repro.core.overload import classify_error
+    Deployment._run_ids = itertools.count(1)
+
+    testbed = Testbed(seed=spec.seed, calibrations=spec.calibrations(),
+                      fault_plan=fault_plan, audit=audit)
+    deployment = spec.build_deployment(testbed)
+    deployment.deploy()
+    auditor = testbed.auditor
+    telemetry = deployment.stack.telemetry
+    campaign = CampaignResult(deployment=deployment.name)
+    kwargs = dict(spec.invoke_kwargs)
+    engine = MitigationEngine(
+        policy=policy, env=testbed.env, streams=testbed.streams,
+        label=f"resilience.{spec.deployment}",
+        gb_s_probe=lambda: sum(stack.billing.total_gb_s()
+                               for stack in testbed.stacks.values()))
+    failures = 0
+    success_times: List[float] = []
+
+    for index in range(spec.warmup + spec.iterations):
+        window_start = testbed.now
+        span_cursor = len(telemetry.spans)
+        run = None
+        if auditor is not None:
+            auditor.note_arrival()
+        try:
+            run = testbed.run(engine.call(
+                lambda: deployment.invoke(**kwargs)))
+            success_times.append(testbed.now)
+            if auditor is not None:
+                auditor.note_outcome("succeeded")
+        except Exception as error:  # noqa: BLE001 - the failure IS the measurement
+            if auditor is not None:
+                auditor.note_outcome(classify_error(error))
+            if index >= spec.warmup:
+                failures += 1
+        testbed.advance(spec.settle_time_s)
+        if index >= spec.warmup and run is not None:
+            campaign.runs.append(run)
+            campaign.breakdowns.append(breakdown_from_spans(
+                telemetry, since=window_start, until=testbed.now,
+                start_hint=span_cursor))
+        testbed.advance(spec.think_time_s)
+
+    cost = cost_report(deployment, per_runs=spec.warmup + spec.iterations)
+    return testbed, campaign, cost, failures, engine, success_times
+
+
+def _recovery_times(windows, success_times, end_of_run: float
+                    ) -> Tuple[float, ...]:
+    """Per-window MTTR: outage start to the next observed success.
+
+    Windows that begin after the campaign ended produce no evidence;
+    windows the service never recovered from are censored at the end of
+    the run (a lower bound, like a real incident still open at report
+    time).
+    """
+    times = []
+    for start, _end in windows:
+        if start >= end_of_run:
+            continue
+        recovered = next((t for t in success_times if t >= start), None)
+        times.append((recovered if recovered is not None else end_of_run)
+                     - start)
+    return tuple(times)
+
+
+def _ratio(value: float, baseline: float) -> float:
+    if baseline <= 0:
+        return 1.0 if value <= 0 else float("inf")
+    return value / baseline
+
+
+def execute_resilience_spec(spec: "CampaignSpec") -> "CampaignOutcome":
+    """Run the mitigated outage pass and its clean baseline; summarize.
+
+    The baseline pass runs fault-free and mitigation-free (bar the hard
+    request timeout, which also backstops partition-dropped messages in
+    the faulted pass), so the summary's overhead ratios isolate what
+    the chaos *plus its mitigation* cost.  Only the faulted pass is
+    audited, like the reliability executor.
+    """
+    from repro.core import audit as audit_mod
+    from repro.core.parallel import CampaignOutcome
+
+    plan = spec.fault_plan_obj()
+    policy = spec.mitigation_obj()
+    backstop = MitigationPolicy(request_timeout_s=policy.request_timeout_s)
+
+    testbed, campaign, cost, failures, engine, success_times = _run_pass(
+        spec, plan, policy, audit=audit_mod.enabled_for(spec.audit))
+    (_, baseline_campaign, baseline_cost, baseline_failures, _,
+     _) = _run_pass(spec, None, backstop)
+
+    faults = testbed.faults
+    windows = faults.outage_windows if faults else ()
+    recovery = _recovery_times(windows, success_times, testbed.now)
+    latencies = campaign.latencies
+    baseline_latencies = baseline_campaign.latencies
+    p50 = percentile(latencies, 50) if latencies else 0.0
+    p99 = percentile(latencies, 99) if latencies else 0.0
+    base_p99 = (percentile(baseline_latencies, 99)
+                if baseline_latencies else 0.0)
+
+    iterations = spec.iterations
+    availability = ((iterations - failures) / iterations
+                    if iterations else 0.0)
+    baseline_availability = ((iterations - baseline_failures) / iterations
+                             if iterations else 0.0)
+    failure_rate = failures / iterations if iterations else 0.0
+    budget = 1.0 - spec.slo_availability
+    burn = (failure_rate / budget if budget > 0
+            else (0.0 if failures == 0 else float("inf")))
+    slo_availability_met = availability >= spec.slo_availability
+    slo_p99_met = spec.slo_p99_s <= 0 or p99 <= spec.slo_p99_s
+
+    summary = ResilienceSummary(
+        deployment=spec.deployment,
+        platform=cost.platform,
+        total_runs=iterations,
+        successes=len(campaign.runs),
+        failures=failures,
+        availability=availability,
+        baseline_availability=baseline_availability,
+        error_budget_burn=burn,
+        slo_availability=spec.slo_availability,
+        slo_p99_s=spec.slo_p99_s,
+        slo_availability_met=slo_availability_met,
+        slo_p99_met=slo_p99_met,
+        outage_windows=tuple(windows),
+        recovery_times_s=recovery,
+        mean_recovery_time_s=(sum(recovery) / len(recovery)
+                              if recovery else 0.0),
+        p50_latency_s=p50,
+        p99_latency_s=p99,
+        baseline_p99_latency_s=base_p99,
+        hedges_launched=engine.hedges_launched,
+        hedge_wins=engine.hedge_wins,
+        hedges_cancelled=engine.hedges_cancelled,
+        hedge_overspend_gb_s=engine.hedge_overspend_gb_s,
+        breaker_opens=engine.breaker_opens,
+        short_circuits=engine.short_circuits,
+        deadline_abandons=engine.deadline_abandons,
+        request_timeouts=engine.request_timeouts,
+        outages=len(windows),
+        dropped_messages=faults.dropped_messages if faults else 0,
+        browned_out_messages=faults.browned_out_messages if faults else 0,
+        gray_errors=faults.gray_errors if faults else 0,
+        cost_per_run=cost.total,
+        baseline_cost_per_run=baseline_cost.total,
+        mitigation_cost_overhead=_ratio(cost.total, baseline_cost.total))
+
+    report = None
+    if testbed.auditor is not None:
+        report = testbed.auditor.finalize()
+        if audit_mod.RAISE_ON_VIOLATION:
+            report.raise_if_violations()
+    return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
+                           resilience=summary, audit=report)

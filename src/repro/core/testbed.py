@@ -138,33 +138,44 @@ class Testbed:
             setattr(self, f"{backend.name}_calibration", calibration)
             setattr(self, f"{backend.name}_prices", prices)
 
-        if self.faults is not None and self.faults.plan.host_crash_times:
+        if self.faults is not None and (
+                self.faults.plan.host_crash_times
+                or self.faults.crash_outage_starts):
             self.env.process(self._host_crash_schedule())
 
         if self.auditor is not None:
             self.auditor.attach(self)
 
     def _host_crash_schedule(self) -> Generator:
-        """Crash every platform's hosts at each scheduled time.
+        """Crash every platform's hosts at each scheduled chaos time.
 
-        Each backend decides what a host crash means for it (dropping
-        warm containers, recovering orchestrations from history, ...).
-        Runs as an unmonitored background process, so it must never
-        raise: backends swallow recovery failures themselves (an
-        un-recovered instance is itself a fault outcome).
+        The schedule merges explicit ``host_crash_times`` with the starts
+        of crash-mode outage windows (a zone outage drops every warm pool
+        the instant it begins).  Each backend decides what a host crash
+        means for it (dropping warm containers, recovering orchestrations
+        from history, ...).  Runs as an unmonitored background process,
+        so it must never raise: backends swallow recovery failures
+        themselves (an un-recovered instance is itself a fault outcome).
         """
         faults = self.faults
-        for crash_time in faults.plan.host_crash_times:
+        schedule = sorted(
+            [(t, "host") for t in faults.plan.host_crash_times]
+            + [(t, "outage") for t in faults.crash_outage_starts])
+        for crash_time, kind in schedule:
             delay = crash_time - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
             crashed_at = self.env.now
-            faults.host_crashes += 1
+            if kind == "host":
+                faults.host_crashes += 1
+            else:
+                faults.outage_host_drops += 1
             for name in self.platform_names:
                 recovery = get_backend(name).crash_host(self)
                 if recovery is not None:
                     yield from recovery
-            faults.host_recovery_times.append(self.env.now - crashed_at)
+            if kind == "host":
+                faults.host_recovery_times.append(self.env.now - crashed_at)
 
     @property
     def app(self):

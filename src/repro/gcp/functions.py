@@ -88,7 +88,7 @@ class CloudFunctionsService:
         if tier != spec.memory_mb or timeout != spec.timeout_s:
             spec = dataclasses.replace(spec, memory_mb=tier,
                                        timeout_s=timeout)
-        if (self.faults is not None and self.faults.plan.handler_faults
+        if (self.faults is not None and self.faults.plan.wraps_handlers
                 and self.faults.plan.applies_to(spec.name)):
             spec = dataclasses.replace(
                 spec, handler=self.faults.wrap(spec.handler, spec.name))
@@ -132,15 +132,25 @@ class CloudFunctionsService:
             invoked_at = self.env.now
             instance, cold = self._claim_instance(name)
             cold_duration = 0.0
-            if cold:
-                cold_duration = calibration.cold_start.sample(rng)
-                span = self.telemetry.start_span(
-                    name, SpanKind.COLD_START, parent=parent_span,
-                    platform="gcp")
-                yield self.env.timeout(cold_duration)
-                self.telemetry.end_span(span)
-            else:
-                yield self.env.timeout(calibration.warm_start.sample(rng))
+            # A mitigation layer may interrupt (cancel) this invocation
+            # while it waits out the start-up delay; release the claimed
+            # instance so cancellation cannot leak busy capacity.
+            try:
+                if cold:
+                    cold_duration = calibration.cold_start.sample(rng)
+                    span = self.telemetry.start_span(
+                        name, SpanKind.COLD_START, parent=parent_span,
+                        platform="gcp")
+                    try:
+                        yield self.env.timeout(cold_duration)
+                    finally:
+                        self.telemetry.end_span(span)
+                else:
+                    yield self.env.timeout(
+                        calibration.warm_start.sample(rng))
+            except BaseException:
+                self._release_instance(instance)
+                raise
 
             started_at = self.env.now
             span = self.telemetry.start_span(
@@ -194,7 +204,16 @@ class CloudFunctionsService:
                           event: Any) -> Generator:
         handler_process = self.env.process(spec.handler(ctx, event))
         deadline = self.env.timeout(spec.timeout_s)
-        result = yield handler_process | deadline
+        try:
+            result = yield handler_process | deadline
+        except BaseException:
+            # Interrupted from outside (hedge cancellation, deadline
+            # abandonment): reap the orphaned handler so a later failure
+            # of it cannot crash the dispatch loop.
+            if handler_process.is_alive:
+                handler_process.interrupt(cause="abandoned")
+            handler_process.defuse()
+            raise
         if handler_process in result:
             return handler_process.value
         handler_process.interrupt(cause="timeout")

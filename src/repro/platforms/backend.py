@@ -163,6 +163,37 @@ class PlatformBackend(abc.ABC):
         default covers platforms without history replay."""
         return 0, []
 
+    # -- mitigation -------------------------------------------------------------
+
+    def mitigated_invoke(self, testbed: Any, name: str, event: Any,
+                         policy: Any = None) -> Generator:
+        """Invoke a function through a client-side mitigation policy.
+
+        Concrete on the ABC so every backend — current and future —
+        gets circuit breaking, hedging and adaptive deadlines for free.
+        Engines are cached per ``(backend, function, policy)`` on the
+        testbed, so breaker state and latency estimates persist across
+        invocations the way a real client library's would.  With no
+        policy (or a no-op one) this is a plain :meth:`invoke_function`.
+        """
+        from repro.core.mitigation import MitigationEngine, MitigationPolicy
+        if policy is None:
+            policy = MitigationPolicy()
+        engines = getattr(testbed, "_mitigation_engines", None)
+        if engines is None:
+            engines = testbed._mitigation_engines = {}
+        key = (self.name, name, policy)
+        engine = engines.get(key)
+        if engine is None:
+            stack = testbed.stack(self.name)
+            engine = engines[key] = MitigationEngine(
+                policy=policy, env=testbed.env, streams=testbed.streams,
+                label=f"{self.name}.{name}",
+                gb_s_probe=stack.billing.total_gb_s)
+        result = yield from engine.call(
+            lambda: self.invoke_function(testbed, name, event))
+        return result
+
     # -- chaos ------------------------------------------------------------------
 
     def crash_host(self, testbed: Any) -> Optional[Generator]:

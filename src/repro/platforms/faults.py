@@ -12,14 +12,22 @@ This module provides two layers:
   to inject: transient handler exceptions, container crashes at a drawn
   *fraction* of the invocation's runtime, invocation stragglers (latency
   multipliers), queue message delay/duplication (at-least-once delivery),
-  and scheduled host crashes.  Plans round-trip through sorted key/value
+  scheduled host crashes, and *correlated* failures — zone-outage windows
+  (explicit or drawn from the ``faults.outage`` stream) during which the
+  platform either hard-crashes (``outage_mode="crash"``: warm pools drop
+  and in-window invocations die mid-run) or degrades *gray*
+  (``outage_mode="gray"``: latency multipliers plus elevated error
+  rates), with optional storage brownouts (extra delivery delay) and
+  partial network partitions (the broker silently dropping messages)
+  scoped to the same windows.  Plans round-trip through sorted key/value
   items so they can ride inside a hashable
   :class:`~repro.core.parallel.CampaignSpec`.
 * :class:`FaultInjector` — the runtime: wraps handlers, draws every fault
   decision from named :class:`~repro.sim.rng.RandomStreams` streams
-  (``faults.fn.<name>``, ``faults.queue.<name>``) so faulted campaigns
-  are bit-identical given ``(seed, plan)``, and accounts what the chaos
-  cost (crashes, retries, wasted GB-s billed to doomed attempts).
+  (``faults.fn.<name>``, ``faults.queue.<name>``, ``faults.outage``) so
+  faulted campaigns are bit-identical given ``(seed, plan)``, and
+  accounts what the chaos cost (crashes, retries, wasted GB-s billed to
+  doomed attempts, browned-out and partition-dropped messages).
 
 The zero-argument back-compat constructor
 ``FaultInjector(crash_probability=p)`` keeps the original single-knob
@@ -88,15 +96,52 @@ class FaultPlan:
     host_crash_times: Tuple[float, ...] = ()
     #: function names the handler faults apply to (empty = all)
     targets: Tuple[str, ...] = ()
+    #: explicit correlated-outage windows as ``(start, duration)`` pairs
+    #: in absolute simulated seconds
+    outage_windows: Tuple[Tuple[float, float], ...] = ()
+    #: number of additional windows drawn from the ``faults.outage``
+    #: stream: starts uniform in ``[0, outage_horizon_s)``, each lasting
+    #: ``outage_duration_s`` (overlaps merge deterministically)
+    outage_count: int = 0
+    outage_horizon_s: float = 0.0
+    outage_duration_s: float = 0.0
+    #: what an outage window does to the zone: ``"crash"`` drops every
+    #: platform's warm pools at window start and kills in-window
+    #: invocations mid-run; ``"gray"`` degrades instead of crashing
+    outage_mode: str = "crash"
+    #: gray degradation: in-window latency multiplier and elevated
+    #: transient-error rate on wrapped handlers
+    gray_latency_factor: float = 1.0
+    gray_error_probability: float = 0.0
+    #: storage/queue brownout: extra visibility delay on messages
+    #: enqueued during an outage window
+    brownout_delay_s: float = 0.0
+    #: partial network partition: probability the broker silently drops
+    #: a message enqueued during an outage window (the client call still
+    #: succeeds and is metered)
+    partition_drop_probability: float = 0.0
 
     def __post_init__(self):
         object.__setattr__(self, "host_crash_times",
                            tuple(sorted(float(t)
                                         for t in self.host_crash_times)))
         object.__setattr__(self, "targets", tuple(self.targets))
+        windows = []
+        for window in self.outage_windows:
+            try:
+                start, duration = window
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"outage_windows entries are (start, duration) "
+                    f"pairs, got {window!r}") from None
+            windows.append((float(start), float(duration)))
+        windows.sort()
+        object.__setattr__(self, "outage_windows", tuple(windows))
         for name in ("crash_probability", "error_probability",
                      "straggler_probability", "queue_delay_probability",
-                     "queue_duplication_probability"):
+                     "queue_duplication_probability",
+                     "gray_error_probability",
+                     "partition_drop_probability"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must lie in [0, 1], got {value}")
@@ -116,25 +161,81 @@ class FaultPlan:
             raise ValueError("retry_backoff must be >= 1")
         if any(t < 0 for t in self.host_crash_times):
             raise ValueError("host_crash_times must be non-negative")
+        if len(set(self.host_crash_times)) != len(self.host_crash_times):
+            raise ValueError(
+                "host_crash_times must not repeat: overlapping "
+                "host-crash schedules would crash the same host twice "
+                "in the same instant")
+        for start, duration in self.outage_windows:
+            if start < 0:
+                raise ValueError("outage window starts must be "
+                                 f"non-negative, got {start}")
+            if duration <= 0:
+                raise ValueError("outage window durations must be "
+                                 f"positive, got {duration}")
+        for (start, duration), (next_start, _) in zip(
+                self.outage_windows, self.outage_windows[1:]):
+            if next_start < start + duration:
+                raise ValueError(
+                    f"outage_windows overlap: window starting at "
+                    f"{next_start} begins inside the window "
+                    f"[{start}, {start + duration})")
+        if self.outage_count < 0:
+            raise ValueError("outage_count must be non-negative")
+        if self.outage_horizon_s < 0 or self.outage_duration_s < 0:
+            raise ValueError(
+                "outage horizon/duration must be non-negative")
+        if self.outage_count > 0 and (self.outage_horizon_s <= 0
+                                      or self.outage_duration_s <= 0):
+            raise ValueError(
+                "drawn outages need outage_horizon_s > 0 and "
+                "outage_duration_s > 0")
+        if self.outage_mode not in ("crash", "gray"):
+            raise ValueError(
+                f"outage_mode must be 'crash' or 'gray', "
+                f"got {self.outage_mode!r}")
+        if self.gray_latency_factor < 1.0:
+            raise ValueError("gray_latency_factor must be >= 1")
+        if self.brownout_delay_s < 0:
+            raise ValueError("brownout_delay_s must be non-negative")
 
     # -- activation --------------------------------------------------------------
 
     @property
     def handler_faults(self) -> bool:
-        """Any per-invocation fault mode active?"""
+        """Any *independent* per-invocation fault mode active?"""
         return (self.crash_probability > 0 or self.error_probability > 0
                 or self.straggler_probability > 0)
+
+    @property
+    def outage_faults(self) -> bool:
+        """Any correlated outage windows declared or drawn?"""
+        return bool(self.outage_windows) or self.outage_count > 0
+
+    @property
+    def wraps_handlers(self) -> bool:
+        """Should the platforms wrap handlers at registration time?
+
+        True for independent handler faults *and* for outage windows:
+        both modes act at invocation time inside the wrapped handler
+        (crash-mode windows kill in-window runs, gray-mode windows slow
+        and error them).
+        """
+        return self.handler_faults or self.outage_faults
 
     @property
     def queue_faults(self) -> bool:
         """Any per-message fault mode active?"""
         return (self.queue_delay_probability > 0
-                or self.queue_duplication_probability > 0)
+                or self.queue_duplication_probability > 0
+                or (self.outage_faults
+                    and (self.brownout_delay_s > 0
+                         or self.partition_drop_probability > 0)))
 
     @property
     def enabled(self) -> bool:
         """Does this plan inject anything at all?"""
-        return (self.handler_faults or self.queue_faults
+        return (self.wraps_handlers or self.queue_faults
                 or bool(self.host_crash_times))
 
     def applies_to(self, name: str) -> bool:
@@ -151,7 +252,8 @@ class FaultPlan:
             default = plan_field.default
             if default is not None and value == default:
                 continue
-            if plan_field.name in ("host_crash_times", "targets") and not value:
+            if plan_field.name in ("host_crash_times", "targets",
+                                   "outage_windows") and not value:
                 continue
             items.append((plan_field.name, value))
         return tuple(sorted(items))
@@ -167,7 +269,9 @@ class FaultPlan:
                     f"unknown FaultPlan field {name!r}; "
                     f"choose from {sorted(known)}")
             if isinstance(value, (list, tuple)):
-                value = tuple(value)
+                value = tuple(tuple(item)
+                              if isinstance(item, (list, tuple)) else item
+                              for item in value)
             payload[str(name)] = value
         return cls(**payload)
 
@@ -208,6 +312,13 @@ class FaultInjector:
     wasted_compute_s: float = field(default=0.0, init=False)
     wasted_gb_s: float = field(default=0.0, init=False)
     host_recovery_times: List[float] = field(default_factory=list, init=False)
+    #: correlated-outage accounting
+    outage_host_drops: int = field(default=0, init=False)
+    outage_crashes: int = field(default=0, init=False)
+    gray_slowdowns: int = field(default=0, init=False)
+    gray_errors: int = field(default=0, init=False)
+    browned_out_messages: int = field(default=0, init=False)
+    dropped_messages: int = field(default=0, init=False)
 
     def __post_init__(self):
         if self.plan is None:
@@ -219,6 +330,49 @@ class FaultInjector:
         #: last observed successful runtime per wrapped function, used to
         #: place crash points as a fraction of a *known* duration
         self._runtimes: Dict[str, float] = {}
+        #: materialized absolute outage windows as (start, end) pairs
+        self.outage_windows: Tuple[Tuple[float, float], ...] = (
+            self._materialize_windows())
+
+    # -- correlated outage windows -------------------------------------------------
+
+    def _materialize_windows(self) -> Tuple[Tuple[float, float], ...]:
+        """Resolve the plan's outage windows to absolute (start, end).
+
+        Explicit windows are taken verbatim; drawn windows come from the
+        ``faults.outage`` stream (starts uniform over the horizon), so
+        the schedule is a pure function of ``(seed, plan)``.  Overlaps
+        among drawn windows merge into one longer window.
+        """
+        plan = self.plan
+        windows = [(start, start + duration)
+                   for start, duration in plan.outage_windows]
+        if plan.outage_count > 0 and self.streams is not None:
+            rng = self.streams.get("faults.outage")
+            starts = sorted(float(rng.random()) * plan.outage_horizon_s
+                            for _ in range(plan.outage_count))
+            windows.extend((start, start + plan.outage_duration_s)
+                           for start in starts)
+        windows.sort()
+        merged: List[Tuple[float, float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return tuple(merged)
+
+    def in_outage(self, now: float) -> bool:
+        """Is ``now`` inside any materialized outage window?"""
+        return any(start <= now < end
+                   for start, end in self.outage_windows)
+
+    @property
+    def crash_outage_starts(self) -> Tuple[float, ...]:
+        """Window starts at which warm infrastructure drops (crash mode)."""
+        if self.plan.outage_mode != "crash":
+            return ()
+        return tuple(start for start, _ in self.outage_windows)
 
     # -- runtime knowledge --------------------------------------------------------
 
@@ -259,6 +413,25 @@ class FaultInjector:
                     and rng.random() < plan.straggler_probability):
                 injector.stragglers += 1
                 ctx.cpu_factor *= plan.straggler_factor
+            if injector.in_outage(ctx.env.now):
+                if plan.outage_mode == "gray":
+                    if plan.gray_latency_factor > 1.0:
+                        injector.gray_slowdowns += 1
+                        ctx.cpu_factor *= plan.gray_latency_factor
+                    if (plan.gray_error_probability > 0
+                            and rng.random()
+                            < plan.gray_error_probability):
+                        injector.gray_errors += 1
+                        raise TransientFault(
+                            f"gray degradation error in {label}")
+                elif crash_fraction is None:
+                    # Crash-mode window: every in-window invocation dies
+                    # at a drawn fraction of its runtime.
+                    injector.outage_crashes += 1
+                    span = (plan.crash_fraction_max
+                            - plan.crash_fraction_min)
+                    crash_fraction = (plan.crash_fraction_min
+                                      + rng.random() * span)
             if crash_fraction is None:
                 started = ctx.env.now
                 result = yield from handler(ctx, event)
@@ -344,6 +517,29 @@ class FaultInjector:
             duplicate = True
             self.duplicated_messages += 1
         return delay, duplicate
+
+    def draw_message_chaos(self, queue_name: str,
+                           now: float) -> Tuple[float, bool, bool]:
+        """``(delay_s, duplicate, dropped)`` for one enqueued message.
+
+        The independent delay/duplication draws always happen (stream
+        alignment with :meth:`draw_queue_faults`); brownout delay and
+        partition drops apply only while ``now`` sits inside an outage
+        window.  A dropped message supersedes delay and duplication.
+        """
+        plan = self.plan
+        delay, duplicate = self.draw_queue_faults(queue_name)
+        if self.streams is None or not self.in_outage(now):
+            return delay, duplicate, False
+        if plan.brownout_delay_s > 0:
+            delay += plan.brownout_delay_s
+            self.browned_out_messages += 1
+        if plan.partition_drop_probability > 0:
+            rng = self.streams.get(f"faults.queue.{queue_name}")
+            if rng.random() < plan.partition_drop_probability:
+                self.dropped_messages += 1
+                return 0.0, False, True
+        return delay, duplicate, False
 
     # -- observability -------------------------------------------------------------
 

@@ -174,12 +174,26 @@ class CloudQueue:
             self._observer.note_enqueue(message, duplicate=False)
         if self.faults is not None:
             # At-least-once delivery faults: the message may surface late
-            # and/or twice.  The duplicate is the broker's doing, not a
-            # client call, so it is not metered as a second enqueue.
-            delay, duplicate = self.faults.draw_queue_faults(self.name)
+            # and/or twice — or, during a partition window, not at all.
+            # The duplicate is the broker's doing, not a client call, so
+            # it is not metered as a second enqueue.
+            chaos = getattr(self.faults, "draw_message_chaos", None)
+            if chaos is not None:
+                delay, duplicate, dropped = chaos(self.name, self.env.now)
+            else:
+                delay, duplicate = self.faults.draw_queue_faults(self.name)
+                dropped = False
+            if dropped:
+                # Partition drop: the enqueue call already succeeded and
+                # is metered below; the broker silently loses the body.
+                self._messages.remove(message)
+                if self._observer is not None:
+                    note_drop = getattr(self._observer, "note_drop", None)
+                    if note_drop is not None:
+                        note_drop(message)
             if delay > 0:
                 message.visible_at = self.env.now + delay
-            if duplicate:
+            if duplicate and not dropped:
                 twin = QueueMessage(
                     message_id=next(self._ids), payload=payload,
                     enqueued_at=self.env.now,

@@ -16,7 +16,9 @@ import pytest
 
 from repro.core import Testbed
 from repro.core.costs import CostReport
+from repro.core.mitigation import CircuitOpenError, MitigationPolicy
 from repro.core.workflow import Workflow, sequence, task
+from repro.platforms.faults import ContainerCrash, FaultPlan
 from repro.platforms.backend import (
     BillingRules,
     PlatformBackend,
@@ -283,3 +285,113 @@ def test_crash_host_recovers(backend, testbed):
         backend.invoke_function(testbed, "contract-echo", {"x": 2}))
     assert second.value == {"doubled": 4}
     assert second.finished_at > first.finished_at
+
+
+# -- fault-hook conformance -----------------------------------------------------------
+#
+# Every backend wires the shared FaultInjector through its handler wrap
+# and workflow engine the same way: crashed attempts are billed (the
+# provider charges for the burned compute), platform-level retries are
+# counted in the shared bucket, and a host crash plus recovery does not
+# re-bill work that already completed.
+
+
+@pytest.mark.faults
+def test_crashed_attempt_is_billed(backend):
+    testbed = Testbed(seed=7, platforms=[backend.name],
+                      fault_plan=FaultPlan(crash_probability=1.0))
+    _register_echo(backend, testbed)
+    with pytest.raises(ContainerCrash):
+        testbed.run(
+            backend.invoke_function(testbed, "contract-echo", {"x": 1}))
+    stack = testbed.stack(backend.name)
+    assert len(stack.billing.compute) >= 1
+    assert testbed.faults.crashes >= 1
+    assert testbed.faults.wasted_gb_s > 0.0
+
+
+@pytest.mark.faults
+def test_platform_retries_share_one_bucket(backend):
+    plan = FaultPlan(error_probability=1.0, retry_max_attempts=3,
+                     retry_interval_s=0.1)
+    testbed = Testbed(seed=7, platforms=[backend.name], fault_plan=plan)
+    _register_echo(backend, testbed)
+    workflow = Workflow("contract-retry", sequence(task("contract-echo")))
+    backend.deploy_workflow(testbed, workflow)
+
+    status, _ = testbed.run(
+        backend.invoke_workflow(testbed, "contract-retry", {"x": 1}))
+    assert status == "FAILED"
+    # retry_max_attempts=3 means two platform-driven re-executions.
+    assert testbed.faults.platform_retries >= 2
+
+
+@pytest.mark.faults
+def test_recovery_does_not_rebill_completed_work(backend, testbed):
+    _register_echo(backend, testbed)
+    testbed.run(backend.invoke_function(testbed, "contract-echo", {"x": 1}))
+    recovery = backend.crash_host(testbed)
+    if recovery is not None:
+        testbed.run(recovery)
+    testbed.run(backend.invoke_function(testbed, "contract-echo", {"x": 2}))
+    stack = testbed.stack(backend.name)
+    # One compute charge per completed invoke; the crash/recovery cycle
+    # must not duplicate the first invoke's charge.
+    assert len(stack.billing.compute) == 2
+    assert stack.billing.total_requests() == 2
+
+
+# -- mitigated invoke -----------------------------------------------------------------
+#
+# ``mitigated_invoke`` is concrete on the ABC, so every backend gets the
+# client-side mitigation layer (breaker, hedging, adaptive deadlines)
+# for free.  The contract: results round-trip unchanged, engines are
+# cached on the testbed, and breaker state persists across calls.
+
+
+def test_mitigated_invoke_roundtrip(backend, testbed):
+    _register_echo(backend, testbed)
+    result = testbed.run(
+        backend.mitigated_invoke(testbed, "contract-echo", {"x": 9}))
+    assert result.value == {"doubled": 18}
+    engines = testbed._mitigation_engines
+    assert len(engines) == 1
+    ((key, engine),) = engines.items()
+    assert key[0] == backend.name and key[1] == "contract-echo"
+    assert engine.requests == 1
+
+
+def test_mitigated_invoke_hedges_slow_requests(backend, testbed):
+    _register_echo(backend, testbed)
+    policy = MitigationPolicy(hedge_after_s=0.05, max_hedges=2,
+                              request_timeout_s=60.0)
+    result = testbed.run(backend.mitigated_invoke(
+        testbed, "contract-echo", {"x": 5}, policy=policy))
+    assert result.value == {"doubled": 10}
+    engine = testbed._mitigation_engines[
+        (backend.name, "contract-echo", policy)]
+    # The echo handler is busy for 0.25s, so at least one hedge fires.
+    assert engine.hedges_launched >= 1
+
+
+def test_mitigated_invoke_breaker_short_circuits(backend, testbed):
+    def failing_handler(ctx, event):
+        yield from ctx.busy(0.01)
+        raise RuntimeError("contract-induced failure")
+
+    backend.register_function(testbed, FunctionSpec(
+        name="contract-failing", handler=failing_handler,
+        memory_mb=512, timeout_s=60.0))
+    policy = MitigationPolicy(breaker_failure_threshold=1,
+                              breaker_recovery_timeout_s=120.0,
+                              request_timeout_s=60.0)
+    with pytest.raises(RuntimeError, match="contract-induced failure"):
+        testbed.run(backend.mitigated_invoke(
+            testbed, "contract-failing", {}, policy=policy))
+    with pytest.raises(CircuitOpenError):
+        testbed.run(backend.mitigated_invoke(
+            testbed, "contract-failing", {}, policy=policy))
+    engine = testbed._mitigation_engines[
+        (backend.name, "contract-failing", policy)]
+    assert engine.breaker_opens == 1
+    assert engine.short_circuits == 1

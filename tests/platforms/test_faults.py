@@ -57,6 +57,72 @@ def test_plan_sorts_host_crash_times():
     assert plan.host_crash_times == (10.0, 20.0, 30.0)
 
 
+def test_plan_rejects_overlapping_host_crash_schedules():
+    with pytest.raises(ValueError, match="must not repeat"):
+        FaultPlan(host_crash_times=(10.0, 10.0))
+
+
+def test_plan_validates_correlated_outage_fields():
+    with pytest.raises(ValueError, match="non-negative"):
+        FaultPlan(outage_windows=[(-5.0, 10.0)])
+    with pytest.raises(ValueError, match="positive"):
+        FaultPlan(outage_windows=[(5.0, 0.0)])
+    with pytest.raises(ValueError, match="overlap"):
+        FaultPlan(outage_windows=[(10.0, 20.0), (25.0, 5.0)])
+    with pytest.raises(ValueError, match="outage_mode"):
+        FaultPlan(outage_windows=[(10.0, 5.0)], outage_mode="purple")
+    with pytest.raises(ValueError, match="drawn outages"):
+        FaultPlan(outage_count=2)
+    with pytest.raises(ValueError):
+        FaultPlan(gray_latency_factor=0.5)
+    with pytest.raises(ValueError):
+        FaultPlan(gray_error_probability=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(brownout_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(partition_drop_probability=-0.1)
+
+
+def test_plan_outage_activation_flags():
+    plan = FaultPlan(outage_windows=[(60.0, 30.0)])
+    assert plan.outage_faults and plan.wraps_handlers and plan.enabled
+    assert not plan.handler_faults
+    assert not plan.queue_faults
+    browned = FaultPlan(outage_windows=[(60.0, 30.0)],
+                        brownout_delay_s=2.0)
+    assert browned.queue_faults
+    # Brownout/partition knobs without a window never activate anything.
+    assert not FaultPlan(brownout_delay_s=2.0).enabled
+
+
+def test_drawn_outage_windows_are_deterministic_and_merged():
+    plan = FaultPlan(outage_count=4, outage_horizon_s=100.0,
+                     outage_duration_s=30.0)
+    first = FaultInjector(plan=plan, streams=RandomStreams(seed=9))
+    second = FaultInjector(plan=plan, streams=RandomStreams(seed=9))
+    other = FaultInjector(plan=plan, streams=RandomStreams(seed=10))
+    assert first.outage_windows == second.outage_windows
+    assert first.outage_windows != other.outage_windows
+    # 4 windows of 30s in a 100s horizon must overlap: merged windows
+    # are disjoint and strictly ordered.
+    for (s1, e1), (s2, e2) in zip(first.outage_windows,
+                                  first.outage_windows[1:]):
+        assert e1 < s2
+    assert first.in_outage(first.outage_windows[0][0])
+    assert not first.in_outage(first.outage_windows[0][1])
+
+
+def test_crash_outage_starts_only_in_crash_mode():
+    crash = FaultInjector(plan=FaultPlan(outage_windows=[(60.0, 30.0)]),
+                          streams=RandomStreams(seed=1))
+    gray = FaultInjector(
+        plan=FaultPlan(outage_windows=[(60.0, 30.0)], outage_mode="gray",
+                       gray_latency_factor=2.0),
+        streams=RandomStreams(seed=1))
+    assert crash.crash_outage_starts == (60.0,)
+    assert gray.crash_outage_starts == ()
+
+
 def test_plan_activation_flags():
     assert not FaultPlan().enabled
     assert FaultPlan(crash_probability=0.1).handler_faults
