@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults test-overload test-audit test-gcp test-resilience audit-sweep resilience-sweep bench bench-kernel bench-campaign examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload test-audit test-gcp test-resilience test-supervise audit-sweep resilience-sweep resume-demo bench bench-kernel bench-campaign examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -33,6 +33,10 @@ test-gcp:
 test-resilience:
 	pytest tests/ -q -m resilience
 
+# Crash-safe supervision: chaos-kill, timeout, journal and resume tests.
+test-supervise:
+	pytest tests/ -q -m supervise
+
 # Audited chaos + overload sweeps; exit 1 on any invariant violation.
 audit-sweep:
 	python -m repro audit
@@ -41,6 +45,14 @@ audit-sweep:
 # registered backends; prints availability/MTTR/SLO verdicts.
 resilience-sweep:
 	python -m repro resilience --audit
+
+# Crash-safety demo: journal a sweep, interrupt it mid-flight, then
+# finish it with `repro resume` — bit-identical to an uninterrupted run.
+resume-demo:
+	rm -rf /tmp/repro-resume-demo
+	-timeout -s INT 3 python -m repro latency --iterations 200 \
+		--journal /tmp/repro-resume-demo --no-cache -j 2
+	python -m repro resume /tmp/repro-resume-demo
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

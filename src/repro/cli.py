@@ -22,6 +22,14 @@ campaigns.  ``--no-cache`` bypasses the cache; ``repro cache --clear``
 drops it.  On ``video``/``cost``, ``--workers`` already means the fan-out
 width from the paper, so the worker-process count is spelled ``-j``
 there.
+
+Long sweeps can run crash-safe: ``--journal DIR`` checkpoints every
+completed campaign to an append-only sweep journal the moment it
+finishes, ``--spec-timeout``/``--max-worker-restarts`` bound stuck and
+crashing workers, and a killed sweep is finished later with
+``repro resume DIR`` (or the original command plus ``--resume``) —
+re-running only the missing specs, bit-identical to an uninterrupted
+run.
 """
 
 from __future__ import annotations
@@ -31,11 +39,13 @@ import sys
 from typing import List, Optional
 
 from repro.core.cache import ResultCache
+from repro.core.checkpoint import JournalError, SweepJournal
 from repro.core.costs import monthly_projection
 from repro.core.parallel import CampaignSpec, ParallelRunner
 from repro.core.persistence import save_results
 from repro.core.metrics import percentile
 from repro.core.report import render_bars, render_table
+from repro.core.supervise import SupervisedRunner
 from repro.platforms.backend import backend_names
 from repro.platforms.faults import FaultPlan
 
@@ -130,12 +140,87 @@ def _worker_list(value: str) -> List[int]:
     return workers
 
 
+def _nonnegative_int(value: str) -> int:
+    try:
+        count = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    if count < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return count
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return number
+
+
+def _cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
 def _runner(args: argparse.Namespace) -> ParallelRunner:
     """The campaign runner the parsed global options ask for."""
-    cache = None
-    if not getattr(args, "no_cache", False):
-        cache = ResultCache(getattr(args, "cache_dir", None))
-    return ParallelRunner(workers=getattr(args, "jobs", 1), cache=cache)
+    return ParallelRunner(workers=getattr(args, "jobs", 1),
+                          cache=_cache(args))
+
+
+def _run_specs(args: argparse.Namespace, specs) -> list:
+    """Run a command's specs, supervised when the new flags ask for it.
+
+    Without ``--journal``/``--spec-timeout``/``--max-worker-restarts``
+    this is exactly the old ``ParallelRunner`` path.  With any of them,
+    a :class:`SupervisedRunner` executes the sweep: completed outcomes
+    are journaled immediately, failures are reported per spec (exit 1)
+    instead of discarding finished work, and SIGINT/SIGTERM leave a
+    resumable journal behind (exit 130).
+    """
+    journal = getattr(args, "journal", None)
+    timeout = getattr(args, "spec_timeout", None)
+    restarts = getattr(args, "max_worker_restarts", None)
+    if journal is None and timeout is None and restarts is None:
+        return _runner(args).run(specs)
+
+    runner = SupervisedRunner(
+        workers=getattr(args, "jobs", 1), cache=_cache(args),
+        journal=journal, spec_timeout_s=timeout,
+        max_restarts=restarts if restarts is not None else 2)
+    try:
+        result = runner.run(specs, argv=getattr(args, "argv", None),
+                            resume=getattr(args, "resume", False))
+    except JournalError as error:
+        raise SystemExit(f"repro: {error}") from error
+    except KeyboardInterrupt:
+        if journal is not None:
+            status = ""
+            try:
+                status = f" ({SweepJournal(journal).progress()})"
+            except JournalError:
+                pass
+            print(f"\ninterrupted; completed campaigns are "
+                  f"journaled{status}", file=sys.stderr)
+            print(f"finish the sweep with: repro resume {journal}",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted", file=sys.stderr)
+        raise SystemExit(130) from None
+    if not result.ok:
+        print(f"{len(result.failures)} of {len(specs)} campaigns "
+              f"failed:", file=sys.stderr)
+        for failure in result.failures:
+            print(f"  {failure}", file=sys.stderr)
+        if journal is not None:
+            print(f"completed campaigns are journaled; retry with: "
+                  f"repro resume {journal}", file=sys.stderr)
+        raise SystemExit(1)
+    return result.outcomes
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -144,7 +229,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
                           scale=args.scale, iterations=args.iterations,
                           warmup=1, seed=args.seed)
              for name in variants]
-    outcomes = _runner(args).run(specs)
+    outcomes = _run_specs(args, specs)
     rows = []
     for name, outcome in zip(variants, outcomes):
         stats = outcome.campaign.stats()
@@ -170,7 +255,7 @@ def cmd_inference(args: argparse.Namespace) -> int:
                           scale=args.scale, iterations=args.iterations,
                           warmup=1, seed=args.seed)
              for name in variants]
-    outcomes = _runner(args).run(specs)
+    outcomes = _run_specs(args, specs)
     rows = [[name, outcome.campaign.stats().median,
              outcome.campaign.stats().p99]
             for name, outcome in zip(variants, outcomes)]
@@ -187,7 +272,7 @@ def cmd_coldstart(args: argparse.Namespace) -> int:
                           scale="small", campaign="coldstart",
                           interval_s=3600.0, days=args.days, seed=args.seed)
              for name in variants]
-    outcomes = _runner(args).run(specs)
+    outcomes = _run_specs(args, specs)
     data = {name: percentile(outcome.campaign.cold_start_delays, 50)
             for name, outcome in zip(variants, outcomes)}
     request_count = len(outcomes[0].campaign.runs)
@@ -208,7 +293,7 @@ def cmd_video(args: argparse.Namespace) -> int:
                 campaign="latency", iterations=1, warmup=0,
                 think_time_s=0.0, settle_time_s=0.0, seed=args.seed,
                 invoke_kwargs={"n_workers": workers}))
-    outcomes = iter(_runner(args).run(specs))
+    outcomes = iter(_run_specs(args, specs))
     rows = []
     for workers in args.workers:
         row = [workers]
@@ -229,7 +314,7 @@ def cmd_cost(args: argparse.Namespace) -> int:
         think_time_s=30.0, settle_time_s=0.0, seed=args.seed,
         idle_window_s=3600.0 if name == "Az-Dorch" else 0.0)
         for name in variants]
-    outcomes = _runner(args).run(specs)
+    outcomes = _run_specs(args, specs)
     rows = []
     for name, outcome in zip(variants, outcomes):
         idle = outcome.idle_transactions * 24 * 30
@@ -263,7 +348,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
                 campaign="reliability", iterations=args.iterations,
                 warmup=1, seed=args.seed, fault_plan=plan.to_items(),
                 audit=audit))
-    outcomes = iter(_runner(args).run(specs))
+    outcomes = iter(_run_specs(args, specs))
 
     rows = []
     summaries = {}
@@ -345,7 +430,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
                 mitigation=policy.to_items(),
                 slo_availability=args.slo_availability,
                 slo_p99_s=args.slo_p99, audit=audit))
-    outcomes = iter(_runner(args).run(specs))
+    outcomes = iter(_run_specs(args, specs))
 
     rows = []
     summaries = {}
@@ -423,7 +508,7 @@ def cmd_overload(args: argparse.Namespace) -> int:
                 arrival_rate_per_s=rate, horizon_s=args.horizon,
                 seed=args.seed, calibration_overrides=overrides,
                 audit=audit))
-    outcomes = iter(_runner(args).run(specs))
+    outcomes = iter(_run_specs(args, specs))
 
     rows = []
     summaries = {}
@@ -528,7 +613,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
                 audit=True))
 
     with collect_violations():
-        outcomes = _runner(args).run(specs)
+        outcomes = _run_specs(args, specs)
 
     reports = [outcome.audit for outcome in outcomes]
     merged = merge_reports(reports)
@@ -577,6 +662,40 @@ def cmd_cache(args: argparse.Namespace) -> int:
     else:
         print(f"cache at {cache.root}: {len(cache)} campaigns")
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Finish an interrupted sweep by re-dispatching its recorded argv."""
+    journal = SweepJournal(args.journal_path)
+    try:
+        manifest = journal.open()
+    except JournalError as error:
+        raise SystemExit(f"repro: {error}") from error
+    argv = manifest.argv
+    if argv is None:
+        raise SystemExit(
+            f"repro: journal at {journal.root} does not record the "
+            f"command that created it; re-run the original command "
+            f"with --journal {journal.root} --resume")
+    # Point --journal at the path the user named (the journal may have
+    # moved since creation) and make the reuse explicit.
+    rewritten: List[str] = []
+    skip_next = False
+    for item in argv:
+        if skip_next:
+            skip_next = False
+            continue
+        if item == "--journal":
+            rewritten += ["--journal", str(args.journal_path)]
+            skip_next = True
+        elif item.startswith("--journal="):
+            rewritten.append(f"--journal={args.journal_path}")
+        else:
+            rewritten.append(item)
+    if "--resume" not in rewritten:
+        rewritten.append("--resume")
+    print(f"resuming sweep at {journal.root}: {journal.progress()}")
+    return main(rewritten)
 
 
 def cmd_paper(args: argparse.Namespace) -> int:
@@ -634,10 +753,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME,NAME,...",
         help="restrict variants to these platform backends "
              f"(default: all of {list(backend_names())})")
+    # Crash-safety flags shared by every campaign command.  Any of them
+    # switches the sweep onto the SupervisedRunner.
+    supervise_opts = argparse.ArgumentParser(add_help=False)
+    supervise_opts.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="checkpoint each completed campaign to this sweep-journal "
+             "directory; finish a killed sweep with `repro resume DIR`")
+    supervise_opts.add_argument(
+        "--resume", action="store_true",
+        help="reuse an existing journal at --journal, re-running only "
+             "the specs it is missing")
+    supervise_opts.add_argument(
+        "--spec-timeout", type=_positive_float, dest="spec_timeout",
+        metavar="SECONDS", default=None,
+        help="kill and retry any campaign still running after this "
+             "many wall-clock seconds")
+    supervise_opts.add_argument(
+        "--max-worker-restarts", type=_nonnegative_int, default=None,
+        metavar="N",
+        help="restart budget per campaign after worker crashes, stalls "
+             "or timeouts (default 2)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     latency = commands.add_parser(
-        "latency", parents=[cache_opts, platform_opts], help="ML training latency across variants (Fig 6)")
+        "latency", parents=[cache_opts, platform_opts, supervise_opts], help="ML training latency across variants (Fig 6)")
     latency.add_argument("--scale", choices=["small", "large"],
                          default="small")
     latency.add_argument("--iterations", type=int, default=10)
@@ -649,7 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     latency.set_defaults(func=cmd_latency)
 
     inference = commands.add_parser(
-        "inference", parents=[cache_opts, platform_opts], help="ML inference latency (Fig 9)")
+        "inference", parents=[cache_opts, platform_opts, supervise_opts], help="ML inference latency (Fig 9)")
     inference.add_argument("--scale", choices=["small", "large"],
                            default="small")
     inference.add_argument("--iterations", type=int, default=10)
@@ -660,7 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     inference.set_defaults(func=cmd_inference)
 
     coldstart = commands.add_parser(
-        "coldstart", parents=[cache_opts, platform_opts], help="hourly cold-start campaign (Fig 10)")
+        "coldstart", parents=[cache_opts, platform_opts, supervise_opts], help="hourly cold-start campaign (Fig 10)")
     coldstart.add_argument("--days", type=float, default=4.0)
     coldstart.add_argument("--workers", type=_positive_int, dest="jobs",
                          metavar="N",
@@ -669,7 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
     coldstart.set_defaults(func=cmd_coldstart)
 
     video = commands.add_parser(
-        "video", parents=[cache_opts, platform_opts], help="video fan-out scaling (Fig 12); use -j for "
+        "video", parents=[cache_opts, platform_opts, supervise_opts], help="video fan-out scaling (Fig 12); use -j for "
                       "worker processes")
     video.add_argument("--workers", type=_worker_list,
                        default=[1, 5, 10, 20, 40, 80],
@@ -677,7 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
     video.set_defaults(func=cmd_video)
 
     cost = commands.add_parser(
-        "cost", parents=[cache_opts, platform_opts], help="monthly video cost projection (Fig 15); use -j for "
+        "cost", parents=[cache_opts, platform_opts, supervise_opts], help="monthly video cost projection (Fig 15); use -j for "
                      "worker processes")
     cost.add_argument("--workers", type=int, default=20,
                       help="fan-out width of the measured deployment")
@@ -686,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
     cost.set_defaults(func=cmd_cost)
 
     reliability = commands.add_parser(
-        "reliability", parents=[cache_opts, platform_opts],
+        "reliability", parents=[cache_opts, platform_opts, supervise_opts],
         help="inject faults and measure the price of reliability")
     reliability.add_argument("--crash-prob", type=_probability, default=0.1,
                              help="per-invocation container crash "
@@ -717,7 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.set_defaults(func=cmd_reliability)
 
     resilience = commands.add_parser(
-        "resilience", parents=[cache_opts, platform_opts],
+        "resilience", parents=[cache_opts, platform_opts, supervise_opts],
         help="drive workloads through correlated outage windows with "
              "client-side mitigation and report SLO verdicts")
     resilience.add_argument("--outage-start", type=float, default=120.0,
@@ -786,7 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.set_defaults(func=cmd_resilience)
 
     overload = commands.add_parser(
-        "overload", parents=[cache_opts, platform_opts],
+        "overload", parents=[cache_opts, platform_opts, supervise_opts],
         help="sweep open-loop arrival rates past saturation: throttling, "
              "backpressure and load shedding")
     overload.add_argument("--rates", type=_rate_list,
@@ -834,7 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
     overload.set_defaults(func=cmd_overload)
 
     audit = commands.add_parser(
-        "audit", parents=[cache_opts, platform_opts],
+        "audit", parents=[cache_opts, platform_opts, supervise_opts],
         help="verify runtime invariants (conservation, billing, delivery "
              "semantics) across chaos and overload sweeps")
     audit.add_argument("--variants", type=_variants,
@@ -872,6 +1012,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="delete every cached campaign")
     cache.set_defaults(func=cmd_cache)
 
+    resume = commands.add_parser(
+        "resume", help="finish an interrupted sweep from its journal "
+                       "(re-runs only the missing campaigns)")
+    resume.add_argument("journal_path", metavar="JOURNAL",
+                        help="path of the sweep-journal directory a "
+                             "campaign command wrote via --journal")
+    resume.set_defaults(func=cmd_resume)
+
     paper = commands.add_parser(
         "paper", parents=[cache_opts, platform_opts], help="condensed run of the main experiments")
     paper.set_defaults(func=cmd_paper)
@@ -881,6 +1029,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Remember the raw argv so a --journal sweep's manifest can record
+    # the command that created it (what `repro resume` re-dispatches).
+    args.argv = list(argv) if argv is not None else sys.argv[1:]
     return args.func(args)
 
 

@@ -38,9 +38,20 @@ from repro.core.parallel import (
     CampaignOutcome,
     CampaignSpec,
     ParallelRunner,
+    SpecExecutionError,
+    SweepError,
     execute_spec,
 )
 from repro.core.cache import ResultCache
+from repro.core.checkpoint import JournalError, SweepJournal
+from repro.core.supervise import (
+    ChaosPlan,
+    PartialSweepResult,
+    SpecFailure,
+    SpecTimeout,
+    SupervisedRunner,
+    WorkerCrash,
+)
 from repro.core.reliability import ReliabilitySummary, execute_reliability_spec
 from repro.core.overload import OverloadSummary, execute_overload_spec
 from repro.core.mitigation import (
@@ -65,8 +76,18 @@ __all__ = [
     "CampaignOutcome",
     "CampaignResult",
     "CampaignSpec",
+    "ChaosPlan",
+    "JournalError",
     "ParallelRunner",
+    "PartialSweepResult",
     "ResultCache",
+    "SpecExecutionError",
+    "SpecFailure",
+    "SpecTimeout",
+    "SupervisedRunner",
+    "SweepError",
+    "SweepJournal",
+    "WorkerCrash",
     "execute_spec",
     "DiurnalArrivals",
     "LoadGenerator",

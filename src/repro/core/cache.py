@@ -17,6 +17,15 @@ Invalidation is automatic — editing a calibration default, bumping the
 package version, or changing any spec field changes the key — but the
 cache can always be dropped wholesale with :meth:`ResultCache.clear` or
 ``rm -rf`` on the directory.
+
+Durability: every write goes to a unique temporary file first and is
+published with an atomic ``os.replace``, so a crash (or two processes
+racing on the same key) can never leave a half-written document behind
+the final name.  Every document carries a content checksum of its
+outcome payload; a read that fails the checksum — a truncated entry, a
+flipped bit — quarantines the file (``quarantine/`` next to the
+entries) and reports a miss, so the caller recomputes instead of
+crashing on garbage.
 """
 
 from __future__ import annotations
@@ -30,22 +39,58 @@ from typing import Any, Dict, Optional, Union
 from repro import __version__
 from repro.core.parallel import CampaignOutcome, CampaignSpec
 from repro.core.persistence import (
-    audit_from_dict,
-    audit_to_dict,
-    campaign_from_dict,
-    campaign_to_dict,
-    cost_report_from_dict,
-    cost_report_to_dict,
-    overload_from_dict,
-    overload_to_dict,
-    reliability_from_dict,
-    reliability_to_dict,
-    resilience_from_dict,
-    resilience_to_dict,
+    outcome_from_dict,
+    outcome_to_dict,
+    payload_checksum,
 )
 
-FORMAT_VERSION = 1
+#: bumped to 2 when the document grew a checksummed ``outcome`` payload
+FORMAT_VERSION = 2
 ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def write_atomic(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a unique tmp file + ``os.replace``.
+
+    The temporary name embeds the pid so concurrent writers (parallel
+    sweeps sharing one cache) never clobber each other's staging file;
+    the final rename is atomic on POSIX and Windows alike.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        temporary.write_text(text)
+        temporary.replace(path)
+    finally:
+        if temporary.exists():
+            try:
+                temporary.unlink()
+            except OSError:
+                pass
+    return path
+
+
+def quarantine(path: Path,
+               target_dir: Optional[Path] = None) -> Optional[Path]:
+    """Move a corrupted document aside (``quarantine/`` sibling dir).
+
+    Returns the quarantined path, or ``None`` when the file vanished or
+    could not be moved (in which case it is best-effort deleted so the
+    recompute can overwrite it).
+    """
+    if target_dir is None:
+        target_dir = path.parent / "quarantine"
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / f"{path.name}.corrupt"
+        path.replace(target)
+        return target
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 def default_cache_dir() -> Path:
@@ -78,67 +123,48 @@ class ResultCache:
     def get(self, spec: CampaignSpec) -> Optional[CampaignOutcome]:
         """The cached outcome for ``spec``, or ``None`` on a miss.
 
-        Unreadable or structurally stale documents count as misses —
-        the caller will recompute and overwrite them.
+        Unreadable or structurally stale documents count as misses.  A
+        document whose content checksum does not match its outcome
+        payload (truncated write, disk corruption) is quarantined and
+        also reported as a miss — the caller recomputes and overwrites.
         """
         path = self.path_for(spec)
         try:
-            document = json.loads(path.read_text())
-        except (OSError, ValueError):
+            raw = path.read_text()
+        except OSError:
             return None
         try:
+            document = json.loads(raw)
             if document.get("format_version") != FORMAT_VERSION:
                 return None
-            reliability = document.get("reliability")
-            overload = document.get("overload")
-            resilience = document.get("resilience")
-            audit = document.get("audit")
-            return CampaignOutcome(
-                spec=spec,
-                campaign=campaign_from_dict(document["campaign"]),
-                cost=cost_report_from_dict(document["cost"]),
-                idle_transactions=document.get("idle_transactions", 0),
-                reliability=(reliability_from_dict(reliability)
-                             if reliability else None),
-                overload=(overload_from_dict(overload)
-                          if overload else None),
-                resilience=(resilience_from_dict(resilience)
-                            if resilience else None),
-                audit=audit_from_dict(audit) if audit else None,
-                cached=True)
+            payload = document["outcome"]
+            if document.get("checksum") != payload_checksum(payload):
+                raise ValueError("checksum mismatch")
+            outcome = outcome_from_dict(payload, spec)
+            outcome.cached = True
+            return outcome
         except (KeyError, TypeError, ValueError):
+            quarantine(path)
             return None
 
     def put(self, spec: CampaignSpec, outcome: CampaignOutcome) -> Path:
         """Persist ``outcome`` under ``spec``'s key; returns the path.
 
-        Note that exotic per-run values (anything JSON cannot carry) are
-        stored as their ``repr`` — latencies, delays, breakdowns and
-        cost meters round-trip exactly.
+        The write is atomic (unique tmp file + ``os.replace``) and the
+        stored document carries a checksum of the outcome payload, so a
+        crash mid-write can never poison a later read.
         """
         path = self.path_for(spec)
+        payload = outcome_to_dict(outcome)
         document: Dict[str, Any] = {
             "format_version": FORMAT_VERSION,
             "kind": "campaign-cache",
             "package_version": __version__,
             "spec": spec.canonical(),
-            "campaign": campaign_to_dict(outcome.campaign),
-            "cost": cost_report_to_dict(outcome.cost),
-            "idle_transactions": outcome.idle_transactions,
-            "reliability": (reliability_to_dict(outcome.reliability)
-                            if outcome.reliability is not None else None),
-            "overload": (overload_to_dict(outcome.overload)
-                         if outcome.overload is not None else None),
-            "resilience": (resilience_to_dict(outcome.resilience)
-                           if outcome.resilience is not None else None),
-            "audit": (audit_to_dict(outcome.audit)
-                      if outcome.audit is not None else None),
+            "checksum": payload_checksum(payload),
+            "outcome": payload,
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_suffix(".tmp")
-        temporary.write_text(json.dumps(document, default=repr))
-        temporary.replace(path)
-        return path
+        return write_atomic(path, json.dumps(document, default=repr))
 
     def clear(self) -> int:
         """Delete every cached document; returns how many were removed."""

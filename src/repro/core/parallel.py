@@ -37,9 +37,10 @@ import json
 import multiprocessing
 import os
 import pickle
+import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.costs import CostReport, cost_report
 from repro.core.deployments import (
@@ -55,6 +56,43 @@ from repro.core.experiment import (
 from repro.core.testbed import Testbed
 from repro.platforms.backend import backend_names, get_backend
 from repro.platforms.faults import FaultPlan
+
+class SweepError(Exception):
+    """Base of the typed sweep-failure taxonomy.
+
+    Every subclass pickles cleanly (workers raise across process
+    boundaries) and names the failing spec's content hash, so a log
+    line identifies exactly which configuration of a thousand-spec
+    sweep went wrong.  :class:`SpecExecutionError` lives here; the
+    supervision-level failures (:class:`~repro.core.supervise.WorkerCrash`,
+    :class:`~repro.core.supervise.SpecTimeout`) extend the taxonomy in
+    :mod:`repro.core.supervise`.
+    """
+
+
+class SpecExecutionError(SweepError):
+    """One spec's campaign raised inside a worker.
+
+    Deterministic by construction — the simulation is a pure function
+    of the spec — so supervisors report these instead of retrying them.
+    """
+
+    def __init__(self, spec: "CampaignSpec", message: str,
+                 traceback_text: str = "",
+                 cause: Optional[BaseException] = None):
+        super().__init__(spec, message, traceback_text)
+        self.spec = spec
+        self.spec_hash = spec.spec_hash()
+        self.message = message
+        self.traceback_text = traceback_text
+        #: the original exception when it was raised in this process or
+        #: unpickled from a worker (not preserved across re-pickling)
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return (f"spec {self.spec_hash[:12]} ({self.spec.deployment} "
+                f"{self.spec.campaign}) failed: {self.message}")
+
 
 WORKLOADS = ("ml-training", "ml-inference", "video")
 CAMPAIGN_TYPES = ("latency", "coldstart", "fanout", "reliability",
@@ -348,6 +386,17 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
                            audit=report)
 
 
+def _guarded_execute(
+        spec: CampaignSpec) -> Union[CampaignOutcome, SpecExecutionError]:
+    """:func:`execute_spec`, but a raising spec becomes a typed failure
+    value so sibling specs in the same batch still complete."""
+    try:
+        return execute_spec(spec)
+    except Exception as error:
+        return SpecExecutionError(spec, f"{type(error).__name__}: {error}",
+                                  traceback.format_exc(), cause=error)
+
+
 def _prewarm_workloads(specs: Iterable[CampaignSpec]) -> None:
     """Memoize the real-compute workload artifacts in this process.
 
@@ -404,10 +453,20 @@ class ParallelRunner:
 
         if misses:
             computed = self._execute([specs[i] for i in misses])
+            failures: List[SpecExecutionError] = []
             for index, outcome in zip(misses, computed):
+                if isinstance(outcome, SpecExecutionError):
+                    failures.append(outcome)
+                    continue
                 outcomes[index] = outcome
                 if self.cache is not None:
                     self.cache.put(outcome.spec, outcome)
+            if failures:
+                # Every healthy spec has already completed (and been
+                # cached), so a re-run after the fix only pays for the
+                # broken ones.  SupervisedRunner offers the no-raise
+                # variant of this contract (PartialSweepResult).
+                raise failures[0] from failures[0].cause
         return outcomes  # type: ignore[return-value]
 
     def run_campaigns(self,
@@ -417,29 +476,43 @@ class ParallelRunner:
 
     # -- internals --------------------------------------------------------------
 
-    def _execute(self,
-                 specs: Sequence[CampaignSpec]) -> List[CampaignOutcome]:
+    def _execute(self, specs: Sequence[CampaignSpec],
+                 ) -> List[Union[CampaignOutcome, SpecExecutionError]]:
         if self.workers <= 1 or len(specs) <= 1:
-            return [execute_spec(spec) for spec in specs]
+            return [_guarded_execute(spec) for spec in specs]
         try:
             return self._execute_pool(specs)
         except (BrokenExecutor, OSError, ValueError, TypeError,
                 AttributeError, ImportError, pickle.PicklingError):
             # Process pools are a perf optimization, never a correctness
             # requirement: degrade to the serial path.
-            return [execute_spec(spec) for spec in specs]
+            return [_guarded_execute(spec) for spec in specs]
 
-    def _execute_pool(self,
-                      specs: Sequence[CampaignSpec]) -> List[CampaignOutcome]:
+    def _execute_pool(self, specs: Sequence[CampaignSpec],
+                      ) -> List[Union[CampaignOutcome, SpecExecutionError]]:
         _prewarm_workloads(specs)
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
         max_workers = min(self.workers, len(specs))
+        results: List[Union[CampaignOutcome, SpecExecutionError]] = []
         with ProcessPoolExecutor(max_workers=max_workers,
                                  mp_context=context) as pool:
             futures = [pool.submit(execute_spec, spec) for spec in specs]
-            return [future.result() for future in futures]
+            for spec, future in zip(specs, futures):
+                # One bad spec must not abort the whole pool: collect a
+                # typed, hash-bearing failure and keep draining.  Pool
+                # machinery faults (a broken executor, unpicklable spec
+                # payloads) still propagate so _execute can fall back.
+                try:
+                    results.append(future.result())
+                except (BrokenExecutor, pickle.PicklingError):
+                    raise
+                except Exception as error:
+                    results.append(SpecExecutionError(
+                        spec, f"{type(error).__name__}: {error}",
+                        traceback.format_exc(), cause=error))
+        return results
 
 
 def ml_training_specs(variants: Sequence[str], scale: str, iterations: int,

@@ -3,10 +3,19 @@
 Campaign latencies and cost reports serialize to a stable, versioned JSON
 shape so that a run's numbers can be archived next to EXPERIMENTS.md,
 diffed across calibration changes, or post-processed elsewhere.
+
+This module is also the single serialization authority for completed
+campaign outcomes: :func:`outcome_to_dict`/:func:`outcome_from_dict`
+round-trip a :class:`~repro.core.parallel.CampaignOutcome` exactly
+(floats survive via JSON shortest-repr), and both the result cache
+(:mod:`repro.core.cache`) and the sweep journal
+(:mod:`repro.core.checkpoint`) store that one document shape, guarded by
+:func:`payload_checksum`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
@@ -18,6 +27,7 @@ from repro.core.deployments.base import RunResult
 from repro.core.experiment import CampaignResult
 from repro.core.metrics import LatencyBreakdown
 from repro.core.overload import OverloadSummary
+from repro.core.parallel import CampaignOutcome, CampaignSpec
 from repro.core.reliability import ReliabilitySummary
 from repro.core.resilience import ResilienceSummary
 
@@ -130,6 +140,82 @@ def audit_from_dict(data: Dict[str, Any]) -> AuditReport:
                      for name, count in data["outcomes"])
     return AuditReport(checks=checks, dispatches=data["dispatches"],
                        arrivals=data["arrivals"], outcomes=outcomes)
+
+
+def outcome_to_dict(outcome: CampaignOutcome) -> Dict[str, Any]:
+    """A JSON-ready representation of a full campaign outcome.
+
+    Exotic per-run values (anything JSON cannot carry) are stored as
+    their ``repr`` — latencies, delays, breakdowns and cost meters
+    round-trip exactly.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "outcome",
+        "campaign": campaign_to_dict(outcome.campaign),
+        "cost": cost_report_to_dict(outcome.cost),
+        "idle_transactions": outcome.idle_transactions,
+        "reliability": (reliability_to_dict(outcome.reliability)
+                        if outcome.reliability is not None else None),
+        "overload": (overload_to_dict(outcome.overload)
+                     if outcome.overload is not None else None),
+        "resilience": (resilience_to_dict(outcome.resilience)
+                       if outcome.resilience is not None else None),
+        "audit": (audit_to_dict(outcome.audit)
+                  if outcome.audit is not None else None),
+    }
+
+
+def outcome_from_dict(data: Dict[str, Any],
+                      spec: CampaignSpec) -> CampaignOutcome:
+    """Inverse of :func:`outcome_to_dict` for the given ``spec``."""
+    _check(data, "outcome")
+    reliability = data.get("reliability")
+    overload = data.get("overload")
+    resilience = data.get("resilience")
+    audit = data.get("audit")
+    return CampaignOutcome(
+        spec=spec,
+        campaign=campaign_from_dict(data["campaign"]),
+        cost=cost_report_from_dict(data["cost"]),
+        idle_transactions=data.get("idle_transactions", 0),
+        reliability=(reliability_from_dict(reliability)
+                     if reliability else None),
+        overload=overload_from_dict(overload) if overload else None,
+        resilience=(resilience_from_dict(resilience)
+                    if resilience else None),
+        audit=audit_from_dict(audit) if audit else None)
+
+
+def spec_from_dict(data: Dict[str, Any]) -> CampaignSpec:
+    """Rebuild a :class:`CampaignSpec` from its ``canonical()`` dict.
+
+    The round trip is hash-exact *and* equality-exact:
+    ``spec_from_dict(spec.canonical())`` compares equal to the original
+    and has the same ``spec_hash()`` (and therefore the same cache key),
+    which is what lets a resumed sweep re-derive its specs from the
+    journal manifest alone.
+    """
+    fields = {str(name): value for name, value in data.items()}
+    # JSON turns the pair-tuples into lists; ``__post_init__`` only
+    # re-normalizes non-empty ones, so coerce here for equality.
+    for name in ("fault_plan", "mitigation"):
+        if name in fields:
+            fields[name] = tuple(
+                tuple(item) if isinstance(item, list) else item
+                for item in fields[name])
+    return CampaignSpec(**fields)
+
+
+def payload_checksum(payload: Any) -> str:
+    """A stable content checksum of a JSON-ready payload.
+
+    Both the result cache and the sweep journal store this next to the
+    document they write, so a torn or bit-rotted file is detected on
+    read (and quarantined) instead of silently deserializing garbage.
+    """
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def _check(data: Dict[str, Any], kind: str) -> None:

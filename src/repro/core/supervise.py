@@ -1,0 +1,627 @@
+"""Supervised sweep execution: the harness survives what it simulates.
+
+:class:`~repro.core.parallel.ParallelRunner` assumes a well-behaved
+world — workers never die, specs never hang, nobody presses Ctrl-C.
+Long campaigns live in the other world.  :class:`SupervisedRunner` runs
+the same specs with a supervision layer wrapped around every worker:
+
+* **Isolation** — each spec runs in its own worker process (fresh
+  ``multiprocessing.Process``, at most ``workers`` concurrent), so a
+  SIGKILL, OOM kill or segfault costs one attempt of one spec, never
+  the sweep.
+* **Heartbeats** — every worker beats a shared timestamp from a
+  background thread; a worker whose heart stops (stuck in a syscall,
+  swapped to death) is detected and killed even if its wall-clock
+  deadline is far away.
+* **Watchdog deadlines** — ``spec_timeout_s`` bounds each attempt's
+  wall-clock time; a worker past its deadline is SIGKILLed and the spec
+  becomes a :class:`SpecTimeout` (after restarts are exhausted).
+* **Bounded restarts** — crashed/stalled/timed-out specs are relaunched
+  up to ``max_restarts`` times with capped exponential backoff.
+  Deterministic *exceptions* (:class:`SpecExecutionError`) are never
+  retried: the simulation is a pure function of the spec, so the retry
+  would fail identically.
+* **Graceful degradation** — the sweep always finishes: the result is
+  a :class:`PartialSweepResult` listing outcomes in spec order plus a
+  typed failure record per spec that exhausted its restarts.
+* **Checkpointing** — with a :class:`~repro.core.checkpoint.SweepJournal`
+  every completed outcome (including cache hits) is flushed to disk the
+  moment it exists, so ``repro resume`` after any kind of death re-runs
+  only the missing specs and merges bit-identically.
+* **Signal safety** — SIGINT/SIGTERM stop the sweep *after* draining
+  every already-completed result from worker pipes into the journal;
+  a second signal forces immediate exit.
+* **Self-chaos** — a :class:`ChaosPlan` makes the supervisor SIGKILL
+  its own workers at seeded points, which is how the test suite proves
+  recovery yields byte-identical outcomes (the harness injects faults
+  into platforms all day; it should survive its own medicine).
+
+When worker processes cannot be spawned at all (sandboxed
+interpreters), the runner degrades to in-process execution: no crash
+isolation, but journaling, typed failures and signal-safe flushing all
+still hold.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Union
+
+from repro.core.checkpoint import SweepJournal
+from repro.core.parallel import (
+    CampaignOutcome,
+    CampaignSpec,
+    SpecExecutionError,
+    SweepError,
+    _prewarm_workloads,
+    execute_spec,
+)
+
+#: how often workers refresh their heartbeat timestamp
+HEARTBEAT_INTERVAL_S = 0.2
+
+
+class WorkerCrash(SweepError):
+    """A worker died (SIGKILL, OOM, segfault, stalled heartbeat)
+    without reporting a result for its spec."""
+
+    def __init__(self, spec: CampaignSpec, detail: str):
+        super().__init__(spec, detail)
+        self.spec = spec
+        self.spec_hash = spec.spec_hash()
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return (f"worker for spec {self.spec_hash[:12]} "
+                f"({self.spec.deployment} {self.spec.campaign}) "
+                f"crashed: {self.detail}")
+
+
+class SpecTimeout(SweepError):
+    """An attempt exceeded its wall-clock deadline and was killed.
+
+    Wall-clock, not simulated time — a deadline miss usually means a
+    swamped machine rather than a broken spec, which is why timeouts
+    are retried (bounded) like crashes.
+    """
+
+    def __init__(self, spec: CampaignSpec, timeout_s: float):
+        super().__init__(spec, timeout_s)
+        self.spec = spec
+        self.spec_hash = spec.spec_hash()
+        self.timeout_s = timeout_s
+
+    def __str__(self) -> str:
+        return (f"spec {self.spec_hash[:12]} ({self.spec.deployment} "
+                f"{self.spec.campaign}) exceeded its {self.timeout_s:g}s "
+                f"wall-clock deadline")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded self-chaos: SIGKILL our own workers mid-spec.
+
+    The decision to kill attempt ``a`` of spec ``i`` is drawn from
+    ``Random(f"chaos:{seed}:{i}:{a}")`` — fully deterministic, so a
+    chaos test can assert exact recovery behaviour.  ``max_kills_per_spec``
+    bounds the kills below the runner's restart budget so every spec
+    eventually completes.
+    """
+
+    kill_probability: float = 1.0
+    kill_after_s: float = 0.05
+    max_kills_per_spec: int = 1
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.kill_probability <= 1.0:
+            raise ValueError("kill_probability must lie in [0, 1]")
+        if self.kill_after_s < 0:
+            raise ValueError("kill_after_s must be non-negative")
+        if self.max_kills_per_spec < 0:
+            raise ValueError("max_kills_per_spec must be non-negative")
+
+    def should_kill(self, index: int, attempt: int,
+                    kills_so_far: int) -> bool:
+        if kills_so_far >= self.max_kills_per_spec:
+            return False
+        stream = random.Random(f"chaos:{self.seed}:{index}:{attempt}")
+        return stream.random() < self.kill_probability
+
+
+@dataclass
+class SpecFailure:
+    """One spec that exhausted supervision: its typed terminal error."""
+
+    index: int
+    spec: CampaignSpec
+    error: SweepError
+    attempts: int
+
+    @property
+    def kind(self) -> str:
+        return type(self.error).__name__
+
+    def __str__(self) -> str:
+        return (f"[{self.kind} after {self.attempts} "
+                f"attempt{'s' if self.attempts != 1 else ''}] {self.error}")
+
+
+@dataclass
+class PartialSweepResult:
+    """A finished sweep, failures included instead of raised away.
+
+    ``outcomes`` is in spec order with ``None`` holes where a spec
+    failed terminally; ``failures`` explains each hole.  Completed
+    outcomes are never discarded — they are already in the journal and
+    cache by the time this object exists.
+    """
+
+    outcomes: List[Optional[CampaignOutcome]]
+    failures: List[SpecFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def completed(self) -> List[CampaignOutcome]:
+        return [outcome for outcome in self.outcomes if outcome is not None]
+
+    def raise_if_failed(self) -> List[CampaignOutcome]:
+        """``outcomes`` when clean; raises the first failure otherwise."""
+        if self.failures:
+            raise self.failures[0].error
+        return self.outcomes  # type: ignore[return-value]
+
+
+# -- worker side -------------------------------------------------------------------
+
+
+def _worker_main(conn, heartbeat, spec: CampaignSpec,
+                 heartbeat_interval_s: float) -> None:
+    """Run one spec in a child process, beating while it works.
+
+    SIGINT is ignored here: a terminal Ctrl-C reaches the whole process
+    group, and shutdown (drain pipes, then kill) is the supervisor's
+    job, not each worker's.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(heartbeat_interval_s)
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        try:
+            outcome = execute_spec(spec)
+        except BaseException as error:
+            conn.send(("error", f"{type(error).__name__}: {error}",
+                       traceback.format_exc()))
+        else:
+            conn.send(("ok", outcome))
+    finally:
+        stop.set()
+        conn.close()
+
+
+class _Task:
+    """A spec awaiting (re)execution."""
+
+    __slots__ = ("index", "spec", "attempt", "not_before")
+
+    def __init__(self, index: int, spec: CampaignSpec,
+                 attempt: int = 1, not_before: float = 0.0):
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.not_before = not_before
+
+
+class _Worker:
+    """Supervisor-side bookkeeping for one live worker process."""
+
+    __slots__ = ("task", "process", "conn", "heartbeat", "started",
+                 "deadline", "kill_at")
+
+    def __init__(self, task: _Task, process, conn, heartbeat,
+                 deadline: Optional[float], kill_at: Optional[float]):
+        self.task = task
+        self.process = process
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.started = time.monotonic()
+        self.deadline = deadline
+        self.kill_at = kill_at
+
+
+class _PoolUnavailable(Exception):
+    """Worker processes cannot be started; use the in-process path."""
+
+
+# -- the supervisor ----------------------------------------------------------------
+
+
+class SupervisedRunner:
+    """Fault-tolerant drop-in for :class:`ParallelRunner`.
+
+    ``run`` returns a :class:`PartialSweepResult` instead of a bare
+    outcome list; ``run(...).raise_if_failed()`` recovers the strict
+    behaviour.  Everything a completed worker reports is journaled and
+    cached immediately — there is no end-of-sweep flush to lose.
+    """
+
+    def __init__(self, workers: Optional[int] = None, cache: Any = None,
+                 journal: Optional[Union[str, Path, SweepJournal]] = None,
+                 spec_timeout_s: Optional[float] = None,
+                 max_restarts: int = 2,
+                 backoff_base_s: float = 0.25,
+                 backoff_cap_s: float = 5.0,
+                 stall_timeout_s: Optional[float] = 30.0,
+                 chaos: Optional[ChaosPlan] = None,
+                 poll_interval_s: float = 0.05):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if spec_timeout_s is not None and spec_timeout_s <= 0:
+            raise ValueError("spec_timeout_s must be positive (or None)")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff must be non-negative")
+        self.workers = workers
+        self.cache = cache
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal(journal)
+        self.journal = journal
+        self.spec_timeout_s = spec_timeout_s
+        self.max_restarts = max_restarts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.stall_timeout_s = stall_timeout_s or None
+        self.chaos = chaos
+        self.poll_interval_s = poll_interval_s
+        self._interrupted: Optional[int] = None
+        self._interrupt_count = 0
+        self._previous_handlers: Dict[int, Any] = {}
+
+    # -- public entry points ----------------------------------------------------
+
+    def run(self, specs: Sequence[CampaignSpec],
+            argv: Optional[Sequence[str]] = None,
+            resume: bool = True) -> PartialSweepResult:
+        """Execute ``specs`` under supervision; never raises away
+        completed work (SIGINT/SIGTERM excepted, and even then the
+        journal already holds every completed outcome)."""
+        specs = list(specs)
+        outcomes: List[Optional[CampaignOutcome]] = [None] * len(specs)
+        failures: List[SpecFailure] = []
+
+        if self.journal is not None:
+            self.journal.create_or_open(specs, argv=argv, resume=resume)
+            # Journal and cache mirror each other: journaled outcomes
+            # seed the cache (below, cache hits are journaled), so after
+            # a resume either store alone can replay the whole sweep.
+            for index, outcome in self.journal.completed(specs).items():
+                outcomes[index] = outcome
+                if self.cache is not None:
+                    self.cache.put(outcome.spec, outcome)
+
+        pending: Deque[_Task] = deque()
+        for index, spec in enumerate(specs):
+            if outcomes[index] is not None:
+                continue
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                hit.cached = True
+                outcomes[index] = hit
+                if self.journal is not None:
+                    self.journal.record(index, hit)
+            else:
+                pending.append(_Task(index, spec))
+
+        if pending:
+            self._install_signal_handlers()
+            try:
+                try:
+                    self._run_processes(pending, outcomes, failures)
+                except _PoolUnavailable:
+                    self._run_inline(pending, outcomes, failures)
+            finally:
+                self._restore_signal_handlers()
+            if self._interrupted is not None:
+                raise KeyboardInterrupt(
+                    f"sweep interrupted by signal {self._interrupted}; "
+                    f"completed outcomes are journaled")
+
+        failures.sort(key=lambda failure: failure.index)
+        return PartialSweepResult(outcomes=outcomes, failures=failures)
+
+    def resume(self, argv: Optional[Sequence[str]] = None,
+               ) -> PartialSweepResult:
+        """Finish a journaled sweep using the manifest's own spec list."""
+        if self.journal is None:
+            raise ValueError("resume() needs a journal")
+        manifest = self.journal.open()
+        return self.run(manifest.specs(), argv=argv)
+
+    # -- completion plumbing ----------------------------------------------------
+
+    def _complete(self, index: int, outcome: CampaignOutcome,
+                  outcomes: List[Optional[CampaignOutcome]]) -> None:
+        """Flush one finished spec everywhere, the moment it finishes."""
+        outcomes[index] = outcome
+        if self.journal is not None:
+            self.journal.record(index, outcome)
+        if self.cache is not None:
+            self.cache.put(outcome.spec, outcome)
+
+    def _retry_or_fail(self, task: _Task, error: SweepError,
+                       pending: Deque[_Task],
+                       failures: List[SpecFailure]) -> None:
+        if task.attempt <= self.max_restarts:
+            delay = min(self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** (task.attempt - 1)))
+            pending.append(_Task(task.index, task.spec,
+                                 attempt=task.attempt + 1,
+                                 not_before=time.monotonic() + delay))
+        else:
+            failures.append(SpecFailure(index=task.index, spec=task.spec,
+                                        error=error,
+                                        attempts=task.attempt))
+
+    # -- supervised process execution -------------------------------------------
+
+    def _run_processes(self, pending: Deque[_Task],
+                       outcomes: List[Optional[CampaignOutcome]],
+                       failures: List[SpecFailure]) -> None:
+        try:
+            _prewarm_workloads([task.spec for task in pending])
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+        except Exception as error:
+            raise _PoolUnavailable(str(error)) from error
+
+        active: List[_Worker] = []
+        kills: Dict[int, int] = {}
+        launched_any = False
+        try:
+            while pending or active:
+                if self._interrupted is not None:
+                    self._drain_and_stop(active, outcomes)
+                    return
+                now = time.monotonic()
+                while pending and len(active) < self.workers:
+                    task = self._pop_eligible(pending, now)
+                    if task is None:
+                        break
+                    try:
+                        active.append(
+                            self._launch(context, task, kills))
+                        launched_any = True
+                    except (OSError, ValueError, AttributeError,
+                            ImportError) as error:
+                        if launched_any:
+                            # Mid-sweep launch failure: treat as a
+                            # crash of this attempt, keep supervising.
+                            self._retry_or_fail(
+                                task,
+                                WorkerCrash(task.spec,
+                                            f"launch failed: {error}"),
+                                pending, failures)
+                        else:
+                            raise _PoolUnavailable(str(error)) from error
+                self._reap(active, pending, outcomes, failures, kills)
+        finally:
+            for worker in active:
+                self._kill(worker)
+                self._finish(worker)
+
+    def _pop_eligible(self, pending: Deque[_Task],
+                      now: float) -> Optional[_Task]:
+        for _ in range(len(pending)):
+            task = pending.popleft()
+            if task.not_before <= now:
+                return task
+            pending.append(task)
+        return None
+
+    def _launch(self, context, task: _Task,
+                kills: Dict[int, int]) -> _Worker:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        heartbeat = context.Value("d", time.monotonic())
+        process = context.Process(
+            target=_worker_main,
+            args=(child_conn, heartbeat, task.spec, HEARTBEAT_INTERVAL_S),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = (now + self.spec_timeout_s
+                    if self.spec_timeout_s is not None else None)
+        kill_at = None
+        if self.chaos is not None and self.chaos.should_kill(
+                task.index, task.attempt, kills.get(task.index, 0)):
+            kill_at = now + self.chaos.kill_after_s
+        return _Worker(task, process, parent_conn, heartbeat,
+                       deadline, kill_at)
+
+    def _reap(self, active: List[_Worker], pending: Deque[_Task],
+              outcomes: List[Optional[CampaignOutcome]],
+              failures: List[SpecFailure],
+              kills: Dict[int, int]) -> None:
+        if not active:
+            time.sleep(self.poll_interval_s)
+            return
+        try:
+            ready = set(_connection_wait(
+                [worker.conn for worker in active],
+                timeout=self.poll_interval_s))
+        except OSError:
+            ready = set()
+        now = time.monotonic()
+        for worker in list(active):
+            task = worker.task
+            if worker.conn in ready:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                active.remove(worker)
+                self._finish(worker)
+                if message is None:
+                    exitcode = worker.process.exitcode
+                    self._retry_or_fail(
+                        task,
+                        WorkerCrash(task.spec,
+                                    f"died without a result "
+                                    f"(exitcode {exitcode})"),
+                        pending, failures)
+                elif message[0] == "ok":
+                    self._complete(task.index, message[1], outcomes)
+                else:
+                    failures.append(SpecFailure(
+                        index=task.index, spec=task.spec,
+                        error=SpecExecutionError(task.spec, message[1],
+                                                 message[2]),
+                        attempts=task.attempt))
+                continue
+            if worker.kill_at is not None and now >= worker.kill_at:
+                worker.kill_at = None
+                kills[task.index] = kills.get(task.index, 0) + 1
+                self._kill(worker)
+                continue   # death surfaces through the pipe next round
+            if worker.deadline is not None and now >= worker.deadline:
+                active.remove(worker)
+                self._kill(worker)
+                self._finish(worker)
+                self._retry_or_fail(
+                    task, SpecTimeout(task.spec, self.spec_timeout_s),
+                    pending, failures)
+                continue
+            if self.stall_timeout_s is not None and \
+                    now - worker.heartbeat.value > self.stall_timeout_s:
+                active.remove(worker)
+                self._kill(worker)
+                self._finish(worker)
+                self._retry_or_fail(
+                    task,
+                    WorkerCrash(task.spec,
+                                f"heartbeat stalled for more than "
+                                f"{self.stall_timeout_s:g}s"),
+                    pending, failures)
+
+    def _drain_and_stop(self, active: List[_Worker],
+                        outcomes: List[Optional[CampaignOutcome]]) -> None:
+        """Signal path: flush every already-completed result, then kill.
+
+        Workers that finished before the signal have their outcome
+        sitting in the pipe; journal those.  Workers still mid-spec are
+        killed — their specs stay missing and resume re-runs them.
+        """
+        for worker in active:
+            try:
+                while worker.conn.poll(0):
+                    message = worker.conn.recv()
+                    if message and message[0] == "ok":
+                        self._complete(worker.task.index, message[1],
+                                       outcomes)
+            except (EOFError, OSError):
+                pass
+        for worker in active:
+            self._kill(worker)
+            self._finish(worker)
+        active.clear()
+
+    def _kill(self, worker: _Worker) -> None:
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+        except (OSError, AttributeError, ValueError):
+            pass
+
+    def _finish(self, worker: _Worker) -> None:
+        try:
+            worker.process.join(timeout=5.0)
+        except (OSError, AssertionError, ValueError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    # -- in-process degradation -------------------------------------------------
+
+    def _run_inline(self, pending: Deque[_Task],
+                    outcomes: List[Optional[CampaignOutcome]],
+                    failures: List[SpecFailure]) -> None:
+        """No worker processes available: execute specs in this process.
+
+        Crash isolation and deadlines are impossible here, but typed
+        failures, immediate journaling and signal-safe stop still hold.
+        """
+        while pending:
+            if self._interrupted is not None:
+                return
+            task = pending.popleft()
+            try:
+                outcome = execute_spec(task.spec)
+            except Exception as error:
+                failures.append(SpecFailure(
+                    index=task.index, spec=task.spec,
+                    error=SpecExecutionError(
+                        task.spec, f"{type(error).__name__}: {error}",
+                        traceback.format_exc(), cause=error),
+                    attempts=task.attempt))
+                continue
+            self._complete(task.index, outcome, outcomes)
+
+    # -- signals ----------------------------------------------------------------
+
+    def _install_signal_handlers(self) -> None:
+        self._interrupted = None
+        self._interrupt_count = 0
+        self._previous_handlers = {}
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous_handlers[signum] = signal.signal(
+                    signum, self._on_signal)
+            except (ValueError, OSError):
+                pass
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, handler in self._previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+        self._previous_handlers = {}
+
+    def _on_signal(self, signum, frame) -> None:
+        self._interrupted = signum
+        self._interrupt_count += 1
+        if self._interrupt_count >= 2:
+            # Second signal: the user means *now*.  The journal already
+            # holds everything completed before the first signal.
+            raise KeyboardInterrupt

@@ -23,7 +23,8 @@ from repro.core.audit import (
     merge_reports,
 )
 from repro.core.cache import ResultCache
-from repro.core.parallel import CampaignSpec, ParallelRunner, execute_spec
+from repro.core.parallel import (CampaignSpec, ParallelRunner,
+                                 SpecExecutionError, execute_spec)
 from repro.core.persistence import audit_from_dict, audit_to_dict
 from repro.platforms.faults import FaultPlan
 
@@ -133,10 +134,14 @@ def test_invariant_violation_survives_pickling():
 
 def test_worker_pool_propagates_violations():
     """A violation in a worker process must fail the batch, not be
-    swallowed by the runner's serial-fallback exception net."""
+    swallowed by the runner's serial-fallback exception net.  The pool
+    surfaces it as a typed per-spec failure naming the failing spec."""
     specs = [broken_dedupe_spec(seed=5), broken_dedupe_spec(seed=6)]
-    with pytest.raises(InvariantViolation):
+    with pytest.raises(SpecExecutionError) as excinfo:
         ParallelRunner(workers=2, cache=None).run(specs)
+    assert excinfo.value.spec_hash == specs[0].spec_hash()
+    assert specs[0].spec_hash()[:12] in str(excinfo.value)
+    assert "InvariantViolation" in excinfo.value.message
 
 
 # -- bit-identical verdicts across execution paths ---------------------------------

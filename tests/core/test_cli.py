@@ -73,3 +73,57 @@ def test_takeaways_command_runs(capsys):
     output = capsys.readouterr().out
     assert "key takeaways reproduced" in output
     assert code == 0
+
+
+# -- crash-safe sweeps: --journal and repro resume -------------------------------
+
+def test_journal_flag_writes_resumable_journal(tmp_path, capsys):
+    from repro.core import SweepJournal
+
+    journal_root = tmp_path / "journal"
+    code = main(["latency", "--iterations", "2",
+                 "--variants", "AWS-Lambda,AWS-Step",
+                 "--journal", str(journal_root),
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 0
+    assert "ML training latency" in capsys.readouterr().out
+
+    journal = SweepJournal(journal_root)
+    assert journal.is_complete()
+    manifest = journal.open()
+    assert manifest.argv is not None
+    assert "--journal" in manifest.argv
+
+    # `repro resume` re-dispatches the recorded command; everything is
+    # journaled already so it replays without recomputing.
+    code = main(["resume", str(journal_root)])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "resuming sweep" in output
+    assert "ML training latency" in output
+
+
+def test_journal_refuses_reuse_without_resume_flag(tmp_path, capsys):
+    journal_root = tmp_path / "journal"
+    argv = ["latency", "--iterations", "2", "--variants", "AWS-Lambda",
+            "--journal", str(journal_root),
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="--resume"):
+        main(argv)
+    assert main(argv + ["--resume"]) == 0
+
+
+def test_resume_rejects_missing_journal(tmp_path):
+    with pytest.raises(SystemExit, match="no sweep journal"):
+        main(["resume", str(tmp_path / "nope")])
+
+
+def test_supervise_flags_run_the_supervised_pool(tmp_path, capsys):
+    code = main(["latency", "--iterations", "2",
+                 "--variants", "AWS-Lambda",
+                 "--spec-timeout", "300", "--max-worker-restarts", "1",
+                 "--no-cache"])
+    assert code == 0
+    assert "ML training latency" in capsys.readouterr().out

@@ -216,6 +216,75 @@ def test_cache_miss_on_empty_and_corrupt_documents(tmp_path):
     assert cache.clear() == 1 and len(cache) == 0
 
 
+def test_cache_write_is_atomic_and_truncation_quarantines(tmp_path):
+    """A document truncated mid-entry (a torn write that somehow landed,
+    or on-disk corruption) is quarantined on read and reported as a
+    miss, and the recompute overwrites it cleanly."""
+    cache = ResultCache(tmp_path / "cache")
+    spec = CampaignSpec(deployment="Az-Func", iterations=2, warmup=0,
+                        seed=13)
+    outcome = execute_spec(spec)
+    path = cache.put(spec, outcome)
+    # The atomic write left no staging files behind the published name.
+    assert not list(path.parent.glob(".*.tmp"))
+
+    intact = path.read_text()
+    path.write_text(intact[:len(intact) // 2])   # truncate mid-payload
+    assert cache.get(spec) is None
+    quarantined = list((cache.root / "quarantine").glob("*.corrupt"))
+    assert len(quarantined) == 1 and not path.exists()
+
+    cache.put(spec, outcome)                     # recompute-and-overwrite
+    assert outcome_blob(cache.get(spec)) == outcome_blob(outcome)
+
+
+def test_cache_checksum_mismatch_is_a_miss(tmp_path):
+    """Valid JSON whose payload disagrees with its checksum (bit rot)
+    is quarantined, not replayed."""
+    cache = ResultCache(tmp_path / "cache")
+    spec = CampaignSpec(deployment="Az-Func", iterations=2, warmup=0,
+                        seed=13)
+    path = cache.put(spec, execute_spec(spec))
+    document = json.loads(path.read_text())
+    document["outcome"]["idle_transactions"] = 10**9
+    path.write_text(json.dumps(document, default=repr))
+    assert cache.get(spec) is None
+    assert list((cache.root / "quarantine").glob("*.corrupt"))
+
+
+def test_pool_surfaces_worker_failure_as_typed_spec_error(tmp_path):
+    """A spec that raises in a worker fails the run with a typed error
+    naming the failing spec — and the specs that completed are already
+    cached, so a retry skips them."""
+    from repro.core.parallel import SpecExecutionError
+
+    good = CampaignSpec(deployment="AWS-Lambda", iterations=2, warmup=0,
+                        seed=3)
+    bad = CampaignSpec(deployment="AWS-Nope", iterations=1, warmup=0)
+    cache = ResultCache(tmp_path / "cache")
+    with pytest.raises(SpecExecutionError) as excinfo:
+        ParallelRunner(workers=2, cache=cache).run([good, bad])
+
+    error = excinfo.value
+    assert error.spec_hash == bad.spec_hash()
+    assert bad.spec_hash()[:12] in str(error)
+    assert "KeyError" in error.message
+    assert error.traceback_text                  # worker traceback kept
+    # Completed sibling was cached before the failure was raised.
+    hit = cache.get(good)
+    assert hit is not None
+    assert outcome_blob(hit) == outcome_blob(execute_spec(good))
+
+
+def test_serial_path_raises_same_typed_error():
+    from repro.core.parallel import SpecExecutionError
+
+    bad = CampaignSpec(deployment="AWS-Nope", iterations=1, warmup=0)
+    with pytest.raises(SpecExecutionError) as excinfo:
+        ParallelRunner(workers=1).run([bad])
+    assert excinfo.value.spec_hash == bad.spec_hash()
+
+
 def test_cache_env_var_sets_default_root(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
     cache = ResultCache()
