@@ -185,6 +185,12 @@ def _run_specs(args: argparse.Namespace, specs) -> list:
     journal = getattr(args, "journal", None)
     timeout = getattr(args, "spec_timeout", None)
     restarts = getattr(args, "max_worker_restarts", None)
+    if getattr(args, "resume", False) and journal is None:
+        # Silently ignoring --resume would re-run the whole sweep
+        # uncheckpointed; demand the journal it is meant to reuse.
+        raise SystemExit(
+            "repro: --resume requires --journal DIR (the journal to "
+            "reuse); or finish the sweep with `repro resume DIR`")
     if journal is None and timeout is None and restarts is None:
         return _runner(args).run(specs)
 
@@ -692,6 +698,12 @@ def cmd_resume(args: argparse.Namespace) -> int:
             rewritten.append(f"--journal={args.journal_path}")
         else:
             rewritten.append(item)
+    if not any(item == "--journal" or item.startswith("--journal=")
+               for item in rewritten):
+        # The recorded command never named a journal (e.g. the sweep
+        # was journaled programmatically); --resume without --journal
+        # is an error, so supply the one the user pointed us at.
+        rewritten += ["--journal", str(args.journal_path)]
     if "--resume" not in rewritten:
         rewritten.append("--resume")
     print(f"resuming sweep at {journal.root}: {journal.progress()}")

@@ -48,6 +48,7 @@ import multiprocessing
 import os
 import random
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -429,6 +430,11 @@ class SupervisedRunner:
                                             f"launch failed: {error}"),
                                 pending, failures)
                         else:
+                            # Nothing launched yet: the pool is unusable.
+                            # Re-queue this task first — it was already
+                            # popped, and the inline path only sees what
+                            # is still in the deque.
+                            pending.appendleft(task)
                             raise _PoolUnavailable(str(error)) from error
                 self._reap(active, pending, outcomes, failures, kills)
         finally:
@@ -536,15 +542,27 @@ class SupervisedRunner:
 
         Workers that finished before the signal have their outcome
         sitting in the pipe; journal those.  Workers still mid-spec are
-        killed — their specs stay missing and resume re-runs them.
+        killed — their specs stay missing and resume re-runs them.  A
+        drained *error* is reported to stderr: the failure is
+        deterministic, so resume will only reproduce it, and the user
+        should learn about the broken spec before re-running the sweep.
         """
         for worker in active:
             try:
                 while worker.conn.poll(0):
                     message = worker.conn.recv()
-                    if message and message[0] == "ok":
+                    if not message:
+                        continue
+                    if message[0] == "ok":
                         self._complete(worker.task.index, message[1],
                                        outcomes)
+                    else:
+                        spec = worker.task.spec
+                        print(f"spec {spec.spec_hash()[:12]} "
+                              f"({spec.deployment} {spec.campaign}) "
+                              f"failed before the interrupt and will "
+                              f"fail again on resume: {message[1]}",
+                              file=sys.stderr)
             except (EOFError, OSError):
                 pass
         for worker in active:

@@ -120,6 +120,38 @@ def test_resume_rejects_missing_journal(tmp_path):
         main(["resume", str(tmp_path / "nope")])
 
 
+def test_resume_flag_without_journal_errors():
+    """--resume alone would otherwise be silently ignored and re-run
+    the whole sweep uncheckpointed."""
+    with pytest.raises(SystemExit, match="--journal"):
+        main(["latency", "--iterations", "2", "--variants", "AWS-Lambda",
+              "--resume", "--no-cache"])
+
+
+def test_resume_supplies_journal_when_recorded_argv_lacks_one(
+        tmp_path, capsys):
+    """A journal whose recorded argv never named --journal (created
+    programmatically) still resumes: `repro resume` injects the journal
+    path the user pointed it at."""
+    from repro.core import CampaignSpec, SupervisedRunner, SweepJournal
+
+    journal_root = tmp_path / "journal"
+    spec = CampaignSpec(deployment="AWS-Lambda", workload="ml-training",
+                        scale="small", iterations=2, warmup=1, seed=0)
+    argv = ["latency", "--iterations", "2", "--variants", "AWS-Lambda",
+            "--cache-dir", str(tmp_path / "cache")]
+    result = SupervisedRunner(
+        workers=1, journal=SweepJournal(journal_root)).run([spec],
+                                                           argv=argv)
+    assert result.ok
+
+    code = main(["resume", str(journal_root)])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "resuming sweep" in output
+    assert "ML training latency" in output
+
+
 def test_supervise_flags_run_the_supervised_pool(tmp_path, capsys):
     code = main(["latency", "--iterations", "2",
                  "--variants", "AWS-Lambda",

@@ -125,6 +125,66 @@ def test_spec_timeout_kills_retries_then_fails_typed(tmp_path):
     assert spec.spec_hash()[:12] in str(failure.error)
 
 
+# -- in-process degradation ------------------------------------------------------
+
+def test_first_launch_failure_degrades_inline_without_losing_specs(
+        monkeypatch, tmp_path):
+    """When the very first worker launch fails (sandboxed interpreter),
+    the runner degrades to in-process execution — including the spec
+    whose launch attempt triggered the degradation.  Regression: that
+    spec was popped from the queue and lost, leaving a silent None hole
+    in an ok PartialSweepResult."""
+    specs = sweep_specs(3)
+    reference = [outcome_blob(outcome)
+                 for outcome in ParallelRunner(workers=1).run(specs)]
+
+    def refuse_to_spawn(self, context, task, kills):
+        raise OSError("process spawning forbidden")
+
+    monkeypatch.setattr(SupervisedRunner, "_launch", refuse_to_spawn)
+    journal = SweepJournal(tmp_path / "j")
+    result = SupervisedRunner(workers=2, journal=journal).run(specs)
+
+    assert result.ok, [str(failure) for failure in result.failures]
+    assert all(outcome is not None for outcome in result.outcomes)
+    assert [outcome_blob(outcome) for outcome in result.outcomes] == \
+        reference
+    assert journal.is_complete()
+
+
+def test_drain_reports_discarded_error_messages(capsys):
+    """An ('error', ...) message sitting in a worker pipe at interrupt
+    time is deterministic — resume will only reproduce it — so the
+    drain reports the broken spec to stderr instead of silently
+    dropping the message."""
+    import multiprocessing
+
+    from repro.core.supervise import _Task, _Worker
+
+    class _DoneProcess:
+        def is_alive(self):
+            return False
+
+        def join(self, timeout=None):
+            pass
+
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    child_conn.send(("error", "ValueError: boom", "traceback"))
+    child_conn.close()
+    spec = broken_spec()
+    worker = _Worker(_Task(0, spec), _DoneProcess(), parent_conn,
+                     heartbeat=None, deadline=None, kill_at=None)
+
+    outcomes = [None]
+    SupervisedRunner(workers=1)._drain_and_stop([worker], outcomes)
+
+    stderr = capsys.readouterr().err
+    assert spec.spec_hash()[:12] in stderr
+    assert "fail again on resume" in stderr
+    assert "ValueError: boom" in stderr
+    assert outcomes == [None]
+
+
 # -- self-chaos: SIGKILL recovery ------------------------------------------------
 
 def test_chaos_sigkill_recovery_is_bit_identical(tmp_path):
