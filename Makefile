@@ -1,6 +1,6 @@
 # Convenience targets for the stateful serverless workbench.
 
-.PHONY: install test test-fast test-faults test-overload test-audit test-gcp test-resilience test-supervise audit-sweep resilience-sweep resume-demo bench bench-kernel bench-campaign examples takeaways paper clean
+.PHONY: install test test-fast test-faults test-overload test-audit test-gcp test-resilience test-supervise test-fuzz fuzz audit-sweep resilience-sweep resume-demo bench bench-kernel bench-campaign examples takeaways paper clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,17 @@ test-resilience:
 # Crash-safe supervision: chaos-kill, timeout, journal and resume tests.
 test-supervise:
 	pytest tests/ -q -m supervise
+
+# Campaign-fuzzer tests: generation, differential oracle, shrinking,
+# planted-bug acceptance demo and corpus replay.
+test-fuzz:
+	pytest tests/ -q -m fuzz
+
+# A bounded fuzz session plus a regression-corpus replay; exit 1 on any
+# cross-path divergence or a corpus bug coming back.
+fuzz:
+	python -m repro fuzz run --budget 50 --seed 0 --no-cache
+	python -m repro fuzz replay corpus
 
 # Audited chaos + overload sweeps; exit 1 on any invariant violation.
 audit-sweep:

@@ -33,6 +33,20 @@ class AWSBackend(PlatformBackend):
         from repro.platforms.calibration import default_aws_calibration
         return default_aws_calibration()
 
+    def fuzz_calibration_space(self) -> Dict[str, Tuple[Any, ...]]:
+        # Admission-control and keep-alive knobs: any combination keeps
+        # AWSCalibration.validate() passing (retry cap stays >= the
+        # default 0.5 s interval).
+        return {
+            "concurrency_limit": (5, 50, 1000),
+            "burst_concurrency": (5, 100, 1000),
+            "refill_per_s": (10.0, 100.0, 500.0),
+            "keep_alive_s": (60.0, 600.0),
+            "default_memory_mb": (512, 1536, 3008),
+            "throttle_retry_max_attempts": (1, 3, 6),
+            "throttle_retry_cap_s": (0.5, 8.0),
+        }
+
     # -- stack construction ----------------------------------------------------
 
     def build(self, testbed: Any, calibration: Any) -> Any:

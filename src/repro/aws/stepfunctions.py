@@ -43,7 +43,7 @@ from repro.platforms.base import (
     ThrottlingError,
     enforce_payload_limit,
 )
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, join_all
 from repro.sim.resources import Resource
 from repro.storage.meter import TransactionMeter
 from repro.telemetry import SpanKind, Telemetry
@@ -456,8 +456,8 @@ class StepFunctionsService:
             self.env.process(self._branch_runner(
                 branch, payload, record, parent_span, machine_name))
             for branch in state.branches]
-        yield self.env.all_of(processes)
-        return [process.value for process in processes]
+        results = yield from join_all(self.env, processes)
+        return results
 
     def _branch_runner(self, branch: StateMachineDefinition, payload: Any,
                        record: ExecutionRecord, parent_span,
@@ -484,8 +484,8 @@ class StepFunctionsService:
                 item_input = apply_parameters(state.parameters, item)
             processes.append(self.env.process(self._map_iteration(
                 state, item_input, gate, record, parent_span, machine_name)))
-        yield self.env.all_of(processes)
-        return [process.value for process in processes]
+        results = yield from join_all(self.env, processes)
+        return results
 
     def _map_iteration(self, state: MapState, item: Any, gate,
                        record: ExecutionRecord, parent_span,

@@ -192,7 +192,6 @@ class FunctionAppService:
                 f"app {self.app_name!r} has {len(self._pending)} queued "
                 f"executions (bound {depth_limit}) — 429 TooManyRequests",
                 retry_after_s=calibration.scale_interval_s)
-        self.billing.charge_request(name)
         submitted_at = self.env.now
 
         scheduling_span = self.telemetry.start_span(
@@ -227,6 +226,10 @@ class FunctionAppService:
                     self._pending.remove(item)
                     self.shed += 1
                     waited = self.env.now - submitted_at
+                    # Azure bills accepted-then-shed work (the platform
+                    # admitted it past the trigger); charge it here since
+                    # requests are otherwise billed at execution start.
+                    self.billing.charge_request(name)
                     self.telemetry.end_span(scheduling_span, shed=True,
                                             queue_wait=waited)
                     raise LoadShedError(
@@ -256,6 +259,11 @@ class FunctionAppService:
         self.telemetry.end_span(scheduling_span, cold=demanded_cold,
                                 queue_wait=queue_wait)
 
+        # Requests are billed when execution starts (bar shed work,
+        # charged above): an invocation cancelled or stranded in the
+        # dispatch queue never ran, so it must leave no request charge
+        # behind (billed requests must equal execution spans + sheds).
+        self.billing.charge_request(name)
         started_at = self.env.now
         span = self.telemetry.start_span(
             name, SpanKind.EXECUTION, parent=parent_span, platform="azure",
@@ -308,15 +316,20 @@ class FunctionAppService:
                           event: Any) -> Generator:
         handler_process = self.env.process(spec.handler(ctx, event))
         deadline = self.env.timeout(spec.timeout_s)
+        race = handler_process | deadline
         try:
-            result = yield handler_process | deadline
+            result = yield race
         except BaseException:
             # Interrupted from outside (hedge cancellation, deadline
             # abandonment): reap the orphaned handler so a later failure
-            # of it cannot crash the dispatch loop.
+            # of it cannot crash the dispatch loop.  The race condition
+            # must be defused too: this process no longer waits on it,
+            # and the abandoned handler's failure chains into it — an
+            # undefused, waiterless condition would crash the run.
             if handler_process.is_alive:
                 handler_process.interrupt(cause="abandoned")
             handler_process.defuse()
+            race.defuse()
             raise
         if handler_process in result:
             return handler_process.value

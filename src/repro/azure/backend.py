@@ -36,6 +36,18 @@ class AzureBackend(PlatformBackend):
         from repro.platforms.calibration import default_azure_calibration
         return default_azure_calibration()
 
+    def fuzz_calibration_space(self) -> Dict[str, Tuple[Any, ...]]:
+        # Scale-controller and overload-protection knobs; the optional
+        # bounds stay positive (None = platform default, also valid).
+        return {
+            "max_instances": (2, 20, 200),
+            "instance_concurrency": (1, 2, 4),
+            "instances_per_decision": (1, 2, 4),
+            "scale_interval_s": (5.0, 10.0, 30.0),
+            "queue_depth_limit": (None, 8, 64),
+            "shed_deadline_s": (None, 5.0, 30.0),
+        }
+
     # -- stack construction ----------------------------------------------------
 
     def build(self, testbed: Any, calibration: Any) -> Any:

@@ -35,7 +35,9 @@ run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.cache import ResultCache
@@ -172,6 +174,36 @@ def _runner(args: argparse.Namespace) -> ParallelRunner:
                           cache=_cache(args))
 
 
+def _check_resume_flags(args: argparse.Namespace) -> None:
+    """``--resume`` without ``--journal`` is an error, not a no-op.
+
+    Silently ignoring ``--resume`` would re-run the whole sweep
+    uncheckpointed; demand the journal it is meant to reuse.
+    """
+    if getattr(args, "resume", False) and \
+            getattr(args, "journal", None) is None:
+        raise SystemExit(
+            "repro: --resume requires --journal DIR (the journal to "
+            "reuse); or finish the sweep with `repro resume DIR`")
+
+
+def _interrupted_exit(journal) -> None:
+    """The shared SIGINT contract: resume hint on stderr, exit 130."""
+    if journal is not None:
+        status = ""
+        try:
+            status = f" ({SweepJournal(journal).progress()})"
+        except JournalError:
+            pass
+        print(f"\ninterrupted; completed campaigns are "
+              f"journaled{status}", file=sys.stderr)
+        print(f"finish the sweep with: repro resume {journal}",
+              file=sys.stderr)
+    else:
+        print("\ninterrupted", file=sys.stderr)
+    raise SystemExit(130) from None
+
+
 def _run_specs(args: argparse.Namespace, specs) -> list:
     """Run a command's specs, supervised when the new flags ask for it.
 
@@ -185,12 +217,7 @@ def _run_specs(args: argparse.Namespace, specs) -> list:
     journal = getattr(args, "journal", None)
     timeout = getattr(args, "spec_timeout", None)
     restarts = getattr(args, "max_worker_restarts", None)
-    if getattr(args, "resume", False) and journal is None:
-        # Silently ignoring --resume would re-run the whole sweep
-        # uncheckpointed; demand the journal it is meant to reuse.
-        raise SystemExit(
-            "repro: --resume requires --journal DIR (the journal to "
-            "reuse); or finish the sweep with `repro resume DIR`")
+    _check_resume_flags(args)
     if journal is None and timeout is None and restarts is None:
         return _runner(args).run(specs)
 
@@ -204,19 +231,7 @@ def _run_specs(args: argparse.Namespace, specs) -> list:
     except JournalError as error:
         raise SystemExit(f"repro: {error}") from error
     except KeyboardInterrupt:
-        if journal is not None:
-            status = ""
-            try:
-                status = f" ({SweepJournal(journal).progress()})"
-            except JournalError:
-                pass
-            print(f"\ninterrupted; completed campaigns are "
-                  f"journaled{status}", file=sys.stderr)
-            print(f"finish the sweep with: repro resume {journal}",
-                  file=sys.stderr)
-        else:
-            print("\ninterrupted", file=sys.stderr)
-        raise SystemExit(130) from None
+        _interrupted_exit(journal)
     if not result.ok:
         print(f"{len(result.failures)} of {len(specs)} campaigns "
               f"failed:", file=sys.stderr)
@@ -710,6 +725,124 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return main(rewritten)
 
 
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    """One deterministic fuzz session: generate, check, shrink, save."""
+    from repro.core import fuzz as fuzz_mod
+
+    _check_resume_flags(args)
+    journal = getattr(args, "journal", None)
+    seed = args.fuzz_seed if args.fuzz_seed is not None else args.seed
+    restarts = getattr(args, "max_worker_restarts", None)
+    try:
+        result = fuzz_mod.run_fuzz(
+            seed=seed, budget=args.budget,
+            time_budget_s=args.time_budget,
+            journal=journal, cache=_cache(args),
+            workers=getattr(args, "jobs", 1),
+            corpus_dir=args.corpus_out,
+            shrink_findings=not args.no_shrink,
+            argv=getattr(args, "argv", None),
+            resume=getattr(args, "resume", False),
+            spec_timeout_s=getattr(args, "spec_timeout", None),
+            max_restarts=restarts if restarts is not None else 2,
+            log=lambda line: print(line, file=sys.stderr))
+    except JournalError as error:
+        raise SystemExit(f"repro: {error}") from error
+    except KeyboardInterrupt:
+        _interrupted_exit(journal)
+    print(f"fuzz seed {seed}: {result.executed}/{result.budget} specs "
+          f"checked, {len(result.findings)} finding(s)")
+    if result.exhausted:
+        print(f"time budget exhausted after {result.executed} of "
+              f"{result.budget} specs", file=sys.stderr)
+        if journal is not None:
+            print(f"finish the session with: repro resume {journal}",
+                  file=sys.stderr)
+    for verdict in result.findings:
+        spec = verdict.spec
+        print(f"  #{verdict.index} {spec.deployment} {spec.campaign} "
+              f"[{verdict.spec_hash[:12]}]: "
+              f"{', '.join(verdict.findings)}")
+    for path in result.corpus_paths:
+        print(f"  minimal repro: {path}")
+    return 1 if result.findings else 0
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """Re-check every corpus entry; red (a bug came back) exits 1."""
+    from repro.core import fuzz as fuzz_mod
+
+    corpus = Path(args.corpus)
+    if not corpus.is_dir():
+        print(f"no corpus at {corpus}; nothing to replay")
+        return 0
+    results = fuzz_mod.replay_corpus(corpus)
+    if not results:
+        print(f"corpus at {corpus} is empty; nothing to replay")
+        return 0
+    red = 0
+    for result in results:
+        if result.error is not None:
+            red += 1
+            print(f"{result.path.name}: INVALID — {result.error}")
+        elif result.reproduced:
+            red += 1
+            print(f"{result.path.name}: RED — {result.fingerprint} "
+                  f"still reproduces "
+                  f"({', '.join(result.findings)})")
+        else:
+            print(f"{result.path.name}: green")
+    print(f"{len(results) - red} of {len(results)} corpus entries "
+          f"stay green")
+    return 1 if red else 0
+
+
+def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    """Shrink a failing spec (or repro document) to a minimal repro."""
+    from repro.core import fuzz as fuzz_mod
+    from repro.core.persistence import SpecValidationError, spec_from_dict
+
+    if args.spec == "-":
+        where, text = "<stdin>", sys.stdin.read()
+    else:
+        where = args.spec
+        try:
+            text = Path(args.spec).read_text()
+        except OSError as error:
+            raise SystemExit(f"repro: {error}") from error
+    try:
+        document = json.loads(text)
+    except ValueError as error:
+        raise SystemExit(f"repro: {where}: not JSON: {error}") from error
+    fingerprint = None
+    payload = document
+    if isinstance(document, dict) and \
+            document.get("kind") == "fuzz-repro":
+        fingerprint = document.get("fingerprint")
+        payload = document.get("spec")
+    try:
+        spec = spec_from_dict(payload)
+    except SpecValidationError as error:
+        raise SystemExit(f"repro: {where}: {error}") from error
+    verdict = fuzz_mod.check_spec(spec)
+    if verdict.ok:
+        print(f"spec {verdict.spec_hash[:12]} checks clean on every "
+              f"path; nothing to shrink")
+        return 0
+    if fingerprint not in verdict.findings:
+        fingerprint = verdict.findings[0]
+    minimal, spent = fuzz_mod.shrink(spec, fingerprint)
+    if args.out is not None:
+        path = fuzz_mod.write_repro(Path(args.out), minimal, fingerprint)
+        print(f"wrote {path} after {spent} checks ({fingerprint})")
+    else:
+        blob = fuzz_mod.repro_document(minimal, fingerprint)
+        print(json.dumps(blob, indent=2, sort_keys=True))
+        print(f"shrunk in {spent} checks ({fingerprint})",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     print("Condensed paper reproduction "
           "(full version: pytest benchmarks/ --benchmark-only -s)\n")
@@ -1031,6 +1164,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="path of the sweep-journal directory a "
                              "campaign command wrote via --journal")
     resume.set_defaults(func=cmd_resume)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="deterministic campaign fuzzer: generate specs, "
+                     "differentially check every execution path, shrink "
+                     "and replay findings")
+    fuzz_cmds = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_cmds.add_parser(
+        "run", parents=[cache_opts, supervise_opts],
+        help="draw specs from a seeded stream and differentially check "
+             "each one (exit 1 on findings)")
+    fuzz_run.add_argument("--seed", type=int, dest="fuzz_seed",
+                          default=None,
+                          help="fuzz stream seed (default: the "
+                               "top-level --seed)")
+    fuzz_run.add_argument("--budget", type=_positive_int, default=50,
+                          metavar="N",
+                          help="specs to draw and check (default 50)")
+    fuzz_run.add_argument("--time-budget", type=_positive_float,
+                          dest="time_budget", metavar="SECONDS",
+                          default=None,
+                          help="stop drawing new work after this many "
+                               "wall-clock seconds (what ran is still "
+                               "deterministic; with --journal the rest "
+                               "is resumable)")
+    fuzz_run.add_argument("--corpus-out", metavar="DIR", default="corpus",
+                          help="write shrunk minimal reproducers here "
+                               "(default ./corpus; only created on "
+                               "findings)")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          help="save failing specs as found, without "
+                               "minimizing them first")
+    fuzz_run.set_defaults(func=cmd_fuzz_run)
+
+    fuzz_replay = fuzz_cmds.add_parser(
+        "replay",
+        help="re-check every regression-corpus entry; exit 1 if any "
+             "recorded bug reproduces again")
+    fuzz_replay.add_argument("corpus", nargs="?", default="corpus",
+                             metavar="DIR",
+                             help="corpus directory (default ./corpus)")
+    fuzz_replay.set_defaults(func=cmd_fuzz_replay)
+
+    fuzz_shrink = fuzz_cmds.add_parser(
+        "shrink",
+        help="minimize a failing spec while preserving its failure "
+             "fingerprint; prints a pasteable repro document")
+    fuzz_shrink.add_argument("spec", metavar="SPEC.json",
+                             help="a spec or fuzz-repro JSON file, or "
+                                  "`-` for stdin")
+    fuzz_shrink.add_argument("--out", metavar="PATH", default=None,
+                             help="write the repro document here instead "
+                                  "of stdout")
+    fuzz_shrink.set_defaults(func=cmd_fuzz_shrink)
 
     paper = commands.add_parser(
         "paper", parents=[cache_opts, platform_opts], help="condensed run of the main experiments")

@@ -61,6 +61,16 @@ from repro.core.mitigation import (
     MitigationTimeout,
 )
 from repro.core.resilience import ResilienceSummary, execute_resilience_spec
+from repro.core.fuzz import (
+    FuzzError,
+    FuzzSessionResult,
+    FuzzVerdict,
+    SpecGenerator,
+    check_spec,
+    replay_corpus,
+    run_fuzz,
+    shrink,
+)
 from repro.platforms.faults import FaultInjector, FaultPlan
 from repro.core.workflow import (
     Workflow,
@@ -109,6 +119,14 @@ __all__ = [
     "MitigationTimeout",
     "ResilienceSummary",
     "execute_resilience_spec",
+    "FuzzError",
+    "FuzzSessionResult",
+    "FuzzVerdict",
+    "SpecGenerator",
+    "check_spec",
+    "replay_corpus",
+    "run_fuzz",
+    "shrink",
     "LatencyBreakdown",
     "LatencyStats",
     "RunResult",

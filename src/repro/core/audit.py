@@ -55,6 +55,7 @@ verdicts are bit-identical across the serial runner,
 
 from __future__ import annotations
 
+import json
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -141,11 +142,35 @@ class AuditReport:
         return [(check.invariant, check.passed, check.detail)
                 for check in self.checks]
 
-    def raise_if_violations(self) -> None:
-        """Raise :class:`InvariantViolation` if any invariant failed."""
+    def raise_if_violations(self, spec: Optional[Any] = None) -> None:
+        """Raise :class:`InvariantViolation` if any invariant failed.
+
+        When the failing :class:`~repro.core.parallel.CampaignSpec` is
+        passed, the violation embeds its hash and an inline repro hint,
+        so the failure is one command away from reproduction wherever
+        it surfaces (worker process, journal, CI log).
+        """
         broken = self.violations
         if broken:
-            raise InvariantViolation(broken, self)
+            spec_hash = repro_hint = None
+            if spec is not None:
+                spec_hash = spec.spec_hash()
+                repro_hint = spec_repro_hint(spec)
+            raise InvariantViolation(broken, self, spec_hash=spec_hash,
+                                     repro_hint=repro_hint)
+
+
+def spec_repro_hint(spec: Any) -> str:
+    """A ready-to-paste command reconstructing ``spec``.
+
+    The inline document is the spec's canonical JSON — exactly what
+    ``repro fuzz shrink -`` reads from stdin and
+    :func:`repro.core.persistence.spec_from_dict` validates — so any
+    failure that carries this hint reproduces without the original
+    caller's context.
+    """
+    blob = json.dumps(spec.canonical(), sort_keys=True, default=repr)
+    return (f"echo '{blob}' | python -m repro fuzz shrink -")
 
 
 class InvariantViolation(AssertionError):
@@ -159,17 +184,27 @@ class InvariantViolation(AssertionError):
     """
 
     def __init__(self, violations: Tuple[CheckResult, ...],
-                 report: Optional[AuditReport] = None):
+                 report: Optional[AuditReport] = None,
+                 spec_hash: Optional[str] = None,
+                 repro_hint: Optional[str] = None):
         self.violations = tuple(violations)
         self.report = report
+        self.spec_hash = spec_hash
+        self.repro_hint = repro_hint
         lines = []
         for check in self.violations:
             lines.append(f"[{check.invariant}] {check.detail}")
             lines.extend(f"  evidence: {item}" for item in check.evidence)
+        if spec_hash:
+            lines.append(f"  spec: {spec_hash[:12]}")
+        if repro_hint:
+            lines.append(f"  repro: {repro_hint}")
         super().__init__("invariant violation\n" + "\n".join(lines))
 
     def __reduce__(self):
-        return (InvariantViolation, (self.violations, self.report))
+        return (InvariantViolation,
+                (self.violations, self.report, self.spec_hash,
+                 self.repro_hint))
 
 
 def merge_reports(reports) -> Dict[str, Tuple[int, int]]:
@@ -454,13 +489,20 @@ class InvariantAuditor:
             # request, per the backend's billing rules.
             requests = stack.billing.total_requests()
             executions = len(spans)
+            # Executions still in flight when the run ends are billed
+            # (they started) but their spans never closed; count them so
+            # a frozen-mid-execution straggler is not a false positive.
+            in_flight = sum(
+                1 for span in stack.telemetry.spans
+                if span.kind == SpanKind.EXECUTION and not span.closed)
             shed = (backend.shed_count(testbed)
                     if rules.bills_shed_requests else 0)
-            expected_requests = executions + shed
+            expected_requests = executions + in_flight + shed
             if requests != expected_requests:
                 evidence.append(
                     f"{platform}: {requests} billed requests != "
                     f"{expected_requests} (executions {executions}"
+                    + (f" + in-flight {in_flight}" if in_flight else "")
                     + (f" + sheds {shed}" if shed else "")
                     + ") — throttled/shed work must stay unbilled")
         if evidence:

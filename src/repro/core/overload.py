@@ -233,6 +233,6 @@ def execute_overload_spec(spec: "CampaignSpec") -> "CampaignOutcome":
     if auditor is not None:
         report = auditor.finalize()
         if audit_mod.RAISE_ON_VIOLATION:
-            report.raise_if_violations()
+            report.raise_if_violations(spec=spec)
     return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
                            overload=summary, audit=report)

@@ -89,9 +89,23 @@ class SpecExecutionError(SweepError):
         #: unpickled from a worker (not preserved across re-pickling)
         self.cause = cause
 
+    @property
+    def repro_hint(self) -> str:
+        """Ready-to-paste command reconstructing the failing spec."""
+        from repro.core.audit import spec_repro_hint
+        return spec_repro_hint(self.spec)
+
     def __str__(self) -> str:
         return (f"spec {self.spec_hash[:12]} ({self.spec.deployment} "
-                f"{self.spec.campaign}) failed: {self.message}")
+                f"{self.spec.campaign}) failed: {self.message}\n"
+                f"  repro: {self.repro_hint}")
+
+    def __reduce__(self):
+        # Rebuild from args alone: ``cause`` is whatever the campaign
+        # raised and need not be picklable, so it must not ride along in
+        # ``__dict__`` when a worker ships this failure to its parent.
+        return (type(self),
+                (self.spec, self.message, self.traceback_text))
 
 
 WORKLOADS = ("ml-training", "ml-inference", "video")
@@ -101,6 +115,16 @@ CAMPAIGN_TYPES = ("latency", "coldstart", "fanout", "reliability",
 #: :data:`repro.core.overload.ARRIVAL_KINDS`, kept literal to avoid an
 #: import cycle)
 ARRIVAL_KINDS = ("poisson", "uniform", "bursty")
+#: deployment variants each workload can build (mirrors the
+#: ``build_*_deployments`` maps, kept literal so spec validation needs
+#: no workload construction)
+WORKLOAD_VARIANTS = {
+    "ml-training": ("AWS-Lambda", "AWS-Step", "Az-Func", "Az-Queue",
+                    "Az-Dorch", "Az-Dent", "GCP-Func", "GCP-Flows"),
+    "ml-inference": ("AWS-Step", "Az-Dorch", "Az-Dent", "GCP-Flows"),
+    "video": ("AWS-Lambda", "AWS-Step", "Az-Func", "Az-Dorch",
+              "GCP-Flows"),
+}
 
 
 def _frozen_items(value: Any) -> Tuple[Tuple[str, Any], ...]:
@@ -166,6 +190,11 @@ class CampaignSpec:
     def __post_init__(self):
         if self.workload not in WORKLOADS:
             raise ValueError(f"workload must be one of {WORKLOADS}")
+        if self.deployment not in WORKLOAD_VARIANTS[self.workload]:
+            raise ValueError(
+                f"deployment {self.deployment!r} is not a "
+                f"{self.workload} variant; choose from "
+                f"{WORKLOAD_VARIANTS[self.workload]}")
         if self.campaign not in CAMPAIGN_TYPES:
             raise ValueError(f"campaign must be one of {CAMPAIGN_TYPES}")
         if (self.campaign in ("latency", "reliability", "resilience")
@@ -380,7 +409,7 @@ def execute_spec(spec: CampaignSpec) -> CampaignOutcome:
     if testbed.auditor is not None:
         report = testbed.auditor.finalize()
         if audit_mod.RAISE_ON_VIOLATION:
-            report.raise_if_violations()
+            report.raise_if_violations(spec=spec)
     return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
                            idle_transactions=idle_transactions,
                            audit=report)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict
+from dataclasses import asdict, fields as dataclass_fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -187,24 +187,131 @@ def outcome_from_dict(data: Dict[str, Any],
         audit=audit_from_dict(audit) if audit else None)
 
 
+class SpecValidationError(ValueError):
+    """A spec document cannot rebuild a :class:`CampaignSpec`.
+
+    Always names the offending key, so a hand-edited repro file or a
+    fuzzer-mutated document fails with ``spec field 'fault_plan': ...``
+    instead of a bare ``KeyError``/``TypeError`` from deep inside the
+    dataclass machinery.
+    """
+
+    def __init__(self, key: str, detail: str):
+        super().__init__(f"spec field {key!r}: {detail}")
+        self.key = key
+        self.detail = detail
+
+    def __reduce__(self):
+        # The default reduce replays ``args`` (the formatted message)
+        # into ``__init__(key, detail)`` — rebuild from the real fields
+        # so the error survives worker→parent pickling intact.
+        return (type(self), (self.key, self.detail))
+
+
+#: pair-list spec fields (``((name, value), ...)`` tuples in canonical form)
+_PAIR_FIELDS = ("calibration_overrides", "invoke_kwargs", "fault_plan",
+                "mitigation")
+#: JSON type each scalar spec field must carry (bool checked before int —
+#: ``isinstance(True, int)`` holds, and a bool where a count belongs is a
+#: type error we want named)
+_SPEC_FIELD_TYPES: Dict[str, tuple] = {
+    "deployment": (str,), "workload": (str,), "scale": (str,),
+    "campaign": (str,), "arrival": (str,),
+    "fanout": (int,), "seed": (int,), "workload_seed": (int,),
+    "iterations": (int,), "warmup": (int,), "batch": (int,),
+    "think_time_s": (int, float), "settle_time_s": (int, float),
+    "interval_s": (int, float), "days": (int, float),
+    "idle_window_s": (int, float), "arrival_rate_per_s": (int, float),
+    "horizon_s": (int, float), "slo_availability": (int, float),
+    "slo_p99_s": (int, float),
+}
+
+
+def spec_to_dict(spec: CampaignSpec) -> Dict[str, Any]:
+    """The JSON-ready canonical dict of ``spec``.
+
+    The inverse of :func:`spec_from_dict`; today this is exactly
+    :meth:`CampaignSpec.canonical`, named here so the serialization
+    authority exports both directions of the round trip.
+    """
+    return spec.canonical()
+
+
 def spec_from_dict(data: Dict[str, Any]) -> CampaignSpec:
     """Rebuild a :class:`CampaignSpec` from its ``canonical()`` dict.
 
     The round trip is hash-exact *and* equality-exact:
-    ``spec_from_dict(spec.canonical())`` compares equal to the original
-    and has the same ``spec_hash()`` (and therefore the same cache key),
-    which is what lets a resumed sweep re-derive its specs from the
-    journal manifest alone.
+    ``spec_from_dict(spec_to_dict(spec))`` compares equal to the
+    original and has the same ``spec_hash()`` (and therefore the same
+    cache key), which is what lets a resumed sweep re-derive its specs
+    from the journal manifest alone.
+
+    Malformed documents — unknown keys, wrong-typed fields, truncated
+    fault-plan pairs — raise :class:`SpecValidationError` naming the
+    offending key, never a bare ``KeyError``/``TypeError``.
     """
-    fields = {str(name): value for name, value in data.items()}
+    if not isinstance(data, dict):
+        raise SpecValidationError(
+            "<document>", f"expected a dict, got {type(data).__name__}")
+    known = {spec_field.name for spec_field in dataclass_fields(CampaignSpec)}
+    fields = {}
+    for name, value in data.items():
+        if not isinstance(name, str) or name not in known:
+            raise SpecValidationError(
+                str(name), f"unknown CampaignSpec field; "
+                           f"choose from {sorted(known)}")
+        fields[name] = value
+    for name, allowed in _SPEC_FIELD_TYPES.items():
+        if name not in fields:
+            continue
+        value = fields[name]
+        if isinstance(value, bool) and bool not in allowed or \
+                not isinstance(value, allowed):
+            raise SpecValidationError(
+                name, f"expected {' or '.join(t.__name__ for t in allowed)},"
+                      f" got {type(value).__name__} ({value!r})")
+    if "audit" in fields and fields["audit"] is not None \
+            and not isinstance(fields["audit"], bool):
+        raise SpecValidationError(
+            "audit", f"expected true, false or null, "
+                     f"got {type(fields['audit']).__name__}")
     # JSON turns the pair-tuples into lists; ``__post_init__`` only
-    # re-normalizes non-empty ones, so coerce here for equality.
-    for name in ("fault_plan", "mitigation"):
-        if name in fields:
-            fields[name] = tuple(
-                tuple(item) if isinstance(item, list) else item
-                for item in fields[name])
-    return CampaignSpec(**fields)
+    # re-normalizes non-empty ones, so coerce here for equality — and
+    # reject truncated or non-pair entries by name.
+    for name in _PAIR_FIELDS:
+        if name not in fields:
+            continue
+        value = fields[name]
+        if not isinstance(value, (list, tuple)):
+            raise SpecValidationError(
+                name, f"expected a list of (name, value) pairs, "
+                      f"got {type(value).__name__}")
+        pairs = []
+        for item in value:
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise SpecValidationError(
+                    name, f"entries are (name, value) pairs, got {item!r}")
+            if not isinstance(item[0], str):
+                raise SpecValidationError(
+                    name, f"pair names are strings, got {item[0]!r}")
+            pairs.append(tuple(
+                tuple(part) if isinstance(part, list) else part
+                for part in item))
+        fields[name] = tuple(pairs)
+    try:
+        return CampaignSpec(**fields)
+    except SpecValidationError:
+        raise
+    except (ValueError, TypeError, KeyError, AttributeError) as error:
+        # ``__post_init__`` raises about one field; name the first field
+        # present in the document that the error message mentions.
+        message = str(error).lower()
+        key = next((name for name in fields
+                    if name.lower() in message
+                    or name.rstrip("s").replace("_", " ") in message),
+                   "<spec>")
+        raise SpecValidationError(
+            key, f"{type(error).__name__}: {error}") from error
 
 
 def payload_checksum(payload: Any) -> str:

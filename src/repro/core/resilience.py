@@ -260,6 +260,6 @@ def execute_resilience_spec(spec: "CampaignSpec") -> "CampaignOutcome":
     if testbed.auditor is not None:
         report = testbed.auditor.finalize()
         if audit_mod.RAISE_ON_VIOLATION:
-            report.raise_if_violations()
+            report.raise_if_violations(spec=spec)
     return CampaignOutcome(spec=spec, campaign=campaign, cost=cost,
                            resilience=summary, audit=report)

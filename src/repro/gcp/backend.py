@@ -9,7 +9,7 @@ its service modules, and nothing else.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.platforms.backend import (
     BillingRules,
@@ -33,6 +33,18 @@ class GCPBackend(PlatformBackend):
     def default_calibration(self) -> Any:
         from repro.gcp.calibration import default_gcp_calibration
         return default_gcp_calibration()
+
+    def fuzz_calibration_space(self) -> Dict[str, Tuple[Any, ...]]:
+        # Instance-cap, memory-tier and client-retry knobs; memory
+        # values are existing tiers so round_to_tier stays exact, and
+        # the retry cap stays >= the default 1.0 s interval.
+        return {
+            "max_instances": (4, 100, 1000),
+            "default_memory_mb": (256, 2048, 4096),
+            "keep_alive_s": (120.0, 900.0),
+            "throttle_retry_max_attempts": (1, 2, 5),
+            "throttle_retry_cap_s": (1.0, 16.0),
+        }
 
     # -- stack construction ----------------------------------------------------
 

@@ -126,7 +126,6 @@ class CloudFunctionsService:
         rng = self.streams.get(f"gcp.fn.{name}")
         calibration = self.calibration
         self._admit()
-        self.billing.charge_request(name)
         self._in_flight += 1
         try:
             invoked_at = self.env.now
@@ -152,6 +151,11 @@ class CloudFunctionsService:
                 self._release_instance(instance)
                 raise
 
+            # Requests are billed when execution starts, not at
+            # admission: an invocation cancelled while it waits out the
+            # start-up delay never ran, so it must leave no request
+            # charge behind (billed requests must equal execution spans).
+            self.billing.charge_request(name)
             started_at = self.env.now
             span = self.telemetry.start_span(
                 name, SpanKind.EXECUTION, parent=parent_span,
@@ -204,15 +208,20 @@ class CloudFunctionsService:
                           event: Any) -> Generator:
         handler_process = self.env.process(spec.handler(ctx, event))
         deadline = self.env.timeout(spec.timeout_s)
+        race = handler_process | deadline
         try:
-            result = yield handler_process | deadline
+            result = yield race
         except BaseException:
             # Interrupted from outside (hedge cancellation, deadline
             # abandonment): reap the orphaned handler so a later failure
-            # of it cannot crash the dispatch loop.
+            # of it cannot crash the dispatch loop.  The race condition
+            # must be defused too: this process no longer waits on it,
+            # and the abandoned handler's failure chains into it — an
+            # undefused, waiterless condition would crash the run.
             if handler_process.is_alive:
                 handler_process.interrupt(cause="abandoned")
             handler_process.defuse()
+            race.defuse()
             raise
         if handler_process in result:
             return handler_process.value

@@ -55,7 +55,7 @@ from typing import Any, Dict, Generator, List, Optional
 from repro.aws.jsonpath import PathError, get_path
 from repro.gcp.functions import CloudFunctionsService
 from repro.platforms.base import ThrottlingError, enforce_payload_limit
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, join_all
 from repro.sim.resources import Resource
 from repro.storage.meter import TransactionMeter
 from repro.telemetry import SpanKind, Telemetry
@@ -292,8 +292,7 @@ class GCPWorkflowsService:
                     branch, dict(scope), record, parent_span,
                     workflow_name))
                 for branch in spec["branches"]]
-            yield self.env.all_of(processes)
-            results = [process.value for process in processes]
+            results = yield from join_all(self.env, processes)
             if "result" in spec:
                 scope[spec["result"]] = results
             return None
@@ -315,8 +314,7 @@ class GCPWorkflowsService:
                 processes.append(self.env.process(self._iteration_runner(
                     spec["steps"], iteration_scope, gate, record,
                     parent_span, workflow_name)))
-            yield self.env.all_of(processes)
-            results = [process.value for process in processes]
+            results = yield from join_all(self.env, processes)
             if "result" in spec:
                 scope[spec["result"]] = results
             return None

@@ -194,6 +194,22 @@ class PlatformBackend(abc.ABC):
             lambda: self.invoke_function(testbed, name, event))
         return result
 
+    # -- fuzzing ----------------------------------------------------------------
+
+    def fuzz_calibration_space(self) -> Dict[str, Tuple[Any, ...]]:
+        """Candidate calibration overrides the campaign fuzzer may draw.
+
+        Keyed by calibration field name; the fuzz generator prefixes
+        ``"<backend name>."`` to form spec override keys.  Every listed
+        value must keep :meth:`default_calibration`'s ``validate()``
+        passing on its own *and* in any combination with the other
+        listed values (the generator draws independently per field), and
+        must never disable telemetry spans — audited specs reject that.
+        Backends with no safe knobs return an empty mapping (the
+        default), which simply keeps them out of the override draw.
+        """
+        return {}
+
     # -- chaos ------------------------------------------------------------------
 
     def crash_host(self, testbed: Any) -> Optional[Generator]:

@@ -39,6 +39,12 @@ class PayloadLimitExceeded(ValueError):
         self.limit = limit
         self.where = where
 
+    def __reduce__(self):
+        # args hold the formatted message, not the init signature, so
+        # the default reduce cannot reconstruct this across a process
+        # boundary — rebuild from the typed fields instead.
+        return (type(self), (self.size, self.limit, self.where))
+
 
 class FunctionTimeout(RuntimeError):
     """A function exceeded its configured execution time limit."""

@@ -33,6 +33,7 @@ from repro.sim.kernel import (
     Process,
     SimulationError,
     Timeout,
+    join_all,
 )
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RandomStreams
@@ -72,5 +73,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "join_all",
     "Uniform",
 ]

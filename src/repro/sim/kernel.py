@@ -49,7 +49,7 @@ from collections import deque
 from heapq import heappop, heappush
 from sys import getrefcount
 from types import MethodType
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 #: Event scheduling priorities.  Lower sorts earlier at equal times.
 URGENT = 0
@@ -430,6 +430,35 @@ class AnyOf(Condition):
             self.fail(event._value)
         else:
             self._succeed_with_done()
+
+
+def join_all(env: "Environment", processes: Sequence["Process"]) -> Generator:
+    """Structured fan-out join: wait for every process, returning their
+    values in order; on the first failure, cancel the surviving siblings
+    and re-raise it.
+
+    A bare ``yield env.all_of(processes)`` propagates the first failure
+    but leaves the other branches running: a *second* branch failing
+    later has no waiter (the condition already triggered, so it no
+    longer defuses members), and the stray failure crashes the whole
+    run.  Cancelling the siblings mirrors cloud fan-out semantics — a
+    failed branch fails the parallel state and the rest are aborted —
+    and every process is pre-defused so a same-instant double failure
+    (or the cancellation itself) cannot escape either.
+    """
+    processes = list(processes)
+    for process in processes:
+        process.defuse()
+    condition = env.all_of(processes)
+    try:
+        yield condition
+    except BaseException:
+        condition.defuse()
+        for process in processes:
+            if process.is_alive:
+                process.interrupt(cause="sibling failure")
+        raise
+    return [process.value for process in processes]
 
 
 class Environment:

@@ -356,3 +356,67 @@ def test_workflow_span_has_execution_id(lambdas, stepfunctions, telemetry,
     record = run(stepfunctions.start_execution("m", 1))
     spans = telemetry.find(kind="workflow", name="m")
     assert spans[0].attributes["execution_id"] == record.execution_id
+
+
+def test_parallel_failure_cancels_surviving_branches(env, lambdas,
+                                                     stepfunctions, run):
+    """Regression: a branch failing after the Parallel state already
+    failed had no waiter left, so its error escaped ``env.run`` long
+    after the execution record came back FAILED."""
+    log = []
+
+    def fail_slow(ctx, event):
+        yield from ctx.busy(30.0)
+        log.append("survivor ran to completion")
+        raise RuntimeError("late failure")
+
+    register(lambdas, "fail-fast", failing)
+    register(lambdas, "fail-slow", fail_slow, timeout_s=60.0)
+    branch = lambda name, resource: {
+        "StartAt": name,
+        "States": {name: {"Type": "Task", "Resource": resource,
+                          "End": True}},
+    }
+    stepfunctions.create_state_machine("m", {
+        "StartAt": "P",
+        "States": {"P": {"Type": "Parallel",
+                         "Branches": [branch("A", "fail-fast"),
+                                      branch("B", "fail-slow")],
+                         "End": True}},
+    })
+    record = run(stepfunctions.start_execution("m", {}))
+    assert record.status == "FAILED"
+    # Draining the simulation must surface nothing: the surviving branch
+    # was cancelled with its parent, not left to fail on its own.
+    env.run()
+    assert log == []
+
+
+def test_map_failure_cancels_surviving_iterations(env, lambdas,
+                                                  stepfunctions, run):
+    log = []
+
+    def fail_by_item(ctx, event):
+        if event == 0:
+            yield from ctx.busy(0.1)
+            raise RuntimeError("item 0 blew up")
+        yield from ctx.busy(30.0)
+        log.append("survivor ran to completion")
+        raise RuntimeError("late failure")
+
+    register(lambdas, "fail-by-item", fail_by_item, timeout_s=60.0)
+    stepfunctions.create_state_machine("m", {
+        "StartAt": "M",
+        "States": {"M": {"Type": "Map", "ItemsPath": "$.items",
+                         "Iterator": {
+                             "StartAt": "S",
+                             "States": {"S": {"Type": "Task",
+                                              "Resource": "fail-by-item",
+                                              "End": True}},
+                         },
+                         "End": True}},
+    })
+    record = run(stepfunctions.start_execution("m", {"items": [0, 1]}))
+    assert record.status == "FAILED"
+    env.run()
+    assert log == []

@@ -159,3 +159,65 @@ def test_supervise_flags_run_the_supervised_pool(tmp_path, capsys):
                  "--no-cache"])
     assert code == 0
     assert "ML training latency" in capsys.readouterr().out
+
+
+@pytest.mark.fuzz
+def test_fuzz_run_clean_session_exits_zero(tmp_path, capsys):
+    code = main(["fuzz", "run", "--seed", "0", "--budget", "3",
+                 "--corpus-out", str(tmp_path / "corpus"),
+                 "--cache-dir", str(tmp_path / "cache")])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "fuzz seed 0: 3/3 specs checked, 0 finding(s)" in output
+    assert not (tmp_path / "corpus").exists()   # nothing to bank
+
+
+@pytest.mark.fuzz
+def test_fuzz_run_resume_flag_without_journal_errors():
+    with pytest.raises(SystemExit, match="--journal"):
+        main(["fuzz", "run", "--budget", "3", "--resume", "--no-cache"])
+
+
+@pytest.mark.fuzz
+def test_fuzz_replay_missing_corpus_is_a_noop(tmp_path, capsys):
+    code = main(["fuzz", "replay", str(tmp_path / "nope")])
+    assert code == 0
+    assert "nothing to replay" in capsys.readouterr().out
+
+
+@pytest.mark.fuzz
+def test_fuzz_replay_shipped_corpus_stays_green(capsys):
+    """The committed regression corpus must replay green: every bug the
+    fuzzer has found stays fixed."""
+    code = main(["fuzz", "replay", "corpus"])
+    output = capsys.readouterr().out
+    assert code == 0, output
+    assert "RED" not in output and "INVALID" not in output
+
+
+@pytest.mark.fuzz
+def test_fuzz_shrink_clean_spec_reports_nothing_to_do(tmp_path, capsys):
+    import json as json_mod
+
+    from repro.core import CampaignSpec
+    from repro.core.persistence import spec_to_dict
+
+    spec = CampaignSpec(deployment="AWS-Lambda", workload="ml-training",
+                        iterations=1, warmup=0)
+    path = tmp_path / "spec.json"
+    path.write_text(json_mod.dumps(spec_to_dict(spec)))
+    code = main(["fuzz", "shrink", str(path)])
+    assert code == 0
+    assert "nothing to shrink" in capsys.readouterr().out
+
+
+@pytest.mark.fuzz
+def test_fuzz_shrink_rejects_bad_input(tmp_path):
+    garbage = tmp_path / "bad.json"
+    garbage.write_text("{not json")
+    with pytest.raises(SystemExit, match="not JSON"):
+        main(["fuzz", "shrink", str(garbage)])
+    invalid = tmp_path / "invalid.json"
+    invalid.write_text('{"deployment": "AWS-Lambda", "bogus": 1}')
+    with pytest.raises(SystemExit, match="bogus"):
+        main(["fuzz", "shrink", str(invalid)])

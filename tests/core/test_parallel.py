@@ -260,7 +260,10 @@ def test_pool_surfaces_worker_failure_as_typed_spec_error(tmp_path):
 
     good = CampaignSpec(deployment="AWS-Lambda", iterations=2, warmup=0,
                         seed=3)
-    bad = CampaignSpec(deployment="AWS-Nope", iterations=1, warmup=0)
+    # Constructs fine, fails inside the worker: the stray kwarg only
+    # explodes when the campaign invokes the deployment.
+    bad = CampaignSpec(deployment="AWS-Lambda", iterations=1, warmup=0,
+                       invoke_kwargs={"bogus_kwarg": 1})
     cache = ResultCache(tmp_path / "cache")
     with pytest.raises(SpecExecutionError) as excinfo:
         ParallelRunner(workers=2, cache=cache).run([good, bad])
@@ -268,7 +271,7 @@ def test_pool_surfaces_worker_failure_as_typed_spec_error(tmp_path):
     error = excinfo.value
     assert error.spec_hash == bad.spec_hash()
     assert bad.spec_hash()[:12] in str(error)
-    assert "KeyError" in error.message
+    assert "TypeError" in error.message
     assert error.traceback_text                  # worker traceback kept
     # Completed sibling was cached before the failure was raised.
     hit = cache.get(good)
@@ -279,7 +282,8 @@ def test_pool_surfaces_worker_failure_as_typed_spec_error(tmp_path):
 def test_serial_path_raises_same_typed_error():
     from repro.core.parallel import SpecExecutionError
 
-    bad = CampaignSpec(deployment="AWS-Nope", iterations=1, warmup=0)
+    bad = CampaignSpec(deployment="AWS-Lambda", iterations=1, warmup=0,
+                       invoke_kwargs={"bogus_kwarg": 1})
     with pytest.raises(SpecExecutionError) as excinfo:
         ParallelRunner(workers=1).run([bad])
     assert excinfo.value.spec_hash == bad.spec_hash()

@@ -49,8 +49,8 @@ def sweep_specs(count=3, seed=31):
 
 def broken_spec(seed=0):
     """A spec that fails deterministically at execution time."""
-    return CampaignSpec(deployment="AWS-Nope", iterations=1, warmup=0,
-                        seed=seed)
+    return CampaignSpec(deployment="AWS-Lambda", iterations=1, warmup=0,
+                        seed=seed, invoke_kwargs={"bogus_kwarg": 1})
 
 
 # -- baseline: drop-in equivalence -----------------------------------------------

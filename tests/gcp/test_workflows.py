@@ -282,3 +282,63 @@ def test_list_executions_filters(testbed):
     records = testbed.workflows.list_executions("wf", status="SUCCEEDED")
     assert len(records) == 2
     assert records[0].execution_id > records[1].execution_id
+
+
+def test_parallel_failure_cancels_surviving_branches(testbed):
+    """Regression: a branch failing after the parallel step already
+    failed had no waiter left, so its error escaped the run long after
+    the execution record came back FAILED."""
+    log = []
+
+    def fail_fast(ctx, event):
+        yield from ctx.busy(0.1)
+        raise RuntimeError("fast failure")
+
+    def fail_slow(ctx, event):
+        yield from ctx.busy(30.0)
+        log.append("survivor ran to completion")
+        raise RuntimeError("late failure")
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="fail-fast", handler=fail_fast, memory_mb=256, timeout_s=60.0))
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="fail-slow", handler=fail_slow, memory_mb=256, timeout_s=60.0))
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Fan", "parallel": {"branches": [
+            [{"name": "A", "call": "fail-fast", "args": 1, "result": "a"}],
+            [{"name": "B", "call": "fail-slow", "args": 2, "result": "b"}],
+        ], "result": "data"}},
+    ])
+    record = _execute(testbed, "wf", None)
+    assert record.status == "FAILED"
+    # Draining the simulation must surface nothing: the surviving branch
+    # was cancelled with its parent, not left to fail on its own.
+    testbed.env.run()
+    assert log == []
+
+
+def test_for_failure_cancels_surviving_iterations(testbed):
+    log = []
+
+    def fail_by_item(ctx, event):
+        if event == 0:
+            yield from ctx.busy(0.1)
+            raise RuntimeError("item 0 blew up")
+        yield from ctx.busy(30.0)
+        log.append("survivor ran to completion")
+        raise RuntimeError("late failure")
+
+    testbed.cloudfunctions.register(FunctionSpec(
+        name="fail-by-item", handler=fail_by_item, memory_mb=256,
+        timeout_s=60.0))
+    testbed.workflows.create_workflow("wf", [
+        {"name": "Map", "for": {"value": "item", "in": "$.data",
+                                "steps": [
+            {"name": "Try", "call": "fail-by-item", "args": "$.item",
+             "result": "out"}],
+            "concurrency": 2, "result": "data"}},
+    ])
+    record = _execute(testbed, "wf", [0, 1])
+    assert record.status == "FAILED"
+    testbed.env.run()
+    assert log == []

@@ -395,3 +395,33 @@ def test_mitigated_invoke_breaker_short_circuits(backend, testbed):
         (backend.name, "contract-failing", policy)]
     assert engine.breaker_opens == 1
     assert engine.short_circuits == 1
+
+
+def test_cancelled_during_startup_leaves_no_request_charge(backend, testbed):
+    """Requests are billed when execution starts, not at admission: an
+    invocation cancelled while it waits out its start-up delay (cold
+    start, dispatch queue) never ran and must leave no charge behind —
+    otherwise the auditor's billed-requests == execution-spans invariant
+    trips on every mitigation-timed-out invoke."""
+    _register_echo(backend, testbed)
+    env = testbed.env
+
+    def invoker():
+        yield from backend.invoke_function(testbed, "contract-echo", {"x": 1})
+
+    process = env.process(invoker())
+    process.defuse()
+
+    def canceller():
+        # 1 microsecond in: safely inside every platform's cold-start
+        # window, so execution has not begun anywhere.
+        yield env.timeout(1e-6)
+        process.interrupt(cause="client gave up")
+
+    env.process(canceller())
+    env.run(until=60.0)
+
+    stack = testbed.stack(backend.name)
+    assert stack.billing.total_requests() == 0
+    assert not any(span.kind == SpanKind.EXECUTION
+                   for span in stack.telemetry.spans)

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Environment, Interrupt, SimulationError
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+    join_all,
+)
 
 
 def test_clock_starts_at_zero():
@@ -303,3 +310,136 @@ def test_nested_process_composition():
 
     assert env.run(until=env.process(parent(env))) == 40
     assert env.now == 3.0
+
+
+# -- structured fan-out join -------------------------------------------------------
+
+
+def test_join_all_returns_values_in_order():
+    env = Environment()
+
+    def worker(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def joiner(env):
+        processes = [env.process(worker(env, delay, value))
+                     for delay, value in ((3.0, "a"), (1.0, "b"))]
+        results = yield from join_all(env, processes)
+        return results
+
+    assert env.run(until=env.process(joiner(env))) == ["a", "b"]
+    assert env.now == 3.0
+
+
+def test_join_all_empty_list_is_immediate():
+    env = Environment()
+
+    def joiner(env):
+        results = yield from join_all(env, [])
+        return results
+
+    assert env.run(until=env.process(joiner(env))) == []
+    assert env.now == 0.0
+
+
+def test_join_all_failure_cancels_surviving_siblings():
+    env = Environment()
+    log = []
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("branch failed")
+
+    def slow(env):
+        try:
+            yield env.timeout(10.0)
+            log.append("finished")
+        except Interrupt:
+            log.append("interrupted")
+
+    def joiner(env):
+        yield from join_all(
+            env, [env.process(failer(env)), env.process(slow(env))])
+
+    with pytest.raises(RuntimeError, match="branch failed"):
+        env.run(until=env.process(joiner(env)))
+    env.run()
+    assert log == ["interrupted"]
+
+
+def test_join_all_late_second_failure_cannot_escape_the_run():
+    """Regression: a sibling failing *after* the join already failed has
+    no waiter left, so without pre-defusing its failure would crash
+    ``env.run`` long after the joiner reported the first error."""
+    env = Environment()
+
+    def failer(env, delay, message):
+        yield env.timeout(delay)
+        raise RuntimeError(message)
+
+    def stubborn(env):
+        # Swallows the cancellation — like a handler with a broad
+        # ``except`` around cleanup — and then fails on its own.
+        try:
+            yield env.timeout(2.0)
+        except Interrupt:
+            pass
+        yield env.timeout(2.0)
+        raise RuntimeError("second")
+
+    def joiner(env):
+        yield from join_all(
+            env, [env.process(failer(env, 1.0, "first")),
+                  env.process(stubborn(env))])
+
+    with pytest.raises(RuntimeError, match="first"):
+        env.run(until=env.process(joiner(env)))
+    env.run()   # the stubborn sibling's own failure must not escape
+
+
+def test_join_all_simultaneous_failures_report_the_first():
+    env = Environment()
+
+    def failer(env, message):
+        yield env.timeout(1.0)
+        raise RuntimeError(message)
+
+    def joiner(env):
+        yield from join_all(
+            env, [env.process(failer(env, "alpha")),
+                  env.process(failer(env, "beta"))])
+
+    with pytest.raises(RuntimeError, match="alpha"):
+        env.run(until=env.process(joiner(env)))
+    env.run()
+
+
+def test_join_all_interrupted_joiner_cancels_children():
+    env = Environment()
+    log = []
+
+    def slow(env, name):
+        try:
+            yield env.timeout(10.0)
+            log.append((name, "finished"))
+        except Interrupt:
+            log.append((name, "interrupted"))
+
+    def joiner(env):
+        try:
+            yield from join_all(
+                env, [env.process(slow(env, "a")), env.process(slow(env, "b"))])
+        except Interrupt:
+            log.append(("joiner", "interrupted"))
+
+    process = env.process(joiner(env))
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        process.interrupt(cause="shutdown")
+
+    env.process(canceller(env))
+    env.run()
+    assert sorted(log) == [("a", "interrupted"), ("b", "interrupted"),
+                           ("joiner", "interrupted")]
